@@ -1,0 +1,199 @@
+// Shared helpers for the figure/table reproduction drivers.
+//
+// Time dilation: several experiments hold a server at 80% dispatch load for
+// tens of (simulated) seconds; simulating that at full fidelity costs ~10^9
+// events. CostModel::Dilate(D) scales every cost by D — pure unit scaling
+// (identical utilizations and queueing shapes) — and drivers report times
+// divided by D and rates multiplied by D. Each driver prints its D.
+#ifndef ROCKSTEADY_BENCH_EXPERIMENT_COMMON_H_
+#define ROCKSTEADY_BENCH_EXPERIMENT_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/timeseries.h"
+#include "src/workload/client_actor.h"
+#include "src/workload/ycsb.h"
+
+namespace rocksteady {
+
+// Unit conversion for a dilated run.
+struct Scale {
+  double dilation = 1.0;
+
+  double Us(Tick t) const { return static_cast<double>(t) / 1'000.0 / dilation; }
+  double Seconds(Tick t) const { return static_cast<double>(t) / 1e9 / dilation; }
+  // Rate of `count` events over `span` simulated time, in real units.
+  double PerSecond(double count, Tick span) const {
+    return span == 0 ? 0 : count * 1e9 * dilation / static_cast<double>(span);
+  }
+  double MBps(uint64_t bytes, Tick span) const {
+    return PerSecond(static_cast<double>(bytes), span) / 1e6;
+  }
+};
+
+inline ClusterConfig MakeConfig(int masters, int clients, double dilation, uint64_t seed = 42) {
+  ClusterConfig config;
+  config.num_masters = masters;
+  config.num_clients = clients;
+  config.seed = seed;
+  config.master.hash_table_log2_buckets = 20;
+  config.master.segment_size = 256 * 1024;
+  if (dilation != 1.0) {
+    config.costs.Dilate(dilation);
+  }
+  return config;
+}
+
+// Splits `table` (initially fully on master 0) into `n` equal hash-range
+// tablets across masters [0, n); call before LoadTable.
+inline void SpreadTableAcross(Cluster& cluster, TableId table, int n) {
+  for (int i = 1; i < n; i++) {
+    const KeyHash split = static_cast<KeyHash>((~0ull / static_cast<uint64_t>(n)) *
+                                               static_cast<uint64_t>(i));
+    cluster.coordinator().SplitTablet(table, split);
+  }
+  const auto tablets = cluster.coordinator().GetTableConfig(table);
+  for (size_t i = 0; i < tablets.size(); i++) {
+    const auto& t = tablets[i];
+    const ServerId owner = cluster.master(i % static_cast<size_t>(n)).id();
+    if (t.owner != owner) {
+      cluster.coordinator().UpdateOwnership(t.table, t.start_hash, t.end_hash, owner);
+      cluster.master(0).objects().tablets().Remove(t.table, t.start_hash, t.end_hash);
+      cluster.coordinator().master(owner)->objects().tablets().Add(
+          Tablet{t.table, t.start_hash, t.end_hash, TabletState::kNormal});
+    }
+  }
+}
+
+// Closed-loop multiget driver (Figure 3): issues back-to-back multigets of
+// `keys_per_get` keys drawn from `spread` consecutive servers' key pools.
+class MultiGetLoop {
+ public:
+  MultiGetLoop(Cluster* cluster, RamCloudClient* client, TableId table,
+               const std::vector<std::vector<std::string>>* pools, int spread, int keys_per_get,
+               uint64_t* completed_objects)
+      : cluster_(cluster),
+        client_(client),
+        table_(table),
+        pools_(pools),
+        spread_(spread),
+        keys_per_get_(keys_per_get),
+        completed_objects_(completed_objects) {}
+
+  void Run(int concurrency) {
+    for (int i = 0; i < concurrency; i++) {
+      IssueNext();
+    }
+  }
+
+  // Stops re-issuing; in-flight multigets drain.
+  void Stop() { stopped_ = true; }
+
+ private:
+  void IssueNext() {
+    if (stopped_) {
+      return;
+    }
+    const size_t servers = pools_->size();
+    const size_t primary = next_primary_++ % servers;
+    std::vector<std::string> keys;
+    keys.reserve(static_cast<size_t>(keys_per_get_));
+    // Paper: spread 2 = 6 keys from one server + 1 from another, etc.
+    const int from_primary = keys_per_get_ - (spread_ - 1);
+    auto pick = [&](size_t server, int count) {
+      const auto& pool = (*pools_)[server];
+      for (int k = 0; k < count; k++) {
+        keys.push_back(pool[cluster_->sim().rng().Uniform(pool.size())]);
+      }
+    };
+    pick(primary, from_primary);
+    for (int s = 1; s < spread_; s++) {
+      pick((primary + static_cast<size_t>(s)) % servers, 1);
+    }
+    client_->MultiGet(table_, std::move(keys), [this](Status status) {
+      if (status == Status::kOk) {
+        *completed_objects_ += static_cast<uint64_t>(keys_per_get_);
+      }
+      IssueNext();
+    });
+  }
+
+  Cluster* cluster_;
+  RamCloudClient* client_;
+  TableId table_;
+  const std::vector<std::vector<std::string>>* pools_;
+  int spread_;
+  int keys_per_get_;
+  uint64_t* completed_objects_;
+  size_t next_primary_ = 0;
+  bool stopped_ = false;
+};
+
+// Open-loop secondary-index scan driver (Figure 4).
+class IndexScanActor {
+ public:
+  IndexScanActor(Cluster* cluster, RamCloudClient* client, TableId table, uint8_t index_id,
+                 uint64_t num_secondary_keys, double theta, double scans_per_second,
+                 Tick stop_time, LatencyTimeline* latency)
+      : cluster_(cluster),
+        client_(client),
+        table_(table),
+        index_id_(index_id),
+        zipf_(num_secondary_keys, theta),
+        rate_(scans_per_second),
+        stop_time_(stop_time),
+        latency_(latency) {}
+
+  static std::string SecondaryKey(uint64_t id) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "sec%027llu", static_cast<unsigned long long>(id));
+    return buffer;
+  }
+
+  void Start() { ScheduleNext(); }
+
+  uint64_t completed() const { return completed_; }
+
+ private:
+  void ScheduleNext() {
+    Simulator& sim = cluster_->sim();
+    const double u = std::max(1e-12, sim.rng().NextDouble());
+    const Tick gap = std::max<Tick>(1, static_cast<Tick>(-std::log(u) / rate_ * 1e9));
+    const Tick at = sim.now() + gap;
+    if (at >= stop_time_) {
+      return;
+    }
+    sim.At(at, [this, at] {
+      const std::string start_key = SecondaryKey(zipf_.Next(cluster_->sim().rng()));
+      client_->IndexScan(table_, index_id_, start_key, 4, [this, at](Status status) {
+        if (status == Status::kOk) {
+          completed_++;
+          if (latency_ != nullptr) {
+            latency_->Record(cluster_->sim().now(), cluster_->sim().now() - at);
+          }
+        }
+      });
+      ScheduleNext();
+    });
+  }
+
+  Cluster* cluster_;
+  RamCloudClient* client_;
+  TableId table_;
+  uint8_t index_id_;
+  ZipfianGenerator zipf_;
+  double rate_;
+  Tick stop_time_;
+  LatencyTimeline* latency_;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_BENCH_EXPERIMENT_COMMON_H_

@@ -1,0 +1,346 @@
+#include "src/cluster/client.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/logging.h"
+
+namespace rocksteady {
+
+RamCloudClient::RamCloudClient(Coordinator* coordinator, const CostModel* costs)
+    : coordinator_(coordinator), costs_(costs) {
+  endpoint_ = coordinator_->rpc().CreateEndpoint(nullptr);
+}
+
+bool RamCloudClient::CachedOwner(TableId table, KeyHash hash, NodeId* node) const {
+  for (const auto& entry : cache_) {
+    if (entry.table == table && entry.start_hash <= hash && hash <= entry.end_hash) {
+      *node = entry.owner_node;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RamCloudClient::RefreshConfig(TableId table, std::function<void()> then) {
+  auto request = std::make_unique<GetTableConfigRequest>();
+  request->table = table;
+  coordinator_->rpc().Call(
+      node(), coordinator_->node(), std::move(request),
+      [this, table, then = std::move(then)](Status status,
+                                            std::unique_ptr<RpcResponse> response) {
+        if (status == Status::kOk && response->status == Status::kOk) {
+          auto& config = static_cast<GetTableConfigResponse&>(*response);
+          std::erase_if(cache_, [&](const TabletConfigEntry& e) { return e.table == table; });
+          cache_.insert(cache_.end(), config.tablets.begin(), config.tablets.end());
+        }
+        then();
+      },
+      costs_->rpc_timeout_ns);
+}
+
+void RamCloudClient::RunWithRetries(TableId table,
+                                    std::function<void(std::function<void(Status, Tick)>)> go,
+                                    DoneCallback done, int attempts_left) {
+  auto shared_go = std::make_shared<decltype(go)>(std::move(go));
+  (*shared_go)([this, table, shared_go, done = std::move(done), attempts_left](
+                   Status status, Tick hint) mutable {
+    Simulator& sim = coordinator_->sim();
+    if (status == Status::kOk) {
+      ops_completed_++;
+      done(status);
+      return;
+    }
+    if (attempts_left <= 1) {
+      ops_failed_++;
+      done(Status::kServerDown);
+      return;
+    }
+    // `done` must survive both the retry path and the terminal default
+    // branch below; park it in a shared holder.
+    auto done_holder = std::make_shared<DoneCallback>(std::move(done));
+    auto retry = [this, table, shared_go, done_holder, attempts_left]() mutable {
+      RunWithRetries(
+          table, [shared_go](std::function<void(Status, Tick)> report) { (*shared_go)(report); },
+          std::move(*done_holder), attempts_left - 1);
+    };
+    switch (status) {
+      case Status::kWrongServer:
+      case Status::kTableNotFound: {
+        wrong_server_retries_++;
+        // Escalating backoff: repeated kWrongServer for the same op means
+        // the map is *still* stale (e.g. a pre-copy freeze window before
+        // the coordinator learns the new owner) — don't hammer.
+        const int attempt = kMaxAttempts - attempts_left;
+        const Tick backoff =
+            attempt <= 1 ? 0
+                         : std::min<Tick>(static_cast<Tick>(attempt) *
+                                              costs_->wrong_server_backoff_step_ns,
+                                          costs_->wrong_server_backoff_max_ns);
+        sim.After(backoff, [this, table, retry = std::move(retry)]() mutable {
+          RefreshConfig(table, std::move(retry));
+        });
+        return;
+      }
+      case Status::kRetryLater: {
+        retry_later_retries_++;
+        const Tick jitter = sim.rng().UniformRange(costs_->retry_backoff_min_ns,
+                                                   costs_->retry_backoff_max_ns);
+        const Tick at = std::max(hint, sim.now()) + jitter;
+        sim.At(at, std::move(retry));
+        return;
+      }
+      case Status::kServerDown:
+        server_down_retries_++;
+        // Likely a crash: wait for recovery to make progress, then refresh.
+        sim.After(costs_->recovering_retry_hint_ns,
+                  [this, table, retry = std::move(retry)]() mutable {
+          RefreshConfig(table, std::move(retry));
+        });
+        return;
+      default:
+        // kObjectNotFound is a legitimate outcome, not a failure.
+        if (status == Status::kObjectNotFound) {
+          ops_completed_++;
+        } else {
+          ops_failed_++;
+        }
+        (*done_holder)(status);
+        return;
+    }
+  });
+}
+
+void RamCloudClient::Read(TableId table, std::string key, ReadCallback done) {
+  const KeyHash hash = HashKey(key);
+  auto value = std::make_shared<std::string>();
+  auto go = [this, table, key = std::move(key), hash,
+             value](std::function<void(Status, Tick)> report) {
+    NodeId owner;
+    if (!CachedOwner(table, hash, &owner)) {
+      report(Status::kWrongServer, 0);
+      return;
+    }
+    auto request = std::make_unique<ReadRequest>();
+    request->table = table;
+    request->key = key;
+    request->hash = hash;
+    coordinator_->rpc().Call(
+        node(), owner, std::move(request),
+        [value, report](Status status, std::unique_ptr<RpcResponse> response) {
+          if (status != Status::kOk) {
+            report(status, 0);
+            return;
+          }
+          auto& read = static_cast<ReadResponse&>(*response);
+          if (read.status == Status::kOk) {
+            *value = std::move(read.value);
+          }
+          report(read.status, read.retry_after);
+        },
+        costs_->rpc_timeout_ns);
+  };
+  RunWithRetries(table, std::move(go),
+                 [value, done = std::move(done)](Status status) { done(status, *value); },
+                 kMaxAttempts);
+}
+
+void RamCloudClient::Write(TableId table, std::string key, std::string value, DoneCallback done,
+                           std::string secondary_key) {
+  const KeyHash hash = HashKey(key);
+  auto go = [this, table, key = std::move(key), hash, value = std::move(value),
+             secondary_key = std::move(secondary_key)](std::function<void(Status, Tick)> report) {
+    NodeId owner;
+    if (!CachedOwner(table, hash, &owner)) {
+      report(Status::kWrongServer, 0);
+      return;
+    }
+    auto request = std::make_unique<WriteRequest>();
+    request->table = table;
+    request->key = key;
+    request->hash = hash;
+    request->value = value;
+    request->secondary_key = secondary_key;
+    coordinator_->rpc().Call(
+        node(), owner, std::move(request),
+        [report](Status status, std::unique_ptr<RpcResponse> response) {
+          report(status == Status::kOk ? response->status : status, 0);
+        },
+        costs_->rpc_timeout_ns);
+  };
+  RunWithRetries(table, std::move(go), std::move(done), kMaxAttempts);
+}
+
+void RamCloudClient::Remove(TableId table, std::string key, DoneCallback done) {
+  const KeyHash hash = HashKey(key);
+  auto go = [this, table, key = std::move(key), hash](std::function<void(Status, Tick)> report) {
+    NodeId owner;
+    if (!CachedOwner(table, hash, &owner)) {
+      report(Status::kWrongServer, 0);
+      return;
+    }
+    auto request = std::make_unique<RemoveRequest>();
+    request->table = table;
+    request->key = key;
+    request->hash = hash;
+    coordinator_->rpc().Call(
+        node(), owner, std::move(request),
+        [report](Status status, std::unique_ptr<RpcResponse> response) {
+          report(status == Status::kOk ? response->status : status, 0);
+        },
+        costs_->rpc_timeout_ns);
+  };
+  RunWithRetries(table, std::move(go), std::move(done), kMaxAttempts);
+}
+
+void RamCloudClient::MultiGet(TableId table, std::vector<std::string> keys, DoneCallback done) {
+  auto go = [this, table, keys = std::move(keys)](std::function<void(Status, Tick)> report) {
+    // Group keys by owning server (the cluster-load effect Figure 3
+    // measures: spread N means N parallel RPCs for the same 7 keys).
+    std::map<NodeId, std::unique_ptr<MultiGetRequest>> groups;
+    for (const auto& key : keys) {
+      const KeyHash hash = HashKey(key);
+      NodeId owner;
+      if (!CachedOwner(table, hash, &owner)) {
+        report(Status::kWrongServer, 0);
+        return;
+      }
+      auto& request = groups[owner];
+      if (request == nullptr) {
+        request = std::make_unique<MultiGetRequest>();
+        request->table = table;
+      }
+      request->keys.push_back(key);
+      request->hashes.push_back(hash);
+    }
+    struct Aggregate {
+      size_t remaining = 0;
+      Status worst = Status::kOk;
+      Tick hint = 0;
+      std::function<void(Status, Tick)> report;
+    };
+    auto aggregate = std::make_shared<Aggregate>();
+    aggregate->remaining = groups.size();
+    aggregate->report = report;
+    for (auto& [owner, request] : groups) {
+      coordinator_->rpc().Call(
+          node(), owner, std::move(request),
+          [aggregate](Status status, std::unique_ptr<RpcResponse> response) {
+            Status effective = status;
+            Tick hint = 0;
+            if (status == Status::kOk) {
+              auto& multi = static_cast<MultiGetResponse&>(*response);
+              effective = multi.status;
+              hint = multi.retry_after;
+            }
+            if (effective != Status::kOk && aggregate->worst == Status::kOk) {
+              aggregate->worst = effective;
+            }
+            aggregate->hint = std::max(aggregate->hint, hint);
+            if (--aggregate->remaining == 0) {
+              aggregate->report(aggregate->worst, aggregate->hint);
+            }
+          },
+          costs_->rpc_timeout_ns);
+    }
+  };
+  RunWithRetries(table, std::move(go), std::move(done), kMaxAttempts);
+}
+
+void RamCloudClient::IndexScan(TableId table, uint8_t index_id, std::string start_key,
+                               uint32_t count, DoneCallback done) {
+  auto go = [this, table, index_id, start_key = std::move(start_key),
+             count](std::function<void(Status, Tick)> report) {
+    const auto* config = coordinator_->GetIndexConfig(table, index_id);
+    if (config == nullptr) {
+      report(Status::kTableNotFound, 0);
+      return;
+    }
+    NodeId indexlet_node = 0;
+    bool found = false;
+    for (const auto& indexlet : *config) {
+      if (start_key >= indexlet.start_key &&
+          (indexlet.end_key.empty() || start_key < indexlet.end_key)) {
+        indexlet_node = indexlet.owner_node;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      report(Status::kTableNotFound, 0);
+      return;
+    }
+    auto lookup = std::make_unique<IndexLookupRequest>();
+    lookup->table = table;
+    lookup->index_id = index_id;
+    lookup->start_key = start_key;
+    lookup->count = count;
+    coordinator_->rpc().Call(
+        node(), indexlet_node, std::move(lookup),
+        [this, table, report](Status status, std::unique_ptr<RpcResponse> response) {
+          if (status != Status::kOk) {
+            report(status, 0);
+            return;
+          }
+          auto& lookup_response = static_cast<IndexLookupResponse&>(*response);
+          if (lookup_response.status != Status::kOk) {
+            report(lookup_response.status, 0);
+            return;
+          }
+          if (lookup_response.hashes.empty()) {
+            report(Status::kOk, 0);
+            return;
+          }
+          // Phase 2: fetch the records by hash, grouped per backing tablet
+          // owner (index holds hashes, not records — Figure 2).
+          std::map<NodeId, std::unique_ptr<MultiGetHashRequest>> groups;
+          for (const KeyHash hash : lookup_response.hashes) {
+            NodeId owner;
+            if (!CachedOwner(table, hash, &owner)) {
+              report(Status::kWrongServer, 0);
+              return;
+            }
+            auto& request = groups[owner];
+            if (request == nullptr) {
+              request = std::make_unique<MultiGetHashRequest>();
+              request->table = table;
+            }
+            request->hashes.push_back(hash);
+          }
+          struct Aggregate {
+            size_t remaining = 0;
+            Status worst = Status::kOk;
+            Tick hint = 0;
+            std::function<void(Status, Tick)> report;
+          };
+          auto aggregate = std::make_shared<Aggregate>();
+          aggregate->remaining = groups.size();
+          aggregate->report = report;
+          for (auto& [owner, request] : groups) {
+            coordinator_->rpc().Call(
+                node(), owner, std::move(request),
+                [aggregate](Status status, std::unique_ptr<RpcResponse> response) {
+                  Status effective = status;
+                  Tick hint = 0;
+                  if (status == Status::kOk) {
+                    auto& multi = static_cast<MultiGetHashResponse&>(*response);
+                    effective = multi.status;
+                    hint = multi.retry_after;
+                  }
+                  if (effective != Status::kOk && aggregate->worst == Status::kOk) {
+                    aggregate->worst = effective;
+                  }
+                  aggregate->hint = std::max(aggregate->hint, hint);
+                  if (--aggregate->remaining == 0) {
+                    aggregate->report(aggregate->worst, aggregate->hint);
+                  }
+                },
+                costs_->rpc_timeout_ns);
+          }
+        },
+        costs_->rpc_timeout_ns);
+  };
+  RunWithRetries(table, std::move(go), std::move(done), kMaxAttempts);
+}
+
+}  // namespace rocksteady

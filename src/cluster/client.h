@@ -1,0 +1,85 @@
+// Client-side library (the RAMCloud client facade).
+//
+// Caches the tablet map; on kWrongServer it refreshes from the coordinator
+// and retries (the paper's "client re-fetches the tablet mapping"); on
+// kRetryLater it retries after the target's hint plus random backoff (§3:
+// "retry the operation after randomly waiting a few tens of microseconds").
+// Client machines' CPUs are not modeled (the paper never bottlenecks them),
+// so the client endpoint has no CoreSet.
+#ifndef ROCKSTEADY_SRC_CLUSTER_CLIENT_H_
+#define ROCKSTEADY_SRC_CLUSTER_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/coordinator.h"
+#include "src/common/hash.h"
+#include "src/rpc/rpc_system.h"
+
+namespace rocksteady {
+
+class RamCloudClient {
+ public:
+  using DoneCallback = std::function<void(Status)>;
+  using ReadCallback = std::function<void(Status, const std::string& value)>;
+
+  RamCloudClient(Coordinator* coordinator, const CostModel* costs);
+
+  RamCloudClient(const RamCloudClient&) = delete;
+  RamCloudClient& operator=(const RamCloudClient&) = delete;
+
+  NodeId node() const { return endpoint_->node(); }
+  Coordinator& coordinator() const { return *coordinator_; }
+
+  void Read(TableId table, std::string key, ReadCallback done);
+  void Write(TableId table, std::string key, std::string value, DoneCallback done,
+             std::string secondary_key = {});
+  void Remove(TableId table, std::string key, DoneCallback done);
+
+  // Fetches all keys; they may live on several servers — one kMultiGet RPC
+  // per involved server, issued in parallel (Figure 3's "Spread").
+  void MultiGet(TableId table, std::vector<std::string> keys, DoneCallback done);
+
+  // Secondary-index short scan (Figure 4): one kIndexLookup to the indexlet
+  // owner, then kMultiGetHash RPCs to the backing tablet owners.
+  void IndexScan(TableId table, uint8_t index_id, std::string start_key, uint32_t count,
+                 DoneCallback done);
+
+  // --- Statistics. ---
+  uint64_t wrong_server_retries() const { return wrong_server_retries_; }
+  uint64_t retry_later_retries() const { return retry_later_retries_; }
+  // Retries caused by RPC timeouts (apparent server death).
+  uint64_t server_down_retries() const { return server_down_retries_; }
+  uint64_t ops_completed() const { return ops_completed_; }
+  uint64_t ops_failed() const { return ops_failed_; }
+
+  // Ops that exhaust this many attempts fail with kServerDown (prevents
+  // infinite retry loops if the cluster is wedged).
+  static constexpr int kMaxAttempts = 1000;
+
+ private:
+  // Looks up the cached owner node for (table, hash); invalid NodeId if the
+  // cache has no covering entry.
+  bool CachedOwner(TableId table, KeyHash hash, NodeId* node) const;
+  void RefreshConfig(TableId table, std::function<void()> then);
+  // Retry-with-policy wrapper: runs `attempt`, which reports the op's status
+  // and (for kRetryLater) a time hint; the wrapper refreshes/backs off.
+  void RunWithRetries(TableId table, std::function<void(std::function<void(Status, Tick)>)> go,
+                      DoneCallback done, int attempts_left);
+
+  Coordinator* coordinator_;
+  const CostModel* costs_;
+  RpcEndpoint* endpoint_;
+  std::vector<TabletConfigEntry> cache_;
+  uint64_t wrong_server_retries_ = 0;
+  uint64_t retry_later_retries_ = 0;
+  uint64_t server_down_retries_ = 0;
+  uint64_t ops_completed_ = 0;
+  uint64_t ops_failed_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_CLUSTER_CLIENT_H_

@@ -1,0 +1,76 @@
+#include "src/cluster/cluster.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace rocksteady {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), sim_(config.seed), net_(&sim_, &config_.costs),
+      rpc_(&sim_, &net_, &config_.costs) {
+  coordinator_ = std::make_unique<Coordinator>(&sim_, &rpc_, &config_.costs);
+  for (int i = 0; i < config_.num_masters; i++) {
+    masters_.push_back(
+        std::make_unique<MasterServer>(coordinator_.get(), &config_.costs, config_.master));
+  }
+  // Backup placement: master i replicates to the next R servers (mod N),
+  // never itself. With fewer than R+1 servers, replication degrades to the
+  // servers available (single-master unit tests run unreplicated).
+  for (int i = 0; i < config_.num_masters; i++) {
+    std::vector<NodeId> backups;
+    for (int r = 1; r <= config_.master.replication_factor && r < config_.num_masters; r++) {
+      backups.push_back(masters_[(i + r) % config_.num_masters]->node());
+    }
+    masters_[i]->replicas().SetBackups(std::move(backups));
+  }
+  for (int i = 0; i < config_.num_clients; i++) {
+    clients_.push_back(std::make_unique<RamCloudClient>(coordinator_.get(), &config_.costs));
+  }
+}
+
+void Cluster::CreateTable(TableId table, size_t master_index) {
+  coordinator_->CreateTable(table, masters_.at(master_index)->id());
+}
+
+std::string Cluster::MakeKey(uint64_t id, size_t key_length) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "user%0*llu",
+                static_cast<int>(key_length > 4 ? key_length - 4 : 1),
+                static_cast<unsigned long long>(id));
+  std::string key(buffer);
+  key.resize(key_length, '0');
+  return key;
+}
+
+void Cluster::LoadTable(TableId table, uint64_t num_records, size_t key_length,
+                        size_t value_length) {
+  const std::string value(value_length, 'v');
+  for (uint64_t i = 0; i < num_records; i++) {
+    const std::string key = MakeKey(i, key_length);
+    const KeyHash hash = HashKey(key);
+    const ServerId owner = coordinator_->OwnerOf(table, hash);
+    assert(owner != kInvalidServerId);
+    coordinator_->master(owner)->objects().Write(table, key, hash, value);
+  }
+  for (size_t i = 0; i < masters_.size(); i++) {
+    SeedReplicas(i);
+  }
+}
+
+void Cluster::SeedReplicas(size_t master_index) {
+  MasterServer& owner = *masters_.at(master_index);
+  for (const NodeId backup_node : owner.replicas().backups()) {
+    // Find the backup server by node id.
+    for (const auto& server : masters_) {
+      if (server->node() == backup_node) {
+        for (const auto& segment : owner.objects().log().segments()) {
+          server->backup().Write(owner.id(), segment->id(), 0, segment->data(), segment->used(),
+                                 segment->sealed());
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rocksteady

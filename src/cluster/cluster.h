@@ -1,0 +1,76 @@
+// Cluster: wires a full simulated RAMCloud deployment in one Simulator —
+// coordinator, N storage servers (master + backup + cores + NIC), and M
+// client machines — mirroring the paper's CloudLab testbed (Table 1).
+//
+// Control-plane setup (table creation, bulk loading) happens outside
+// simulated time, like a cluster that was loaded before the experiment
+// began; bulk-loaded data is seeded to backups so recovery works.
+#ifndef ROCKSTEADY_SRC_CLUSTER_CLUSTER_H_
+#define ROCKSTEADY_SRC_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/client.h"
+#include "src/cluster/coordinator.h"
+#include "src/cluster/master_server.h"
+
+namespace rocksteady {
+
+struct ClusterConfig {
+  int num_masters = 4;
+  int num_clients = 2;
+  MasterConfig master;
+  CostModel costs;
+  uint64_t seed = 42;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  RpcSystem& rpc() { return rpc_; }
+  Coordinator& coordinator() { return *coordinator_; }
+  const CostModel& costs() const { return config_.costs; }
+  const ClusterConfig& config() const { return config_; }
+
+  MasterServer& master(size_t i) { return *masters_.at(i); }
+  RamCloudClient& client(size_t i) { return *clients_.at(i); }
+  size_t num_masters() const { return masters_.size(); }
+  size_t num_clients() const { return clients_.size(); }
+
+  // --- Setup helpers (zero simulated time). ---
+  void CreateTable(TableId table, size_t master_index);
+
+  // Loads `num_records` objects keyed MakeKey(i, key_length) with
+  // `value_length`-byte values into whichever masters own them, then seeds
+  // the backups with the resulting segments (as if the loads had been
+  // durable writes).
+  void LoadTable(TableId table, uint64_t num_records, size_t key_length, size_t value_length);
+
+  // Copies every main-log segment of master `i` to its backups (used after
+  // direct bulk loads).
+  void SeedReplicas(size_t master_index);
+
+  // Deterministic fixed-length keys ("user" + zero-padded id).
+  static std::string MakeKey(uint64_t id, size_t key_length);
+
+ private:
+  ClusterConfig config_;
+  Simulator sim_;
+  Network net_;
+  RpcSystem rpc_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<MasterServer>> masters_;
+  std::vector<std::unique_ptr<RamCloudClient>> clients_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_CLUSTER_CLUSTER_H_

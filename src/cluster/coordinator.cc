@@ -1,0 +1,197 @@
+#include "src/cluster/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/cluster/master_server.h"
+#include "src/cluster/recovery.h"
+#include "src/common/logging.h"
+
+namespace rocksteady {
+
+Coordinator::Coordinator(Simulator* sim, RpcSystem* rpc, const CostModel* costs)
+    : sim_(sim), rpc_(rpc), costs_(costs) {
+  // The coordinator is off the data path; a small CoreSet keeps its RPC
+  // handling timed without modeling a full server.
+  cores_ = std::make_unique<CoreSet>(sim_, 2);
+  endpoint_ = rpc_->CreateEndpoint(cores_.get());
+  endpoint_->Register(Opcode::kGetTableConfig,
+                      [this](RpcContext c) { HandleGetTableConfig(std::move(c)); });
+  endpoint_->Register(Opcode::kRegisterDependency,
+                      [this](RpcContext c) { HandleRegisterDependency(std::move(c)); });
+  endpoint_->Register(Opcode::kDropDependency,
+                      [this](RpcContext c) { HandleDropDependency(std::move(c)); });
+  endpoint_->Register(Opcode::kUpdateOwnership, [this](RpcContext c) {
+    auto& request = c.As<UpdateOwnershipRequest>();
+    auto response = std::make_unique<StatusResponse>();
+    response->status = UpdateOwnership(request.table, request.start_hash, request.end_hash,
+                                       request.new_owner);
+    c.reply(std::move(response));
+  });
+  recovery_ = std::make_unique<RecoveryManager>(this);
+}
+
+Coordinator::~Coordinator() = default;
+
+ServerId Coordinator::RegisterMaster(MasterServer* master) {
+  masters_.push_back(master);
+  return static_cast<ServerId>(masters_.size());
+}
+
+MasterServer* Coordinator::master(ServerId id) const {
+  assert(id >= 1 && id <= masters_.size());
+  return masters_[id - 1];
+}
+
+NodeId Coordinator::NodeOf(ServerId id) const { return master(id)->node(); }
+
+std::vector<ServerId> Coordinator::AliveServers(ServerId except) const {
+  std::vector<ServerId> alive;
+  for (size_t i = 0; i < masters_.size(); i++) {
+    const ServerId id = static_cast<ServerId>(i + 1);
+    if (id != except && !masters_[i]->crashed()) {
+      alive.push_back(id);
+    }
+  }
+  return alive;
+}
+
+void Coordinator::CreateTable(TableId table, ServerId owner) {
+  tablet_map_.push_back(OwnedTablet{table, 0, ~0ull, owner});
+  master(owner)->objects().tablets().Add(Tablet{table, 0, ~0ull, TabletState::kNormal});
+}
+
+Status Coordinator::SplitTablet(TableId table, KeyHash split_hash) {
+  for (auto& tablet : tablet_map_) {
+    if (tablet.table == table && tablet.start_hash <= split_hash &&
+        split_hash <= tablet.end_hash) {
+      if (tablet.start_hash == split_hash) {
+        return Status::kOk;
+      }
+      OwnedTablet upper = tablet;
+      upper.start_hash = split_hash;
+      tablet.end_hash = split_hash - 1;
+      tablet_map_.push_back(upper);
+      // Mirror the split on the owning master (metadata only — this is the
+      // whole point of lazy partitioning, §1).
+      return master(upper.owner)->objects().tablets().Split(table, split_hash);
+    }
+  }
+  return Status::kTableNotFound;
+}
+
+Status Coordinator::UpdateOwnership(TableId table, KeyHash start_hash, KeyHash end_hash,
+                                    ServerId new_owner) {
+  for (auto& tablet : tablet_map_) {
+    if (tablet.table == table && tablet.start_hash == start_hash &&
+        tablet.end_hash == end_hash) {
+      tablet.owner = new_owner;
+      return Status::kOk;
+    }
+  }
+  return Status::kTableNotFound;
+}
+
+std::vector<TabletConfigEntry> Coordinator::GetTableConfig(TableId table) const {
+  std::vector<TabletConfigEntry> entries;
+  for (const auto& tablet : tablet_map_) {
+    if (tablet.table == table) {
+      entries.push_back(TabletConfigEntry{tablet.table, tablet.start_hash, tablet.end_hash,
+                                          tablet.owner, NodeOf(tablet.owner)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.start_hash < b.start_hash; });
+  return entries;
+}
+
+ServerId Coordinator::OwnerOf(TableId table, KeyHash hash) const {
+  for (const auto& tablet : tablet_map_) {
+    if (tablet.table == table && tablet.start_hash <= hash && hash <= tablet.end_hash) {
+      return tablet.owner;
+    }
+  }
+  return kInvalidServerId;
+}
+
+void Coordinator::CreateIndex(TableId table, uint8_t index_id,
+                              const std::vector<IndexletConfig>& indexlets) {
+  std::vector<IndexletConfig> resolved = indexlets;
+  for (auto& indexlet : resolved) {
+    indexlet.owner_node = NodeOf(indexlet.owner);
+    master(indexlet.owner)->AddIndexlet(table, index_id, indexlet.start_key, indexlet.end_key);
+  }
+  indexes_.emplace_back(table, index_id, std::move(resolved));
+}
+
+const std::vector<IndexletConfig>* Coordinator::GetIndexConfig(TableId table,
+                                                               uint8_t index_id) const {
+  for (const auto& [t, id, config] : indexes_) {
+    if (t == table && id == index_id) {
+      return &config;
+    }
+  }
+  return nullptr;
+}
+
+void Coordinator::RegisterDependency(const MigrationDependency& dependency) {
+  dependencies_.push_back(dependency);
+  LOG_INFO("coordinator: dependency registered source=%u target=%u table=%llu seg=%u off=%u",
+           dependency.source, dependency.target,
+           static_cast<unsigned long long>(dependency.table), dependency.target_log_segment,
+           dependency.target_log_offset);
+}
+
+void Coordinator::DropDependency(ServerId source, ServerId target, TableId table) {
+  std::erase_if(dependencies_, [&](const MigrationDependency& d) {
+    return d.source == source && d.target == target && d.table == table;
+  });
+}
+
+std::optional<MigrationDependency> Coordinator::FindDependencyBySource(ServerId source) const {
+  for (const auto& dependency : dependencies_) {
+    if (dependency.source == source) {
+      return dependency;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MigrationDependency> Coordinator::FindDependencyByTarget(ServerId target) const {
+  for (const auto& dependency : dependencies_) {
+    if (dependency.target == target) {
+      return dependency;
+    }
+  }
+  return std::nullopt;
+}
+
+void Coordinator::HandleCrash(ServerId crashed, std::function<void()> done) {
+  recovery_->RecoverServer(crashed, std::move(done));
+}
+
+void Coordinator::HandleGetTableConfig(RpcContext context) {
+  auto& request = context.As<GetTableConfigRequest>();
+  auto response = std::make_unique<GetTableConfigResponse>();
+  response->tablets = GetTableConfig(request.table);
+  if (response->tablets.empty()) {
+    response->status = Status::kTableNotFound;
+  }
+  context.reply(std::move(response));
+}
+
+void Coordinator::HandleRegisterDependency(RpcContext context) {
+  auto& request = context.As<RegisterDependencyRequest>();
+  RegisterDependency(MigrationDependency{request.source, request.target, request.table,
+                                         request.start_hash, request.end_hash,
+                                         request.target_log_segment, request.target_log_offset});
+  context.reply(std::make_unique<StatusResponse>());
+}
+
+void Coordinator::HandleDropDependency(RpcContext context) {
+  auto& request = context.As<DropDependencyRequest>();
+  DropDependency(request.source, request.target, request.table);
+  context.reply(std::make_unique<StatusResponse>());
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,136 @@
+// The cluster coordinator.
+//
+// §2: "Each cluster has one quorum-replicated coordinator that manages
+// cluster membership and table-partition-to-master mappings." It also holds
+// Rocksteady's lineage dependencies (§3.4): while a migration is in flight,
+// the source's recovery depends on the tail of the target's recovery log.
+// The coordinator owns crash recovery orchestration (delegated to
+// RecoveryManager).
+//
+// Control-plane operations (table creation, server registration) are direct
+// method calls; data-plane-relevant operations that the paper charges RPCs
+// for (client tablet-map refresh, dependency register/drop) are RPCs.
+#ifndef ROCKSTEADY_SRC_CLUSTER_COORDINATOR_H_
+#define ROCKSTEADY_SRC_CLUSTER_COORDINATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/rpc/rpc_system.h"
+#include "src/store/tablet.h"
+
+namespace rocksteady {
+
+class MasterServer;
+class RecoveryManager;
+
+// One registered lineage dependency (§3.4).
+struct MigrationDependency {
+  ServerId source = 0;
+  ServerId target = 0;
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+  // Position in the *target's* log where the dependency starts: everything
+  // the target logged from here on must reach the source's recovery.
+  uint32_t target_log_segment = 0;
+  uint32_t target_log_offset = 0;
+};
+
+// Indexlet placement for one secondary index.
+struct IndexletConfig {
+  std::string start_key;
+  std::string end_key;  // Empty = to +infinity.
+  ServerId owner = 0;
+  NodeId owner_node = 0;
+};
+
+class Coordinator {
+ public:
+  Coordinator(Simulator* sim, RpcSystem* rpc, const CostModel* costs);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  NodeId node() const { return endpoint_->node(); }
+  Simulator& sim() { return *sim_; }
+  RpcSystem& rpc() { return *rpc_; }
+
+  // --- Server directory. ---
+  ServerId RegisterMaster(MasterServer* master);
+  MasterServer* master(ServerId id) const;
+  NodeId NodeOf(ServerId id) const;
+  const std::vector<MasterServer*>& masters() const { return masters_; }
+  // Alive servers other than `except` (backup placement, recovery sources).
+  std::vector<ServerId> AliveServers(ServerId except = kInvalidServerId) const;
+
+  // --- Tablet map. ---
+  // Creates `table` spanning the whole hash space on `owner` (also installs
+  // the tablet on the owning master).
+  void CreateTable(TableId table, ServerId owner);
+  // Metadata-only split at `split_hash` (coordinator map + owning master).
+  Status SplitTablet(TableId table, KeyHash split_hash);
+  // Repoints ownership of an existing tablet range.
+  Status UpdateOwnership(TableId table, KeyHash start_hash, KeyHash end_hash,
+                         ServerId new_owner);
+  std::vector<TabletConfigEntry> GetTableConfig(TableId table) const;
+  ServerId OwnerOf(TableId table, KeyHash hash) const;
+
+  struct OwnedTablet {
+    TableId table = 0;
+    KeyHash start_hash = 0;
+    KeyHash end_hash = 0;
+    ServerId owner = 0;
+  };
+  const std::vector<OwnedTablet>& GetAllTablets() const { return tablet_map_; }
+
+  // --- Secondary indexes. ---
+  // Declares an index partitioned at the given split keys and installs the
+  // indexlets on their owners.
+  void CreateIndex(TableId table, uint8_t index_id,
+                   const std::vector<IndexletConfig>& indexlets);
+  const std::vector<IndexletConfig>* GetIndexConfig(TableId table, uint8_t index_id) const;
+
+  // --- Lineage dependencies (§3.4). ---
+  void RegisterDependency(const MigrationDependency& dependency);
+  void DropDependency(ServerId source, ServerId target, TableId table);
+  std::optional<MigrationDependency> FindDependencyBySource(ServerId source) const;
+  std::optional<MigrationDependency> FindDependencyByTarget(ServerId target) const;
+  const std::vector<MigrationDependency>& dependencies() const { return dependencies_; }
+
+  // --- Crash handling. ---
+  // Orchestrates recovery of `crashed` (already halted + off the network):
+  // resolves lineage, re-homes tablets, replays backup data. `done` fires
+  // when ownership is consistent again.
+  void HandleCrash(ServerId crashed, std::function<void()> done);
+
+  // Hook installed by the migration library: called on the target master
+  // when its inbound migration must abort (source crashed). Takes (target
+  // master, table).
+  std::function<void(MasterServer*, TableId)> abort_inbound_migration;
+
+ private:
+  void HandleGetTableConfig(RpcContext context);
+  void HandleRegisterDependency(RpcContext context);
+  void HandleDropDependency(RpcContext context);
+
+  Simulator* sim_;
+  RpcSystem* rpc_;
+  const CostModel* costs_;
+  std::unique_ptr<CoreSet> cores_;
+  RpcEndpoint* endpoint_;
+  std::vector<MasterServer*> masters_;  // Index = ServerId - 1.
+  std::vector<OwnedTablet> tablet_map_;
+  std::vector<MigrationDependency> dependencies_;
+  // (table, index_id) -> indexlet layout.
+  std::vector<std::tuple<TableId, uint8_t, std::vector<IndexletConfig>>> indexes_;
+  std::unique_ptr<RecoveryManager> recovery_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_CLUSTER_COORDINATOR_H_

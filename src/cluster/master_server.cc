@@ -1,0 +1,389 @@
+#include "src/cluster/master_server.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace rocksteady {
+
+MasterServer::MasterServer(Coordinator* coordinator, const CostModel* costs,
+                           const MasterConfig& config)
+    : coordinator_(coordinator),
+      costs_(costs),
+      config_(config),
+      objects_(ObjectManagerOptions{config.hash_table_log2_buckets, config.segment_size}) {
+  cores_ = std::make_unique<CoreSet>(&coordinator_->sim(), config.num_workers);
+  endpoint_ = coordinator_->rpc().CreateEndpoint(cores_.get());
+  id_ = coordinator_->RegisterMaster(this);
+  replicas_ = std::make_unique<ReplicaManager>(&coordinator_->rpc(), id_, endpoint_->node());
+  RegisterHandlers();
+}
+
+void MasterServer::RegisterHandlers() {
+  endpoint_->Register(Opcode::kRead, [this](RpcContext c) { HandleRead(std::move(c)); });
+  endpoint_->Register(Opcode::kWrite, [this](RpcContext c) { HandleWrite(std::move(c)); });
+  endpoint_->Register(Opcode::kRemove, [this](RpcContext c) { HandleRemove(std::move(c)); });
+  endpoint_->Register(Opcode::kMultiGet, [this](RpcContext c) { HandleMultiGet(std::move(c)); });
+  endpoint_->Register(Opcode::kMultiGetHash,
+                      [this](RpcContext c) { HandleMultiGetHash(std::move(c)); });
+  endpoint_->Register(Opcode::kIndexLookup,
+                      [this](RpcContext c) { HandleIndexLookup(std::move(c)); });
+  endpoint_->Register(Opcode::kIndexInsert,
+                      [this](RpcContext c) { HandleIndexInsert(std::move(c)); });
+  endpoint_->Register(Opcode::kBackupWrite,
+                      [this](RpcContext c) { HandleBackupWrite(std::move(c)); });
+  endpoint_->Register(Opcode::kGetRecoveryData,
+                      [this](RpcContext c) { HandleGetRecoveryData(std::move(c)); });
+}
+
+Status MasterServer::CheckReadable(TableId table, KeyHash hash, Tick* retry_after) {
+  const Tablet* tablet = objects_.tablets().Find(table, hash);
+  if (tablet == nullptr || tablet->state == TabletState::kMigrationSource) {
+    // Not owned here (anymore): the client must refresh its tablet map.
+    return Status::kWrongServer;
+  }
+  if (tablet->state == TabletState::kRecovering) {
+    *retry_after = sim().now() + costs_->recovering_retry_hint_ns;
+    return Status::kRetryLater;
+  }
+  if (tablet->state == TabletState::kMigrationTarget &&
+      !objects_.hash_table().Lookup(hash).valid()) {
+    if (migration_hooks_ == nullptr) {
+      return Status::kObjectNotFound;
+    }
+    if (migration_hooks_->IsKnownAbsent(table, hash)) {
+      return Status::kObjectNotFound;
+    }
+    *retry_after = migration_hooks_->OnMissingRecord(table, hash);
+    return Status::kRetryLater;
+  }
+  return Status::kOk;
+}
+
+void MasterServer::HandleRead(RpcContext context) {
+  auto& request = context.As<ReadRequest>();
+
+  // Synchronous-PriorityPull mode (§4.4 comparison): the hook takes over
+  // reads of not-yet-arrived records and holds a worker while it fetches.
+  if (migration_hooks_ != nullptr) {
+    const Tablet* tablet = objects_.tablets().Find(request.table, request.hash);
+    if (tablet != nullptr && tablet->state == TabletState::kMigrationTarget &&
+        !objects_.hash_table().Lookup(request.hash).valid() &&
+        !migration_hooks_->IsKnownAbsent(request.table, request.hash) &&
+        migration_hooks_->ServiceReadSynchronously(request.table, request.hash, &context)) {
+      return;  // The hook owns the reply.
+    }
+  }
+
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<ReadResponse>();
+  cores_->EnqueueWorker(
+      {Priority::kClient,
+       [this, shared, response] {
+         auto& req = shared->As<ReadRequest>();
+         Tick retry_after = 0;
+         response->status = CheckReadable(req.table, req.hash, &retry_after);
+         response->retry_after = retry_after;
+         size_t bytes = 0;
+         if (response->status == Status::kOk) {
+           auto read = objects_.Read(req.table, req.key, req.hash);
+           if (read.ok()) {
+             response->value.assign(read->value);
+             response->version = read->version;
+             bytes = read->value.size();
+             reads_served_++;
+           } else {
+             response->status = read.status();
+           }
+         }
+         return costs_->ReadCost(bytes);
+       },
+       [shared, response] { shared->reply(std::make_unique<ReadResponse>(*response)); }});
+}
+
+void MasterServer::HandleWrite(RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<WriteResponse>();
+  auto ref = std::make_shared<LogRef>();
+  cores_->EnqueueWorker(
+      {Priority::kClient,
+       [this, shared, response, ref] {
+         auto& req = shared->As<WriteRequest>();
+         const Tablet* tablet = objects_.tablets().Find(req.table, req.hash);
+         if (tablet == nullptr || tablet->state == TabletState::kMigrationSource) {
+           response->status = Status::kWrongServer;
+           return Tick{200};
+         }
+         auto version = objects_.Write(req.table, req.key, req.hash, req.value, ref.get());
+         if (!version.ok()) {
+           response->status = version.status();
+           return Tick{500};
+         }
+         response->version = *version;
+         writes_served_++;
+         size_t entry_length = 0;
+         const uint8_t* entry_data = nullptr;
+         objects_.log().RawEntry(*ref, &entry_data, &entry_length);
+         // Worker cost covers the append plus posting replication RPCs.
+         return costs_->WriteCost(req.value.size()) + costs_->ReplicationSrcCost(entry_length);
+       },
+       [this, shared, response, ref] {
+         auto& req = shared->As<WriteRequest>();
+         if (response->status != Status::kOk) {
+           shared->reply(std::make_unique<WriteResponse>(*response));
+           return;
+         }
+         // Secondary-index maintenance: fire-and-forget to the indexlet
+         // owner (population-time path; Figure 4's hot path is reads).
+         if (!req.secondary_key.empty()) {
+           const auto* config = coordinator_->GetIndexConfig(req.table, 1);
+           if (config != nullptr) {
+             for (const auto& indexlet : *config) {
+               if (req.secondary_key >= indexlet.start_key &&
+                   (indexlet.end_key.empty() || req.secondary_key < indexlet.end_key)) {
+                 auto insert = std::make_unique<IndexInsertRequest>();
+                 insert->table = req.table;
+                 insert->index_id = 1;
+                 insert->secondary_key = req.secondary_key;
+                 insert->primary_hash = req.hash;
+                 rpc().Call(node(), indexlet.owner_node, std::move(insert),
+                            [](Status, std::unique_ptr<RpcResponse>) {});
+                 break;
+               }
+             }
+           }
+         }
+         // Durable write: ack only after replication (§2: ~15 us writes).
+         ReplicateEntry(*ref, [shared, response](Status status) {
+           response->status = status;
+           shared->reply(std::make_unique<WriteResponse>(*response));
+         });
+       }});
+}
+
+void MasterServer::ReplicateEntry(LogRef ref, std::function<void(Status)> done) {
+  const uint8_t* data = nullptr;
+  size_t length = 0;
+  if (!objects_.log().RawEntry(ref, &data, &length)) {
+    done(Status::kCorruptData);
+    return;
+  }
+  replicas_->Replicate(ref.segment_id(), ref.offset(), data, length, std::move(done));
+}
+
+void MasterServer::HandleRemove(RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<RemoveResponse>();
+  auto ref = std::make_shared<LogRef>();
+  cores_->EnqueueWorker(
+      {Priority::kClient,
+       [this, shared, response, ref] {
+         auto& req = shared->As<RemoveRequest>();
+         const Tablet* tablet = objects_.tablets().Find(req.table, req.hash);
+         if (tablet == nullptr || tablet->state == TabletState::kMigrationSource) {
+           response->status = Status::kWrongServer;
+           return Tick{200};
+         }
+         // On a migration target, deletes of not-yet-arrived records still
+         // write a (referenced) tombstone so late-arriving older copies
+         // cannot resurrect the key.
+         const bool tombstone_if_missing = tablet->state == TabletState::kMigrationTarget;
+         auto version =
+             objects_.Remove(req.table, req.key, req.hash, ref.get(), tombstone_if_missing);
+         if (!version.ok()) {
+           response->status = version.status();
+         } else {
+           response->version = *version;
+         }
+         return costs_->WriteCost(0);
+       },
+       [this, shared, response, ref] {
+         if (response->status != Status::kOk) {
+           shared->reply(std::make_unique<RemoveResponse>(*response));
+           return;
+         }
+         // The tombstone must be durable before the delete is acked, or
+         // recovery would resurrect the object from the backups.
+         ReplicateEntry(*ref, [shared, response](Status status) {
+           response->status = status;
+           shared->reply(std::make_unique<RemoveResponse>(*response));
+         });
+       }});
+}
+
+void MasterServer::HandleMultiGet(RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<MultiGetResponse>();
+  cores_->EnqueueWorker(
+      {Priority::kClient,
+       [this, shared, response] {
+         auto& req = shared->As<MultiGetRequest>();
+         size_t bytes = 0;
+         for (size_t i = 0; i < req.keys.size(); i++) {
+           Tick retry_after = 0;
+           Status status = CheckReadable(req.table, req.hashes[i], &retry_after);
+           std::string value;
+           if (status == Status::kOk) {
+             auto read = objects_.Read(req.table, req.keys[i], req.hashes[i]);
+             if (read.ok()) {
+               value.assign(read->value);
+               bytes += value.size();
+               reads_served_++;
+             } else {
+               status = read.status();
+             }
+           } else if (status == Status::kRetryLater) {
+             response->retry_after = std::max(response->retry_after, retry_after);
+           }
+           response->statuses.push_back(status);
+           response->values.push_back(std::move(value));
+           if (status != Status::kOk && response->status == Status::kOk) {
+             response->status = status;
+           }
+         }
+         const size_t n = req.keys.size();
+         return costs_->ReadCost(bytes) +
+                costs_->multiget_per_key_ns * static_cast<Tick>(n > 0 ? n - 1 : 0);
+       },
+       [shared, response] { shared->reply(std::make_unique<MultiGetResponse>(*response)); }});
+}
+
+void MasterServer::HandleMultiGetHash(RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<MultiGetHashResponse>();
+  cores_->EnqueueWorker(
+      {Priority::kClient,
+       [this, shared, response] {
+         auto& req = shared->As<MultiGetHashRequest>();
+         size_t bytes = 0;
+         for (const KeyHash hash : req.hashes) {
+           Tick retry_after = 0;
+           Status status = CheckReadable(req.table, hash, &retry_after);
+           std::string value;
+           if (status == Status::kOk) {
+             auto read = objects_.ReadByHash(req.table, hash);
+             if (read.ok()) {
+               value.assign(read->value);
+               bytes += value.size();
+               reads_served_++;
+             } else {
+               status = read.status();
+             }
+           } else if (status == Status::kRetryLater) {
+             response->retry_after = std::max(response->retry_after, retry_after);
+           }
+           response->statuses.push_back(status);
+           response->values.push_back(std::move(value));
+           if (status != Status::kOk && response->status == Status::kOk) {
+             response->status = status;
+           }
+         }
+         const size_t n = req.hashes.size();
+         return costs_->ReadCost(bytes) +
+                costs_->multiget_per_key_ns * static_cast<Tick>(n > 0 ? n - 1 : 0);
+       },
+       [shared, response] {
+         shared->reply(std::make_unique<MultiGetHashResponse>(*response));
+       }});
+}
+
+Indexlet* MasterServer::AddIndexlet(TableId table, uint8_t index_id, std::string start_key,
+                                    std::string end_key) {
+  indexlets_.push_back(
+      std::make_unique<Indexlet>(table, index_id, std::move(start_key), std::move(end_key)));
+  return indexlets_.back().get();
+}
+
+Indexlet* MasterServer::FindIndexlet(TableId table, uint8_t index_id,
+                                     std::string_view secondary_key) {
+  for (const auto& indexlet : indexlets_) {
+    if (indexlet->table() == table && indexlet->index_id() == index_id &&
+        indexlet->ContainsKey(secondary_key)) {
+      return indexlet.get();
+    }
+  }
+  return nullptr;
+}
+
+void MasterServer::HandleIndexLookup(RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<IndexLookupResponse>();
+  cores_->EnqueueWorker(
+      {Priority::kClient,
+       [this, shared, response] {
+         auto& req = shared->As<IndexLookupRequest>();
+         Indexlet* indexlet = FindIndexlet(req.table, req.index_id, req.start_key);
+         if (indexlet == nullptr) {
+           response->status = Status::kWrongServer;
+           return Tick{300};
+         }
+         response->hashes = indexlet->Scan(req.start_key, req.count);
+         return costs_->index_lookup_ns +
+                costs_->index_per_result_ns * static_cast<Tick>(response->hashes.size());
+       },
+       [shared, response] { shared->reply(std::make_unique<IndexLookupResponse>(*response)); }});
+}
+
+void MasterServer::HandleIndexInsert(RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<StatusResponse>();
+  cores_->EnqueueWorker(
+      {Priority::kClient,
+       [this, shared, response] {
+         auto& req = shared->As<IndexInsertRequest>();
+         Indexlet* indexlet = FindIndexlet(req.table, req.index_id, req.secondary_key);
+         if (indexlet == nullptr) {
+           response->status = Status::kWrongServer;
+         } else {
+           indexlet->Insert(req.secondary_key, req.primary_hash);
+         }
+         return costs_->index_lookup_ns;
+       },
+       [shared, response] { shared->reply(std::make_unique<StatusResponse>(*response)); }});
+}
+
+void MasterServer::HandleBackupWrite(RpcContext context) {
+  const bool bulk = context.As<BackupWriteRequest>().bulk;
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  cores_->EnqueueWorker(
+      {bulk ? Priority::kMigration : Priority::kReplication,
+       [this, shared] {
+         auto& req = shared->As<BackupWriteRequest>();
+         backup_.Write(req.master, req.segment_id, req.offset, req.data.data(), req.data.size(),
+                       req.seal);
+         return costs_->BackupWriteCost(req.data.size());
+       },
+       [shared] { shared->reply(std::make_unique<StatusResponse>()); }});
+}
+
+void MasterServer::HandleGetRecoveryData(RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<GetRecoveryDataResponse>();
+  cores_->EnqueueWorker(
+      {Priority::kReplication,
+       [this, shared, response] {
+         auto& req = shared->As<GetRecoveryDataRequest>();
+         response->segments = backup_.GetRecoveryData(req.crashed_master, req.min_segment_id);
+         size_t bytes = 0;
+         for (const auto& segment : response->segments) {
+           bytes += segment.data.size();
+         }
+         return costs_->BackupWriteCost(bytes);
+       },
+       [shared, response] {
+         // The response is moved (not copied): recovery segments can be
+         // large.
+         auto out = std::make_unique<GetRecoveryDataResponse>();
+         out->status = response->status;
+         out->segments = std::move(response->segments);
+         shared->reply(std::move(out));
+       }});
+}
+
+void MasterServer::Crash() {
+  crashed_ = true;
+  cores_->Halt();
+  rpc().net()->SetNodeDown(node(), true);
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,144 @@
+// A RAMCloud storage server: master (data) + backup (replica storage) +
+// dispatch/worker cores + NIC, as in Figure 1.
+//
+// The master registers handlers for the normal-case data path (read, write,
+// remove, multiget, index ops) and the backup path. Migration handlers
+// (Pull, PriorityPull, MigrateTablet, ...) are installed by the migration
+// library (src/migration), which plugs into this class through
+// MigrationHooks — keeping the paper's contribution in its own module, just
+// as Rocksteady layers onto RAMCloud.
+#ifndef ROCKSTEADY_SRC_CLUSTER_MASTER_SERVER_H_
+#define ROCKSTEADY_SRC_CLUSTER_MASTER_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/backup_service.h"
+#include "src/cluster/coordinator.h"
+#include "src/cluster/replica_manager.h"
+#include "src/index/indexlet.h"
+#include "src/rpc/rpc_system.h"
+#include "src/store/object_manager.h"
+
+namespace rocksteady {
+
+struct MasterConfig {
+  // Table 1 / §4.1: "one core solely as a dispatch core ... 12 additional
+  // cores as workers".
+  int num_workers = 12;
+  int hash_table_log2_buckets = 20;
+  size_t segment_size = kDefaultSegmentSize;
+  int replication_factor = 3;
+};
+
+class MasterServer {
+ public:
+  // Installed by the migration library on migration targets; consulted by
+  // the read path when a tablet is in kMigrationTarget state.
+  class MigrationHooks {
+   public:
+    virtual ~MigrationHooks() = default;
+
+    // The record for (table, hash) has not arrived yet. The hook schedules
+    // it (batched PriorityPull, §3.3) and returns the absolute time at
+    // which the target expects to have it (the client's retry hint).
+    virtual Tick OnMissingRecord(TableId table, KeyHash hash) = 0;
+
+    // True if the source authoritatively reported the key absent.
+    virtual bool IsKnownAbsent(TableId table, KeyHash hash) = 0;
+
+    // True if this hook wants to service the read itself (synchronous
+    // PriorityPull mode, §4.4); the hook then owns the reply.
+    virtual bool ServiceReadSynchronously(TableId table, KeyHash hash, RpcContext* context) {
+      (void)table;
+      (void)hash;
+      (void)context;
+      return false;
+    }
+  };
+
+  MasterServer(Coordinator* coordinator, const CostModel* costs, const MasterConfig& config);
+
+  MasterServer(const MasterServer&) = delete;
+  MasterServer& operator=(const MasterServer&) = delete;
+
+  ServerId id() const { return id_; }
+  NodeId node() const { return endpoint_->node(); }
+  Simulator& sim() { return coordinator_->sim(); }
+  RpcSystem& rpc() { return coordinator_->rpc(); }
+  Coordinator& coordinator() { return *coordinator_; }
+  const CostModel& costs() const { return *costs_; }
+  const MasterConfig& config() const { return config_; }
+
+  CoreSet& cores() { return *cores_; }
+  ObjectManager& objects() { return objects_; }
+  ReplicaManager& replicas() { return *replicas_; }
+  BackupService& backup() { return backup_; }
+  RpcEndpoint& endpoint() { return *endpoint_; }
+
+  void set_migration_hooks(MigrationHooks* hooks) { migration_hooks_ = hooks; }
+  MigrationHooks* migration_hooks() const { return migration_hooks_; }
+
+  // Opaque per-server state slot for layered subsystems (the migration
+  // library parks its per-server managers here).
+  void set_extension(std::shared_ptr<void> extension) { extension_ = std::move(extension); }
+  const std::shared_ptr<void>& extension() const { return extension_; }
+
+  // --- Indexlets hosted by this server. ---
+  Indexlet* AddIndexlet(TableId table, uint8_t index_id, std::string start_key,
+                        std::string end_key);
+  Indexlet* FindIndexlet(TableId table, uint8_t index_id, std::string_view secondary_key);
+
+  // --- Crash simulation. ---
+  // Halts cores and disconnects the NIC. Recovery is driven separately by
+  // Coordinator::HandleCrash.
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  // Replicates the serialized entry at `ref` of the main log and invokes
+  // `done` when durable. Shared by the write path and recovery replay.
+  void ReplicateEntry(LogRef ref, std::function<void(Status)> done);
+
+  // --- Counters (experiment bookkeeping). ---
+  uint64_t reads_served() const { return reads_served_; }
+  uint64_t writes_served() const { return writes_served_; }
+
+ private:
+  void RegisterHandlers();
+  void HandleRead(RpcContext context);
+  void HandleWrite(RpcContext context);
+  void HandleRemove(RpcContext context);
+  void HandleMultiGet(RpcContext context);
+  void HandleMultiGetHash(RpcContext context);
+  void HandleIndexLookup(RpcContext context);
+  void HandleIndexInsert(RpcContext context);
+  void HandleBackupWrite(RpcContext context);
+  void HandleGetRecoveryData(RpcContext context);
+
+  // Shared read-path policy: checks tablet state for (table, hash).
+  // Returns kOk to proceed locally, or the status to reply with
+  // (kWrongServer / kRetryLater / kObjectNotFound / kTableNotFound);
+  // `retry_after` is set for kRetryLater.
+  Status CheckReadable(TableId table, KeyHash hash, Tick* retry_after);
+
+  Coordinator* coordinator_;
+  const CostModel* costs_;
+  MasterConfig config_;
+  ServerId id_ = kInvalidServerId;
+  std::unique_ptr<CoreSet> cores_;
+  RpcEndpoint* endpoint_ = nullptr;
+  ObjectManager objects_;
+  std::unique_ptr<ReplicaManager> replicas_;
+  BackupService backup_;
+  MigrationHooks* migration_hooks_ = nullptr;
+  std::shared_ptr<void> extension_;
+  std::vector<std::unique_ptr<Indexlet>> indexlets_;
+  bool crashed_ = false;
+  uint64_t reads_served_ = 0;
+  uint64_t writes_served_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_CLUSTER_MASTER_SERVER_H_

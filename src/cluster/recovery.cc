@@ -1,0 +1,227 @@
+#include "src/cluster/recovery.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "src/cluster/master_server.h"
+#include "src/common/logging.h"
+
+namespace rocksteady {
+
+void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done) {
+  const std::vector<ServerId> alive = coordinator_->AliveServers(crashed);
+  if (alive.empty()) {
+    LOG_ERROR("recovery: no alive servers to recover %u onto", crashed);
+    if (done) {
+      done();
+    }
+    return;
+  }
+
+  std::vector<Plan> plans;
+
+  // --- Lineage case 1: the crashed server was a migration target. ---
+  if (auto dep = coordinator_->FindDependencyByTarget(crashed); dep.has_value()) {
+    // Ownership returns to the source, whose copy is complete and immutable;
+    // it only needs the target's log tail (writes serviced post-transfer).
+    coordinator_->UpdateOwnership(dep->table, dep->start_hash, dep->end_hash, dep->source);
+    MasterServer* source = coordinator_->master(dep->source);
+    if (Tablet* tablet = source->objects().tablets().Find(dep->table, dep->start_hash)) {
+      tablet->state = TabletState::kNormal;
+    }
+    Plan tail;
+    tail.recovery_master = source;
+    tail.ranges.push_back({dep->table, dep->start_hash, dep->end_hash});
+    tail.data_of = crashed;
+    tail.min_segment = dep->target_log_segment;
+    tail.min_offset = dep->target_log_offset;
+    plans.push_back(std::move(tail));
+    coordinator_->DropDependency(dep->source, dep->target, dep->table);
+  }
+
+  // --- Lineage case 2: the crashed server was a migration source. ---
+  if (auto dep = coordinator_->FindDependencyBySource(crashed); dep.has_value()) {
+    MasterServer* target = coordinator_->master(dep->target);
+    if (coordinator_->abort_inbound_migration) {
+      coordinator_->abort_inbound_migration(target, dep->table);
+    }
+    // The tablet (owned by the target since migration start) is rebuilt on a
+    // recovery master from the source's backups plus the target's log tail.
+    MasterServer* rm = coordinator_->master(alive.front());
+    coordinator_->UpdateOwnership(dep->table, dep->start_hash, dep->end_hash, rm->id());
+    target->objects().tablets().Remove(dep->table, dep->start_hash, dep->end_hash);
+    rm->objects().tablets().Add(
+        Tablet{dep->table, dep->start_hash, dep->end_hash, TabletState::kRecovering});
+
+    Plan from_source;
+    from_source.recovery_master = rm;
+    from_source.ranges.push_back({dep->table, dep->start_hash, dep->end_hash});
+    from_source.data_of = crashed;
+    plans.push_back(std::move(from_source));
+
+    Plan from_target_tail;
+    from_target_tail.recovery_master = rm;
+    from_target_tail.ranges.push_back({dep->table, dep->start_hash, dep->end_hash});
+    from_target_tail.data_of = dep->target;
+    from_target_tail.min_segment = dep->target_log_segment;
+    from_target_tail.min_offset = dep->target_log_offset;
+    plans.push_back(std::move(from_target_tail));
+
+    coordinator_->DropDependency(dep->source, dep->target, dep->table);
+  }
+
+  // --- Generic: re-home every tablet still owned by the crashed server. ---
+  std::map<ServerId, Plan> generic;
+  size_t next_rm = 0;
+  for (const auto& entry : coordinator_->GetAllTablets()) {
+    if (entry.owner != crashed) {
+      continue;
+    }
+    const ServerId rm_id = alive[next_rm++ % alive.size()];
+    MasterServer* rm = coordinator_->master(rm_id);
+    coordinator_->UpdateOwnership(entry.table, entry.start_hash, entry.end_hash, rm_id);
+    rm->objects().tablets().Add(
+        Tablet{entry.table, entry.start_hash, entry.end_hash, TabletState::kRecovering});
+    Plan& plan = generic[rm_id];
+    plan.recovery_master = rm;
+    plan.data_of = crashed;
+    plan.ranges.push_back({entry.table, entry.start_hash, entry.end_hash});
+  }
+  for (auto& [rm_id, plan] : generic) {
+    plans.push_back(std::move(plan));
+  }
+
+  if (plans.empty()) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+
+  // Execute all plans; finish when every one completes.
+  struct Barrier {
+    size_t remaining;
+    std::function<void()> done;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = plans.size();
+  barrier->done = std::move(done);
+  for (const auto& plan : plans) {
+    MasterServer* rm = plan.recovery_master;
+    std::vector<RangeToRecover> ranges = plan.ranges;
+    ExecutePlan(plan, [barrier, rm, ranges] {
+      // Mark the restored ranges live.
+      for (const auto& range : ranges) {
+        if (Tablet* tablet = rm->objects().tablets().Find(range.table, range.start_hash)) {
+          if (tablet->state == TabletState::kRecovering) {
+            tablet->state = TabletState::kNormal;
+          }
+        }
+      }
+      if (--barrier->remaining == 0 && barrier->done) {
+        barrier->done();
+      }
+    });
+  }
+}
+
+void RecoveryManager::ExecutePlan(const Plan& plan, std::function<void()> done) {
+  MasterServer* rm = plan.recovery_master;
+  const std::vector<ServerId> backups = coordinator_->AliveServers(rm->id());
+
+  struct FetchState {
+    std::map<uint32_t, std::vector<uint8_t>> segments;  // Deduped by id.
+    size_t outstanding = 0;
+    std::vector<RangeToRecover> ranges;
+    uint32_t min_segment = 0;
+    uint32_t min_offset = 0;
+    std::function<void()> done;
+  };
+  auto state = std::make_shared<FetchState>();
+  state->ranges = plan.ranges;
+  state->min_segment = plan.min_segment;
+  state->min_offset = plan.min_offset;
+  state->done = std::move(done);
+
+  auto replay_all = [this, rm, state] {
+    if (state->segments.empty()) {
+      state->done();
+      return;
+    }
+    // One replay worker task per recovered segment, at replication priority
+    // (recovery competes with normal service like other background work).
+    auto remaining = std::make_shared<size_t>(state->segments.size());
+    for (auto& [segment_id, data] : state->segments) {
+      const uint32_t id = segment_id;
+      auto bytes = std::make_shared<std::vector<uint8_t>>(std::move(data));
+      rm->cores().EnqueueWorker(
+          {Priority::kReplication,
+           [this, rm, state, id, bytes] {
+             size_t offset = 0;
+             size_t replayed = 0;
+             size_t replayed_bytes = 0;
+             while (offset < bytes->size()) {
+               LogEntryView entry;
+               if (!ReadEntry(bytes->data() + offset, bytes->size() - offset, &entry)) {
+                 break;  // Torn tail of an in-progress replica write.
+               }
+               const size_t length = entry.header.TotalLength();
+               const bool below_dependency =
+                   id == state->min_segment && offset < state->min_offset;
+               if (!below_dependency &&
+                   (entry.type() == LogEntryType::kObject ||
+                    entry.type() == LogEntryType::kTombstone)) {
+                 for (const auto& range : state->ranges) {
+                   if (entry.table_id() == range.table && entry.key_hash() >= range.start_hash &&
+                       entry.key_hash() <= range.end_hash) {
+                     rm->objects().Replay(entry, nullptr);
+                     replayed++;
+                     replayed_bytes += length;
+                     break;
+                   }
+                 }
+               }
+               offset += length;
+             }
+             return rm->costs().ReplayCost(replayed, replayed_bytes);
+           },
+           [state, remaining] {
+             if (--*remaining == 0) {
+               state->done();
+             }
+           }});
+    }
+    (void)this;
+  };
+
+  if (backups.empty()) {
+    state->done();
+    return;
+  }
+  state->outstanding = backups.size();
+  for (const ServerId backup : backups) {
+    auto request = std::make_unique<GetRecoveryDataRequest>();
+    request->crashed_master = plan.data_of;
+    request->min_segment_id = plan.min_segment;
+    rm->rpc().Call(
+        rm->node(), coordinator_->NodeOf(backup), std::move(request),
+        [state, replay_all](Status status, std::unique_ptr<RpcResponse> response) {
+          if (status == Status::kOk && response != nullptr) {
+            auto& data = static_cast<GetRecoveryDataResponse&>(*response);
+            for (auto& segment : data.segments) {
+              auto [it, inserted] =
+                  state->segments.try_emplace(segment.segment_id, std::move(segment.data));
+              (void)it;
+              (void)inserted;
+            }
+          }
+          if (--state->outstanding == 0) {
+            replay_all();
+          }
+        },
+        rm->costs().migration_rpc_timeout_ns);
+  }
+}
+
+}  // namespace rocksteady

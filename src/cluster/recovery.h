@@ -1,0 +1,68 @@
+// Distributed crash recovery, including Rocksteady's lineage rule (§3.4).
+//
+// Normal case: a crashed master's tablets are re-homed round-robin across
+// alive servers; each recovery master fetches the crashed server's replicated
+// segments from the backups and replays the entries for the ranges it now
+// owns (version rule makes replay order-insensitive).
+//
+// Lineage cases, per §3.4 ("If either the source or the target crashes
+// during migration, Rocksteady transfers ownership of the data back to the
+// source"):
+//  * Target crashed: the migrating tablet returns to the source, which
+//    already holds every record (its copy was immutable); the source
+//    additionally replays the *tail* of the target's recovery log — from the
+//    dependency's (segment, offset) — to pick up writes the target serviced
+//    after ownership transfer. Records sitting in the target's uncommitted
+//    side logs were never replicated and are NOT needed: the source's copy
+//    is authoritative for them.
+//  * Source crashed: the target aborts the inbound migration (dropping its
+//    partial side-log state); the tablet is recovered from the source's
+//    backups onto a recovery master, which also replays the target's log
+//    tail for the migrating range.
+#ifndef ROCKSTEADY_SRC_CLUSTER_RECOVERY_H_
+#define ROCKSTEADY_SRC_CLUSTER_RECOVERY_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cluster/coordinator.h"
+
+namespace rocksteady {
+
+class MasterServer;
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(Coordinator* coordinator) : coordinator_(coordinator) {}
+
+  // Recovers `crashed` (already halted and off the network). `done` fires
+  // when every affected tablet is owned, replayed, and serving again.
+  void RecoverServer(ServerId crashed, std::function<void()> done);
+
+ private:
+  struct RangeToRecover {
+    TableId table = 0;
+    KeyHash start_hash = 0;
+    KeyHash end_hash = 0;
+  };
+
+  // One recovery master's share of the work.
+  struct Plan {
+    MasterServer* recovery_master = nullptr;
+    std::vector<RangeToRecover> ranges;
+    // Replay crashed data from this master's backups...
+    ServerId data_of = 0;
+    uint32_t min_segment = 0;  // ...restricted to segments >= this...
+    uint32_t min_offset = 0;   // ...skipping entries below this in that segment.
+  };
+
+  void ExecutePlan(const Plan& plan, std::function<void()> done);
+
+  Coordinator* coordinator_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_CLUSTER_RECOVERY_H_

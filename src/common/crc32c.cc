@@ -1,0 +1,69 @@
+#include "src/common/crc32c.h"
+
+#include <array>
+#include <cstring>
+#include <type_traits>
+
+namespace rocksteady {
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82f63b78u;  // Reflected CRC32C polynomial.
+
+struct Tables {
+  // table[k][b]: CRC contribution of byte value b at lane k, for slice-by-8.
+  uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; j++) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = tables.t[0][i];
+    for (int k = 1; k < 8; k++) {
+      crc = tables.t[0][crc & 0xff] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t length) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+
+  // Align to 8 bytes.
+  while (length > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    length--;
+  }
+
+  // Slice-by-8 over the aligned middle.
+  while (length >= 8) {
+    uint64_t block;
+    std::memcpy(&block, p, sizeof(block));
+    block ^= crc;
+    crc = kTables.t[7][block & 0xff] ^ kTables.t[6][(block >> 8) & 0xff] ^
+          kTables.t[5][(block >> 16) & 0xff] ^ kTables.t[4][(block >> 24) & 0xff] ^
+          kTables.t[3][(block >> 32) & 0xff] ^ kTables.t[2][(block >> 40) & 0xff] ^
+          kTables.t[1][(block >> 48) & 0xff] ^ kTables.t[0][(block >> 56) & 0xff];
+    p += 8;
+    length -= 8;
+  }
+
+  while (length-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace rocksteady

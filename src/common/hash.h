@@ -1,0 +1,37 @@
+// Key hashing.
+//
+// RAMCloud partitions tables into tablets by 64-bit primary key hash; the
+// master's hash table and Rocksteady's Pull partitioning are both keyed by
+// this value. We implement MurmurHash3's x64 128-bit variant and use its
+// first 64 bits, matching RAMCloud's choice of a fast non-cryptographic hash
+// with good avalanche behaviour.
+#ifndef ROCKSTEADY_SRC_COMMON_HASH_H_
+#define ROCKSTEADY_SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/types.h"
+
+namespace rocksteady {
+
+// MurmurHash3 x64_128, returning the low 64 bits. `seed` selects a hash
+// family member; key hashing uses seed 0 everywhere so that clients, masters,
+// and the coordinator agree on tablet placement.
+uint64_t Murmur3_64(const void* data, size_t length, uint64_t seed);
+
+inline KeyHash HashKey(std::string_view key) { return Murmur3_64(key.data(), key.size(), 0); }
+
+// Fast 64->64 bit mix (SplitMix64 finalizer). Used for bucket index
+// scrambling and synthetic key generation.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_COMMON_HASH_H_

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Experiments run millions of simulated events, so
+// logging defaults to kWarning and formatting costs are only paid when a
+// message is actually emitted.
+#ifndef ROCKSTEADY_SRC_COMMON_LOGGING_H_
+#define ROCKSTEADY_SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <string>
+
+namespace rocksteady {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+// Process-wide log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Emits one formatted line to stderr. Use the LOG macro rather than calling
+// this directly so arguments are not evaluated for dropped messages.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+std::string StringPrintf(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace rocksteady
+
+#define ROCKSTEADY_LOG(level, ...)                                                  \
+  do {                                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::rocksteady::GetLogLevel())) { \
+      ::rocksteady::LogMessage(level, __FILE__, __LINE__,                           \
+                               ::rocksteady::StringPrintf(__VA_ARGS__));            \
+    }                                                                               \
+  } while (0)
+
+#define LOG_DEBUG(...) ROCKSTEADY_LOG(::rocksteady::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) ROCKSTEADY_LOG(::rocksteady::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARNING(...) ROCKSTEADY_LOG(::rocksteady::LogLevel::kWarning, __VA_ARGS__)
+#define LOG_ERROR(...) ROCKSTEADY_LOG(::rocksteady::LogLevel::kError, __VA_ARGS__)
+
+#endif  // ROCKSTEADY_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,100 @@
+// Lightweight status codes used on RPC and storage paths.
+//
+// The store and RPC layers are on the simulated fast path, so errors are plain
+// enum values rather than allocated objects; Result<T> carries a value or a
+// status without heap allocation.
+#ifndef ROCKSTEADY_SRC_COMMON_STATUS_H_
+#define ROCKSTEADY_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace rocksteady {
+
+enum class Status : uint8_t {
+  kOk = 0,
+  // The addressed object does not exist.
+  kObjectNotFound,
+  // The addressed table (or tablet for the given key hash) does not exist.
+  kTableNotFound,
+  // The contacted server no longer owns the tablet; refresh the tablet map
+  // and retry. Returned by a migration source after ownership transfer.
+  kWrongServer,
+  // The server owns the tablet but the record has not arrived yet; retry
+  // after the hinted delay. Returned by a migration target.
+  kRetryLater,
+  // A conditional write's version precondition failed.
+  kVersionMismatch,
+  // Checksum validation failed (corrupt log entry or segment).
+  kCorruptData,
+  // The operation target is in a state that forbids it (e.g. writing a
+  // tablet that is mid-migration on the source).
+  kInvalidState,
+  // Out of log space / segment space.
+  kNoSpace,
+  // The server is not reachable (crashed in simulation).
+  kServerDown,
+};
+
+constexpr std::string_view ToString(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kObjectNotFound:
+      return "OBJECT_NOT_FOUND";
+    case Status::kTableNotFound:
+      return "TABLE_NOT_FOUND";
+    case Status::kWrongServer:
+      return "WRONG_SERVER";
+    case Status::kRetryLater:
+      return "RETRY_LATER";
+    case Status::kVersionMismatch:
+      return "VERSION_MISMATCH";
+    case Status::kCorruptData:
+      return "CORRUPT_DATA";
+    case Status::kInvalidState:
+      return "INVALID_STATE";
+    case Status::kNoSpace:
+      return "NO_SPACE";
+    case Status::kServerDown:
+      return "SERVER_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+// A value-or-status pair. On the simulated fast path we avoid exceptions and
+// heap allocation; this is a thin wrapper over std::optional.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(status) {                            // NOLINT
+    assert(status != Status::kOk);
+  }
+
+  bool ok() const { return status_ == Status::kOk; }
+  Status status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_COMMON_STATUS_H_

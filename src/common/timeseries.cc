@@ -1,0 +1,69 @@
+#include "src/common/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace rocksteady {
+
+LatencyTimeline::LatencyTimeline(Tick window, size_t max_windows) : window_(window) {
+  assert(window > 0);
+  windows_.resize(max_windows);
+}
+
+void LatencyTimeline::Record(Tick completion_time, Tick latency) {
+  const size_t i = static_cast<size_t>(completion_time / window_);
+  if (i < windows_.size()) {
+    windows_[i].Record(latency);
+  }
+}
+
+double LatencyTimeline::Throughput(size_t i) const {
+  return static_cast<double>(windows_[i].count()) * static_cast<double>(kSecond) /
+         static_cast<double>(window_);
+}
+
+Histogram LatencyTimeline::Total() const {
+  Histogram total;
+  for (const auto& w : windows_) {
+    total.Merge(w);
+  }
+  return total;
+}
+
+UtilizationTimeline::UtilizationTimeline(Tick window, size_t max_windows) : window_(window) {
+  assert(window > 0);
+  busy_.resize(max_windows, 0);
+}
+
+void UtilizationTimeline::AddBusy(Tick start, Tick duration) {
+  while (duration > 0) {
+    const size_t i = static_cast<size_t>(start / window_);
+    if (i >= busy_.size()) {
+      return;
+    }
+    const Tick window_end = (static_cast<Tick>(i) + 1) * window_;
+    const Tick chunk = std::min<Tick>(duration, window_end - start);
+    busy_[i] += chunk;
+    start += chunk;
+    duration -= chunk;
+  }
+}
+
+CounterTimeline::CounterTimeline(Tick window, size_t max_windows) : window_(window) {
+  assert(window > 0);
+  counts_.resize(max_windows, 0);
+}
+
+void CounterTimeline::Add(Tick when, uint64_t amount) {
+  const size_t i = static_cast<size_t>(when / window_);
+  if (i < counts_.size()) {
+    counts_[i] += amount;
+  }
+}
+
+uint64_t CounterTimeline::TotalCount() const {
+  return std::accumulate(counts_.begin(), counts_.end(), uint64_t{0});
+}
+
+}  // namespace rocksteady

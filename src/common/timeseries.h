@@ -1,0 +1,89 @@
+// Windowed time-series recorders for the experiment timelines.
+//
+// Figures 9-14 plot running throughput, running median / 99.9th percentile
+// latency, and per-window core utilization against experiment time. These
+// helpers bucket samples into fixed windows of simulated time and emit one
+// row per window.
+#ifndef ROCKSTEADY_SRC_COMMON_TIMESERIES_H_
+#define ROCKSTEADY_SRC_COMMON_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+
+namespace rocksteady {
+
+// Per-window latency distribution + completion count.
+class LatencyTimeline {
+ public:
+  LatencyTimeline(Tick window, size_t max_windows);
+
+  void Record(Tick completion_time, Tick latency);
+
+  size_t NumWindows() const { return windows_.size(); }
+  Tick WindowStart(size_t i) const { return static_cast<Tick>(i) * window_; }
+  Tick window() const { return window_; }
+
+  uint64_t Count(size_t i) const { return windows_[i].count(); }
+  // Completions per second in window i.
+  double Throughput(size_t i) const;
+  uint64_t Percentile(size_t i, double q) const { return windows_[i].Percentile(q); }
+
+  // Distribution over the whole run.
+  Histogram Total() const;
+
+ private:
+  Tick window_;
+  std::vector<Histogram> windows_;
+};
+
+// Per-window accumulation of busy time for a set of cores; reports average
+// active cores (busy_time / window) per window, matching Figure 11's
+// "Utilization (Active Cores)" axis.
+class UtilizationTimeline {
+ public:
+  UtilizationTimeline(Tick window, size_t max_windows);
+
+  // Charge `duration` of busy time starting at `start` (split across window
+  // boundaries as needed).
+  void AddBusy(Tick start, Tick duration);
+
+  size_t NumWindows() const { return busy_.size(); }
+  Tick window() const { return window_; }
+  // Mean number of active cores during window i.
+  double ActiveCores(size_t i) const {
+    return static_cast<double>(busy_[i]) / static_cast<double>(window_);
+  }
+
+ private:
+  Tick window_;
+  std::vector<uint64_t> busy_;
+};
+
+// Per-window scalar accumulation (e.g. bytes migrated per window).
+class CounterTimeline {
+ public:
+  CounterTimeline(Tick window, size_t max_windows);
+
+  void Add(Tick when, uint64_t amount);
+
+  size_t NumWindows() const { return counts_.size(); }
+  Tick window() const { return window_; }
+  uint64_t Count(size_t i) const { return counts_[i]; }
+  // Per-second rate in window i.
+  double Rate(size_t i) const {
+    return static_cast<double>(counts_[i]) * static_cast<double>(kSecond) /
+           static_cast<double>(window_);
+  }
+  uint64_t TotalCount() const;
+
+ private:
+  Tick window_;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_COMMON_TIMESERIES_H_

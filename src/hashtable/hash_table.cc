@@ -1,0 +1,135 @@
+#include "src/hashtable/hash_table.h"
+
+#include <cassert>
+
+namespace rocksteady {
+
+HashTable::HashTable(int log2_buckets) {
+  assert(log2_buckets >= 1 && log2_buckets < 63);
+  shift_ = 64 - log2_buckets;
+  buckets_.resize(size_t{1} << log2_buckets);
+}
+
+HashTable::Bucket* HashTable::FindSlot(KeyHash hash, size_t* slot) const {
+  const auto* bucket = &buckets_[BucketOf(hash)];
+  while (bucket != nullptr) {
+    for (size_t i = 0; i < bucket->count; i++) {
+      if (bucket->hashes[i] == hash) {
+        *slot = i;
+        return const_cast<Bucket*>(bucket);
+      }
+    }
+    bucket = bucket->next.get();
+  }
+  return nullptr;
+}
+
+bool HashTable::Insert(KeyHash hash, LogRef ref) {
+  size_t slot;
+  if (Bucket* bucket = FindSlot(hash, &slot)) {
+    bucket->refs[slot] = ref;
+    return false;
+  }
+  Bucket* bucket = &buckets_[BucketOf(hash)];
+  while (bucket->count == kSlotsPerBucket) {
+    if (bucket->next == nullptr) {
+      bucket->next = std::make_unique<Bucket>();
+    }
+    bucket = bucket->next.get();
+  }
+  bucket->hashes[bucket->count] = hash;
+  bucket->refs[bucket->count] = ref;
+  bucket->count++;
+  size_++;
+  return true;
+}
+
+LogRef HashTable::Lookup(KeyHash hash) const {
+  size_t slot;
+  if (const Bucket* bucket = FindSlot(hash, &slot)) {
+    return bucket->refs[slot];
+  }
+  return LogRef();
+}
+
+bool HashTable::Remove(KeyHash hash) {
+  size_t slot;
+  Bucket* bucket = FindSlot(hash, &slot);
+  if (bucket == nullptr) {
+    return false;
+  }
+  // Fill the hole from the tail of this bucket's local slots, then trim
+  // empty overflow buckets lazily (they stay allocated; count is truth).
+  Bucket* tail = bucket;
+  while (tail->next != nullptr && tail->next->count > 0) {
+    tail = tail->next.get();
+  }
+  bucket->hashes[slot] = tail->hashes[tail->count - 1];
+  bucket->refs[slot] = tail->refs[tail->count - 1];
+  tail->count--;
+  size_--;
+  return true;
+}
+
+bool HashTable::Replace(KeyHash hash, LogRef expected, LogRef desired) {
+  size_t slot;
+  Bucket* bucket = FindSlot(hash, &slot);
+  if (bucket == nullptr || !(bucket->refs[slot] == expected)) {
+    return false;
+  }
+  bucket->refs[slot] = desired;
+  return true;
+}
+
+size_t HashTable::ScanBuckets(size_t end_bucket, size_t cursor,
+                              const std::function<void(KeyHash, LogRef)>& visit,
+                              const std::function<bool()>& bucket_done) const {
+  end_bucket = std::min(end_bucket, buckets_.size());
+  while (cursor < end_bucket) {
+    const Bucket* bucket = &buckets_[cursor];
+    while (bucket != nullptr) {
+      for (size_t i = 0; i < bucket->count; i++) {
+        visit(bucket->hashes[i], bucket->refs[i]);
+      }
+      bucket = bucket->next.get();
+    }
+    cursor++;
+    if (!bucket_done()) {
+      break;
+    }
+  }
+  return cursor;
+}
+
+void HashTable::ForEach(const std::function<void(KeyHash, LogRef)>& fn) const {
+  ScanBuckets(buckets_.size(), 0, fn, [] { return true; });
+}
+
+size_t HashTable::RemoveIf(const std::function<bool(KeyHash, LogRef)>& pred) {
+  // Collect first: Remove() moves slots around, which would confuse an
+  // in-place walk.
+  std::vector<KeyHash> doomed;
+  ForEach([&](KeyHash hash, LogRef ref) {
+    if (pred(hash, ref)) {
+      doomed.push_back(hash);
+    }
+  });
+  for (KeyHash hash : doomed) {
+    Remove(hash);
+  }
+  return doomed.size();
+}
+
+size_t HashTable::MaxChainLength() const {
+  size_t longest = 0;
+  for (const auto& head : buckets_) {
+    size_t length = 0;
+    for (const Bucket* bucket = &head; bucket != nullptr; bucket = bucket->next.get()) {
+      length++;
+    }
+    longest = std::max(longest, length);
+  }
+  return longest;
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,95 @@
+// The master's primary-key index: key hash -> log reference.
+//
+// Modeled on RAMCloud's hash table: a power-of-two array of cache-line
+// buckets, each holding a fixed number of (hash, ref) slots plus an overflow
+// chain. The bucket index is the *top* bits of the key hash, so a contiguous
+// range of the key-hash space is a contiguous range of buckets — exactly the
+// property Rocksteady's Pull partitioning relies on (§3.1.1: concurrent
+// Pulls work on "disjoint regions of the source's key hash space (and,
+// consequently, disjoint regions of the source's hash table)").
+//
+// Scans are bucket-granular: a Pull consumes whole buckets, so concurrent
+// mutation of *other* tables' entries never skips or double-visits a
+// migrating entry.
+#ifndef ROCKSTEADY_SRC_HASHTABLE_HASH_TABLE_H_
+#define ROCKSTEADY_SRC_HASHTABLE_HASH_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/log/log.h"
+
+namespace rocksteady {
+
+class HashTable {
+ public:
+  // 2^log2_buckets buckets. RAMCloud sizes ~2 entries per bucket on average;
+  // experiment drivers size accordingly.
+  explicit HashTable(int log2_buckets);
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  // Inserts or replaces the mapping for `hash`. Returns true if a new entry
+  // was created, false if an existing one was replaced.
+  bool Insert(KeyHash hash, LogRef ref);
+
+  // Returns the mapping, or an invalid LogRef if absent.
+  LogRef Lookup(KeyHash hash) const;
+
+  bool Remove(KeyHash hash);
+
+  // Compare-and-swap for the log cleaner: updates the mapping only if it
+  // still equals `expected`. Returns true on success.
+  bool Replace(KeyHash hash, LogRef expected, LogRef desired);
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  size_t BucketOf(KeyHash hash) const { return static_cast<size_t>(hash >> shift_); }
+
+  // First bucket whose hash range starts at or after `hash` (for mapping a
+  // tablet's [start, end] hash range onto bucket ranges).
+  size_t BucketLowerBound(KeyHash hash) const { return BucketOf(hash); }
+
+  // Visits every entry of every bucket in [cursor, end_bucket). `visit` is
+  // called per entry; after each fully-visited bucket `bucket_done` is
+  // called and may return false to pause the scan. Returns the new cursor
+  // (index of the next unvisited bucket).
+  size_t ScanBuckets(size_t end_bucket, size_t cursor,
+                     const std::function<void(KeyHash, LogRef)>& visit,
+                     const std::function<bool()>& bucket_done) const;
+
+  void ForEach(const std::function<void(KeyHash, LogRef)>& fn) const;
+
+  // Removes all entries matching a predicate; returns how many were removed.
+  // Used when aborting a half-replayed migration.
+  size_t RemoveIf(const std::function<bool(KeyHash, LogRef)>& pred);
+
+  // Longest overflow chain currently in the table (diagnostics/tests).
+  size_t MaxChainLength() const;
+
+ private:
+  static constexpr size_t kSlotsPerBucket = 8;
+
+  struct Bucket {
+    std::array<KeyHash, kSlotsPerBucket> hashes;
+    std::array<LogRef, kSlotsPerBucket> refs;
+    uint8_t count = 0;
+    std::unique_ptr<Bucket> next;
+  };
+
+  Bucket* FindSlot(KeyHash hash, size_t* slot) const;
+
+  int shift_;
+  size_t size_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_HASHTABLE_HASH_TABLE_H_

@@ -1,0 +1,212 @@
+#include "src/index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rocksteady {
+
+namespace {
+constexpr size_t kMaxLeafItems = 32;
+constexpr size_t kMaxPivots = 32;
+}  // namespace
+
+struct BTree::Node {
+  bool leaf = true;
+  // Leaf state: sorted items plus the next-leaf chain for range scans.
+  std::vector<Item> items;
+  Node* next = nullptr;
+  // Internal state: children.size() == pivots.size() + 1. Subtree i holds
+  // items < pivots[i]; the last subtree holds items >= pivots.back().
+  // Pivots are full (key, value) items so duplicate keys order exactly.
+  std::vector<Item> pivots;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+namespace {
+
+// Index of the child subtree covering `item`.
+size_t ChildIndexFor(const BTree::Item& item, const std::vector<BTree::Item>& pivots) {
+  size_t index = pivots.size();
+  for (size_t i = 0; i < pivots.size(); i++) {
+    if (item < pivots[i]) {
+      index = i;
+      break;
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+BTree::BTree() : root_(std::make_unique<Node>()) {}
+BTree::~BTree() = default;
+
+std::optional<BTree::SplitResult> BTree::InsertInto(Node* node, Item item, bool* inserted) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->items.begin(), node->items.end(), item);
+    if (it != node->items.end() && *it == item) {
+      *inserted = false;
+      return std::nullopt;
+    }
+    node->items.insert(it, std::move(item));
+    *inserted = true;
+    if (node->items.size() <= kMaxLeafItems) {
+      return std::nullopt;
+    }
+    // Split the leaf in half; the right sibling joins the leaf chain and its
+    // first item becomes the separating pivot.
+    auto right = std::make_unique<Node>();
+    const size_t mid = node->items.size() / 2;
+    right->items.assign(std::make_move_iterator(node->items.begin() + static_cast<long>(mid)),
+                        std::make_move_iterator(node->items.end()));
+    node->items.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    SplitResult result{right->items.front(), std::move(right)};
+    return result;
+  }
+
+  const size_t child_index = ChildIndexFor(item, node->pivots);
+  auto child_split = InsertInto(node->children[child_index].get(), std::move(item), inserted);
+  if (!child_split.has_value()) {
+    return std::nullopt;
+  }
+  node->pivots.insert(node->pivots.begin() + static_cast<long>(child_index),
+                      std::move(child_split->pivot));
+  node->children.insert(node->children.begin() + static_cast<long>(child_index) + 1,
+                        std::move(child_split->right));
+  if (node->pivots.size() <= kMaxPivots) {
+    return std::nullopt;
+  }
+  // Split this internal node: the middle pivot is promoted upward.
+  const size_t mid = node->pivots.size() / 2;
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  right->pivots.assign(std::make_move_iterator(node->pivots.begin() + static_cast<long>(mid) + 1),
+                       std::make_move_iterator(node->pivots.end()));
+  right->children.assign(
+      std::make_move_iterator(node->children.begin() + static_cast<long>(mid) + 1),
+      std::make_move_iterator(node->children.end()));
+  Item promoted = std::move(node->pivots[mid]);
+  node->pivots.resize(mid);
+  node->children.resize(mid + 1);
+  SplitResult result{std::move(promoted), std::move(right)};
+  return result;
+}
+
+bool BTree::Insert(std::string_view key, uint64_t value) {
+  bool inserted = false;
+  auto split = InsertInto(root_.get(), Item{std::string(key), value}, &inserted);
+  if (split.has_value()) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->pivots.push_back(std::move(split->pivot));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  if (inserted) {
+    size_++;
+  }
+  return inserted;
+}
+
+const BTree::Node* BTree::FindLeaf(std::string_view key) const {
+  const Item probe{std::string(key), 0};
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[ChildIndexFor(probe, node->pivots)].get();
+  }
+  return node;
+}
+
+bool BTree::Erase(std::string_view key, uint64_t value) {
+  const Item item{std::string(key), value};
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[ChildIndexFor(item, node->pivots)].get();
+  }
+  auto it = std::lower_bound(node->items.begin(), node->items.end(), item);
+  if (it == node->items.end() || !(*it == item)) {
+    return false;
+  }
+  node->items.erase(it);
+  size_--;
+  // No rebalancing: underfull (even empty) leaves stay on the chain. Erases
+  // are rare in the evaluated workloads; scans tolerate empty leaves.
+  return true;
+}
+
+bool BTree::Contains(std::string_view key, uint64_t value) const {
+  const Item item{std::string(key), value};
+  const Node* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    auto it = std::lower_bound(leaf->items.begin(), leaf->items.end(), item);
+    if (it != leaf->items.end()) {
+      return *it == item;
+    }
+    leaf = leaf->next;
+  }
+  return false;
+}
+
+size_t BTree::ScanFrom(std::string_view key, size_t count,
+                       const std::function<void(const Item&)>& fn) const {
+  const Item probe{std::string(key), 0};
+  const Node* leaf = FindLeaf(key);
+  size_t visited = 0;
+  auto it = std::lower_bound(leaf->items.begin(), leaf->items.end(), probe);
+  while (visited < count && leaf != nullptr) {
+    for (; it != leaf->items.end() && visited < count; ++it) {
+      fn(*it);
+      visited++;
+    }
+    if (it == leaf->items.end()) {
+      leaf = leaf->next;
+      if (leaf != nullptr) {
+        it = leaf->items.begin();
+      }
+    }
+  }
+  return visited;
+}
+
+void BTree::ForEach(const std::function<void(const Item&)>& fn) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+  }
+  for (; node != nullptr; node = node->next) {
+    for (const auto& item : node->items) {
+      fn(item);
+    }
+  }
+}
+
+size_t BTree::Height() const {
+  size_t height = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    height++;
+  }
+  return height;
+}
+
+bool BTree::CheckInvariants() const {
+  size_t counted = 0;
+  bool ok = true;
+  bool have_previous = false;
+  Item previous;
+  ForEach([&](const Item& item) {
+    if (have_previous && !(previous < item)) {
+      ok = false;
+    }
+    previous = item;
+    have_previous = true;
+    counted++;
+  });
+  return ok && counted == size_;
+}
+
+}  // namespace rocksteady

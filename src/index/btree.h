@@ -1,0 +1,80 @@
+// B+tree mapping secondary keys to primary key hashes.
+//
+// RAMCloud's SLIK-style secondary indexes (Figure 2) store (secondary key ->
+// primary key hash) pairs, range-partitioned into indexlets. Duplicate
+// secondary keys are allowed (many users share a first name), so the tree
+// orders entries by the (key, value) pair.
+#ifndef ROCKSTEADY_SRC_INDEX_BTREE_H_
+#define ROCKSTEADY_SRC_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocksteady {
+
+class BTree {
+ public:
+  struct Item {
+    std::string key;
+    uint64_t value;
+
+    friend bool operator<(const Item& a, const Item& b) {
+      return a.key != b.key ? a.key < b.key : a.value < b.value;
+    }
+    friend bool operator==(const Item& a, const Item& b) {
+      return a.key == b.key && a.value == b.value;
+    }
+  };
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // Inserts (key, value); duplicates of the exact pair are ignored.
+  // Returns true if inserted.
+  bool Insert(std::string_view key, uint64_t value);
+
+  // Removes the exact (key, value) pair; returns true if found.
+  bool Erase(std::string_view key, uint64_t value);
+
+  bool Contains(std::string_view key, uint64_t value) const;
+
+  // Visits up to `count` items with item >= (key, 0) in order; returns the
+  // number visited. This is the indexlet scan primitive.
+  size_t ScanFrom(std::string_view key, size_t count,
+                  const std::function<void(const Item&)>& fn) const;
+
+  // Visits every item in order.
+  void ForEach(const std::function<void(const Item&)>& fn) const;
+
+  size_t size() const { return size_; }
+  // Tree height (1 = a single leaf); for structural tests.
+  size_t Height() const;
+  // Validates ordering and pivot invariants; for tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  struct SplitResult {
+    Item pivot;  // Separator: first item of (or promoted from) the right sibling.
+    std::unique_ptr<Node> right;
+  };
+
+  std::optional<SplitResult> InsertInto(Node* node, Item item, bool* inserted);
+  const Node* FindLeaf(std::string_view key) const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_INDEX_BTREE_H_

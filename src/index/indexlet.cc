@@ -1,0 +1,16 @@
+#include "src/index/indexlet.h"
+
+namespace rocksteady {
+
+std::vector<KeyHash> Indexlet::Scan(std::string_view start, size_t count) const {
+  std::vector<KeyHash> hashes;
+  hashes.reserve(count);
+  tree_.ScanFrom(start, count, [&](const BTree::Item& item) {
+    if (end_key_.empty() || item.key < end_key_) {
+      hashes.push_back(item.value);
+    }
+  });
+  return hashes;
+}
+
+}  // namespace rocksteady

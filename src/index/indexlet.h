@@ -1,0 +1,61 @@
+// Indexlets: range partitions of a secondary index (Figure 2).
+//
+// An index over a table is range-partitioned by secondary key into
+// indexlets, each hosted by some server. Indexlets map secondary keys to
+// primary key hashes; a range scan asks one indexlet for hashes, then
+// multigets the backing tablets.
+#ifndef ROCKSTEADY_SRC_INDEX_INDEXLET_H_
+#define ROCKSTEADY_SRC_INDEX_INDEXLET_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/index/btree.h"
+
+namespace rocksteady {
+
+class Indexlet {
+ public:
+  // Covers secondary keys in [start_key, end_key); an empty end_key means
+  // "to the end of the key space".
+  Indexlet(TableId table, uint8_t index_id, std::string start_key, std::string end_key)
+      : table_(table),
+        index_id_(index_id),
+        start_key_(std::move(start_key)),
+        end_key_(std::move(end_key)) {}
+
+  bool ContainsKey(std::string_view secondary_key) const {
+    return secondary_key >= start_key_ && (end_key_.empty() || secondary_key < end_key_);
+  }
+
+  bool Insert(std::string_view secondary_key, KeyHash primary_hash) {
+    return tree_.Insert(secondary_key, primary_hash);
+  }
+  bool Erase(std::string_view secondary_key, KeyHash primary_hash) {
+    return tree_.Erase(secondary_key, primary_hash);
+  }
+
+  // Returns up to `count` primary key hashes for secondary keys >= start,
+  // staying inside this indexlet's range.
+  std::vector<KeyHash> Scan(std::string_view start, size_t count) const;
+
+  TableId table() const { return table_; }
+  uint8_t index_id() const { return index_id_; }
+  const std::string& start_key() const { return start_key_; }
+  const std::string& end_key() const { return end_key_; }
+  size_t size() const { return tree_.size(); }
+  const BTree& tree() const { return tree_; }
+
+ private:
+  TableId table_;
+  uint8_t index_id_;
+  std::string start_key_;
+  std::string end_key_;
+  BTree tree_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_INDEX_INDEXLET_H_

@@ -1,0 +1,178 @@
+#include "src/log/log.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace rocksteady {
+
+Segment* Log::Head() {
+  if (segments_.empty() || segments_.back()->sealed()) {
+    auto segment = std::make_unique<Segment>(next_segment_id_++, segment_size_);
+    registry_[segment->id()] = segment.get();
+    segments_.push_back(std::move(segment));
+  }
+  return segments_.back().get();
+}
+
+Result<LogRef> Log::Append(LogEntryType type, TableId table, KeyHash hash, std::string_view key,
+                           std::string_view value, Version version) {
+  const size_t needed = sizeof(LogEntryHeader) + key.size() + value.size();
+  if (needed > segment_size_) {
+    return Status::kNoSpace;
+  }
+  LogEntryHeader header;
+  header.type = type;
+  header.table_id = table;
+  header.key_hash = hash;
+  header.version = version;
+
+  Segment* head = Head();
+  size_t offset = head->AppendEntry(header, key, value);
+  if (offset == SIZE_MAX) {
+    head->Seal();
+    head = Head();
+    offset = head->AppendEntry(header, key, value);
+    assert(offset != SIZE_MAX);
+  }
+  stats_.appended_bytes += needed;
+  stats_.appended_entries++;
+  const LogRef ref(head->id(), static_cast<uint32_t>(offset));
+  if (append_observer_) {
+    LogEntryView view;
+    const bool ok = head->EntryAt(offset, &view);
+    assert(ok);
+    (void)ok;
+    append_observer_(ref, view);
+  }
+  return ref;
+}
+
+Result<LogRef> Log::AppendObject(TableId table, KeyHash hash, std::string_view key,
+                                 std::string_view value, Version version) {
+  return Append(LogEntryType::kObject, table, hash, key, value, version);
+}
+
+Result<LogRef> Log::AppendTombstone(TableId table, KeyHash hash, std::string_view key,
+                                    Version version) {
+  return Append(LogEntryType::kTombstone, table, hash, key, {}, version);
+}
+
+bool Log::Read(LogRef ref, LogEntryView* out) const {
+  if (!ref.valid()) {
+    return false;
+  }
+  const Segment* segment = FindSegment(ref.segment_id());
+  if (segment == nullptr) {
+    return false;
+  }
+  return segment->EntryAt(ref.offset(), out);
+}
+
+bool Log::RawEntry(LogRef ref, const uint8_t** data, size_t* length) const {
+  LogEntryView view;
+  if (!Read(ref, &view)) {
+    return false;
+  }
+  const Segment* segment = FindSegment(ref.segment_id());
+  *data = segment->data() + ref.offset();
+  *length = view.header.TotalLength();
+  return true;
+}
+
+void Log::MarkDead(LogRef ref) {
+  if (!ref.valid()) {
+    return;
+  }
+  Segment* segment = FindSegment(ref.segment_id());
+  if (segment == nullptr) {
+    return;
+  }
+  LogEntryView view;
+  if (segment->EntryAt(ref.offset(), &view)) {
+    segment->SubLive(view.header.TotalLength());
+    stats_.dead_bytes += view.header.TotalLength();
+  }
+}
+
+std::unique_ptr<Segment> Log::AllocateSideSegment() {
+  auto segment = std::make_unique<Segment>(next_segment_id_++, segment_size_);
+  registry_[segment->id()] = segment.get();
+  return segment;
+}
+
+void Log::AdoptSideSegments(std::vector<std::unique_ptr<Segment>> segments) {
+  if (segments.empty()) {
+    return;
+  }
+  // The commit record names the adopted segment ids in its value so recovery
+  // can tell these segments belong to this log.
+  std::string ids;
+  for (const auto& segment : segments) {
+    const uint32_t id = segment->id();
+    ids.append(reinterpret_cast<const char*>(&id), sizeof(id));
+  }
+  Append(LogEntryType::kSideLogCommit, 0, 0, {}, ids, 0);
+  for (auto& segment : segments) {
+    segment->Seal();
+    stats_.appended_bytes += segment->used();
+    assert(registry_.count(segment->id()) == 1);
+    segments_.push_back(std::move(segment));
+  }
+  // Keep iteration order deterministic: id order equals append order here
+  // except for adopted side segments, so sort by id.
+  std::sort(segments_.begin(), segments_.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+}
+
+void Log::DropSideSegment(std::unique_ptr<Segment> segment) {
+  registry_.erase(segment->id());
+}
+
+void Log::ForEachEntry(const std::function<void(LogRef, const LogEntryView&)>& fn) const {
+  for (const auto& segment : segments_) {
+    segment->ForEach([&](size_t offset, const LogEntryView& view) {
+      fn(LogRef(segment->id(), static_cast<uint32_t>(offset)), view);
+      return true;
+    });
+  }
+}
+
+void Log::FreeSegment(uint32_t segment_id) {
+  auto it = std::find_if(segments_.begin(), segments_.end(),
+                         [&](const auto& s) { return s->id() == segment_id; });
+  if (it == segments_.end()) {
+    LOG_WARNING("FreeSegment: unknown segment %u", segment_id);
+    return;
+  }
+  registry_.erase(segment_id);
+  segments_.erase(it);
+  stats_.cleaned_segments++;
+}
+
+std::pair<uint32_t, uint32_t> Log::HeadPosition() const {
+  if (segments_.empty()) {
+    return {0, 0};
+  }
+  const Segment* head = segments_.back().get();
+  return {head->id(), static_cast<uint32_t>(head->used())};
+}
+
+uint64_t Log::live_bytes() const {
+  uint64_t total = 0;
+  for (const auto& segment : segments_) {
+    total += segment->live_bytes();
+  }
+  return total;
+}
+
+uint64_t Log::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& segment : segments_) {
+    total += segment->used();
+  }
+  return total;
+}
+
+}  // namespace rocksteady

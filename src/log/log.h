@@ -1,0 +1,137 @@
+// The master's in-memory segmented log.
+//
+// §2.3: "During normal operation each server stores all records in an
+// in-memory log. The log is incrementally cleaned; it is never checkpointed,
+// and a full copy of it always remains in memory." The hash table stores
+// LogRef values (segment id + offset) into this log. Side logs (§3.1.3)
+// allocate segments from the same id space so their references stay valid
+// when committed.
+#ifndef ROCKSTEADY_SRC_LOG_LOG_H_
+#define ROCKSTEADY_SRC_LOG_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/log/segment.h"
+
+namespace rocksteady {
+
+// A compact reference to an entry: segment id + byte offset.
+struct LogRef {
+  uint64_t raw = 0;
+
+  LogRef() = default;
+  LogRef(uint32_t segment_id, uint32_t offset)
+      : raw((static_cast<uint64_t>(segment_id) << 32) | offset | kValidBit) {}
+
+  bool valid() const { return (raw & kValidBit) != 0; }
+  uint32_t segment_id() const { return static_cast<uint32_t>(raw >> 32); }
+  uint32_t offset() const { return static_cast<uint32_t>(raw) & ~kValidBitLow; }
+
+  friend bool operator==(LogRef a, LogRef b) { return a.raw == b.raw; }
+
+ private:
+  // Offsets are segment-bounded (< 2^31), so the low bit 31 marks validity.
+  static constexpr uint64_t kValidBit = 1ull << 31;
+  static constexpr uint32_t kValidBitLow = 1u << 31;
+};
+
+struct LogStats {
+  uint64_t appended_bytes = 0;
+  uint64_t appended_entries = 0;
+  uint64_t dead_bytes = 0;
+  uint64_t cleaned_segments = 0;
+  uint64_t relocated_entries = 0;
+  uint64_t relocated_bytes = 0;
+};
+
+class Log {
+ public:
+  explicit Log(size_t segment_size = kDefaultSegmentSize) : segment_size_(segment_size) {}
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  // Appends an object entry; rolls to a new head segment when full.
+  Result<LogRef> AppendObject(TableId table, KeyHash hash, std::string_view key,
+                              std::string_view value, Version version);
+  Result<LogRef> AppendTombstone(TableId table, KeyHash hash, std::string_view key,
+                                 Version version);
+
+  // Reads the (validated) entry at `ref`; false if the reference is stale
+  // (segment freed) or the entry fails its checksum.
+  bool Read(LogRef ref, LogEntryView* out) const;
+
+  // Raw serialized bytes of the entry at `ref` (header + key + value), for
+  // replication and migration transfer. False on a stale/corrupt reference.
+  bool RawEntry(LogRef ref, const uint8_t** data, size_t* length) const;
+
+  // Marks the entry at `ref` dead (overwritten or deleted); updates segment
+  // live-byte accounting for the cleaner.
+  void MarkDead(LogRef ref);
+
+  // Allocates a segment in this log's id space without appending it to the
+  // main list; used by SideLog. The segment is registered for Read() lookups
+  // immediately (migrated records must be readable before commit).
+  std::unique_ptr<Segment> AllocateSideSegment();
+
+  // Adopts side-log segments into the main log and appends a commit record
+  // naming them (§3.1.3 / §3.4: the sidelog commit makes the records part of
+  // the master's durable state).
+  void AdoptSideSegments(std::vector<std::unique_ptr<Segment>> segments);
+
+  // Drops an allocated-but-uncommitted side segment (aborted migration).
+  void DropSideSegment(std::unique_ptr<Segment> segment);
+
+  // Iterates every entry of every owned segment in id order. Side-log
+  // segments not yet committed are not included (they are not part of the
+  // log's durable state).
+  void ForEachEntry(const std::function<void(LogRef, const LogEntryView&)>& fn) const;
+
+  // Segments owned by the main log (sealed and head), oldest first.
+  const std::vector<std::unique_ptr<Segment>>& segments() const { return segments_; }
+
+  // Removes a (cleaned) segment entirely. The caller must have relocated all
+  // live entries first.
+  void FreeSegment(uint32_t segment_id);
+
+  Segment* FindSegment(uint32_t segment_id) const {
+    auto it = registry_.find(segment_id);
+    return it == registry_.end() ? nullptr : it->second;
+  }
+
+  // Head position, as (segment id, offset): everything appended later than
+  // this is "the log tail" — what a lineage dependency covers (§3.4).
+  std::pair<uint32_t, uint32_t> HeadPosition() const;
+
+  const LogStats& stats() const { return stats_; }
+  size_t segment_size() const { return segment_size_; }
+  uint64_t live_bytes() const;
+  uint64_t total_bytes() const;
+
+  // Observer invoked with (ref, entry) after every append to the main log
+  // (not side logs); the ReplicaManager hooks this to replicate new data.
+  using AppendObserver = std::function<void(LogRef, const LogEntryView&)>;
+  void set_append_observer(AppendObserver observer) { append_observer_ = std::move(observer); }
+
+ private:
+  Result<LogRef> Append(LogEntryType type, TableId table, KeyHash hash, std::string_view key,
+                        std::string_view value, Version version);
+  Segment* Head();
+
+  size_t segment_size_;
+  uint32_t next_segment_id_ = 1;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  // Every live segment (main + uncommitted side) by id, for Read().
+  std::unordered_map<uint32_t, Segment*> registry_;
+  LogStats stats_;
+  AppendObserver append_observer_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_LOG_LOG_H_

@@ -1,0 +1,54 @@
+// Cost-benefit log cleaner.
+//
+// §2 / §3.1.3: RAMCloud's cleaner constantly reorganizes memory to sustain
+// 80-90% utilization; Rocksteady's lazy partitioning exists so migration
+// never constrains the cleaner's global reorganization. The cleaner here
+// implements the classic LFS/RAMCloud cost-benefit policy: pick the sealed
+// segment maximizing benefit/cost = (1 - u) * age / (1 + u), relocate its
+// live entries (via a callback that consults the hash table), then free it.
+#ifndef ROCKSTEADY_SRC_LOG_LOG_CLEANER_H_
+#define ROCKSTEADY_SRC_LOG_LOG_CLEANER_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/log/log.h"
+
+namespace rocksteady {
+
+class LogCleaner {
+ public:
+  // Asked for each entry of a victim segment. The owner must decide whether
+  // the entry is still live (hash table points at `old_ref`); if so it
+  // re-appends the entry to the log head, updates its references, and
+  // returns true. Dead entries return false and are dropped.
+  using Relocator = std::function<bool(LogRef old_ref, const LogEntryView& entry)>;
+
+  LogCleaner(Log* log, Relocator relocator)
+      : log_(log), relocator_(std::move(relocator)) {}
+
+  // Picks the best victim by cost-benefit; returns nullopt when no sealed
+  // segment clears `max_utilization` (cleaning a nearly-full segment wastes
+  // more bandwidth than it reclaims).
+  std::optional<uint32_t> SelectVictim(double max_utilization = 0.98) const;
+
+  // Cleans up to `max_segments` victims. Returns segments actually cleaned.
+  size_t CleanOnce(size_t max_segments = 1);
+
+  uint64_t bytes_relocated() const { return bytes_relocated_; }
+  uint64_t entries_relocated() const { return entries_relocated_; }
+  uint64_t segments_cleaned() const { return segments_cleaned_; }
+
+ private:
+  bool CleanSegment(uint32_t segment_id);
+
+  Log* log_;
+  Relocator relocator_;
+  uint64_t bytes_relocated_ = 0;
+  uint64_t entries_relocated_ = 0;
+  uint64_t segments_cleaned_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_LOG_LOG_CLEANER_H_

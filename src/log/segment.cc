@@ -1,0 +1,52 @@
+#include "src/log/segment.h"
+
+#include <cassert>
+#include <cstring>
+#include <functional>
+
+namespace rocksteady {
+
+size_t Segment::AppendEntry(const LogEntryHeader& header, std::string_view key,
+                            std::string_view value) {
+  assert(!sealed_);
+  const size_t needed = sizeof(LogEntryHeader) + key.size() + value.size();
+  if (Free() < needed) {
+    return SIZE_MAX;
+  }
+  const size_t offset = used_;
+  WriteEntry(buffer_.data() + offset, header, key, value);
+  used_ += needed;
+  live_bytes_ += needed;
+  return offset;
+}
+
+bool Segment::EntryAt(size_t offset, LogEntryView* out) const {
+  if (offset >= used_) {
+    return false;
+  }
+  return ReadEntry(buffer_.data() + offset, used_ - offset, out);
+}
+
+bool Segment::ForEach(const std::function<bool(size_t, const LogEntryView&)>& fn) const {
+  size_t offset = 0;
+  while (offset < used_) {
+    LogEntryView view;
+    if (!ReadEntry(buffer_.data() + offset, used_ - offset, &view)) {
+      return false;
+    }
+    if (!fn(offset, view)) {
+      return true;
+    }
+    offset += view.header.TotalLength();
+  }
+  return true;
+}
+
+void Segment::RestoreRaw(const uint8_t* data, size_t length) {
+  assert(length <= buffer_.size());
+  std::memcpy(buffer_.data(), data, length);
+  used_ = length;
+  live_bytes_ = length;
+}
+
+}  // namespace rocksteady

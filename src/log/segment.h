@@ -1,0 +1,66 @@
+// A fixed-size append-only chunk of log memory.
+//
+// RAMCloud segments are 8 MB; the simulated cluster defaults to smaller
+// segments (configurable) so scaled-down experiments still produce many
+// segments for the cleaner and for recovery to chew on. Segment ids are
+// unique within one Log, including side-log segments (§3.1.3), so log
+// references stay valid when a side log commits into the main log.
+#ifndef ROCKSTEADY_SRC_LOG_SEGMENT_H_
+#define ROCKSTEADY_SRC_LOG_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/log/log_entry.h"
+
+namespace rocksteady {
+
+inline constexpr size_t kDefaultSegmentSize = 256 * 1024;
+
+class Segment {
+ public:
+  Segment(uint32_t id, size_t capacity) : id_(id), buffer_(capacity) {}
+
+  uint32_t id() const { return id_; }
+  size_t capacity() const { return buffer_.size(); }
+  size_t used() const { return used_; }
+  size_t Free() const { return buffer_.size() - used_; }
+  bool sealed() const { return sealed_; }
+  void Seal() { sealed_ = true; }
+
+  // Bytes of entries still referenced by a hash table; maintained by the Log
+  // via MarkDead. Drives the cleaner's cost-benefit policy.
+  size_t live_bytes() const { return live_bytes_; }
+  void AddLive(size_t bytes) { live_bytes_ += bytes; }
+  void SubLive(size_t bytes) { live_bytes_ -= bytes; }
+
+  // Appends a serialized entry; returns its offset, or SIZE_MAX if full.
+  size_t AppendEntry(const LogEntryHeader& header, std::string_view key, std::string_view value);
+
+  // Parses the entry at `offset`. Returns false on bad offset or checksum.
+  bool EntryAt(size_t offset, LogEntryView* out) const;
+
+  // Iterates entries in append order; stops early if `fn` returns false.
+  // Returns false if a corrupt entry was encountered.
+  bool ForEach(const std::function<bool(size_t offset, const LogEntryView&)>& fn) const;
+
+  const uint8_t* data() const { return buffer_.data(); }
+
+  // Raw copy-in used by backup replicas and recovery (the bytes were
+  // validated entry-by-entry on the original master).
+  void RestoreRaw(const uint8_t* data, size_t length);
+
+ private:
+  uint32_t id_;
+  size_t used_ = 0;
+  size_t live_bytes_ = 0;
+  bool sealed_ = false;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_LOG_SEGMENT_H_

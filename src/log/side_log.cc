@@ -1,0 +1,61 @@
+#include "src/log/side_log.h"
+
+#include <cassert>
+
+namespace rocksteady {
+
+SideLog::~SideLog() {
+  // Uncommitted segments are dropped; committing must be explicit.
+  Abort();
+}
+
+Result<LogRef> SideLog::Append(LogEntryType type, TableId table, KeyHash hash,
+                               std::string_view key, std::string_view value, Version version) {
+  const size_t needed = sizeof(LogEntryHeader) + key.size() + value.size();
+  if (needed > parent_->segment_size()) {
+    return Status::kNoSpace;
+  }
+  LogEntryHeader header;
+  header.type = type;
+  header.table_id = table;
+  header.key_hash = hash;
+  header.version = version;
+
+  if (segments_.empty() || segments_.back()->Free() < needed) {
+    segments_.push_back(parent_->AllocateSideSegment());
+  }
+  Segment* segment = segments_.back().get();
+  const size_t offset = segment->AppendEntry(header, key, value);
+  assert(offset != SIZE_MAX);
+  pending_bytes_ += needed;
+  pending_entries_++;
+  return LogRef(segment->id(), static_cast<uint32_t>(offset));
+}
+
+Result<LogRef> SideLog::AppendObject(TableId table, KeyHash hash, std::string_view key,
+                                     std::string_view value, Version version) {
+  return Append(LogEntryType::kObject, table, hash, key, value, version);
+}
+
+Result<LogRef> SideLog::AppendTombstone(TableId table, KeyHash hash, std::string_view key,
+                                        Version version) {
+  return Append(LogEntryType::kTombstone, table, hash, key, {}, version);
+}
+
+void SideLog::Commit() {
+  parent_->AdoptSideSegments(std::move(segments_));
+  segments_.clear();
+  pending_bytes_ = 0;
+  pending_entries_ = 0;
+}
+
+void SideLog::Abort() {
+  for (auto& segment : segments_) {
+    parent_->DropSideSegment(std::move(segment));
+  }
+  segments_.clear();
+  pending_bytes_ = 0;
+  pending_entries_ = 0;
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,36 @@
+// Per-server migration state, parked in the MasterServer extension slot so
+// its lifetime follows the server (and never leaks across test clusters).
+#ifndef ROCKSTEADY_SRC_MIGRATION_MIGRATION_STATE_H_
+#define ROCKSTEADY_SRC_MIGRATION_MIGRATION_STATE_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/master_server.h"
+
+namespace rocksteady {
+
+class RocksteadyMigrationManager;
+class BaselineMigration;
+
+struct ServerMigrationState {
+  // Keep-alive holders (typed shared_ptrs created where types are complete).
+  std::vector<std::shared_ptr<void>> owned;
+  // Inbound Rocksteady migrations on this server (for crash-abort).
+  std::vector<RocksteadyMigrationManager*> inbound;
+  // Baseline target-side replay serialization (single-threaded replay).
+  bool baseline_replay_busy = false;
+  std::deque<RpcContext> baseline_queue;
+};
+
+inline ServerMigrationState* GetServerMigrationState(MasterServer* master) {
+  if (master->extension() == nullptr) {
+    master->set_extension(std::make_shared<ServerMigrationState>());
+  }
+  return static_cast<ServerMigrationState*>(master->extension().get());
+}
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_MIGRATION_MIGRATION_STATE_H_

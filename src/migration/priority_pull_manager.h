@@ -1,0 +1,79 @@
+// Asynchronous batched PriorityPulls (§3.3).
+//
+// When the target serves a read for a record that has not arrived, it (1)
+// answers the client with "retry at T" instead of stalling a worker, and
+// (2) batches the missed key hash into the next PriorityPull. De-duplication
+// guarantees the source never serves the same key twice after migration
+// starts; at most one PriorityPull is in flight, and new misses accumulate
+// until it completes.
+//
+// The synchronous single-key mode the paper compares against (§4.4 /
+// Figures 13-14) is also implemented here: the read holds a target worker
+// until the record arrives.
+#ifndef ROCKSTEADY_SRC_MIGRATION_PRIORITY_PULL_MANAGER_H_
+#define ROCKSTEADY_SRC_MIGRATION_PRIORITY_PULL_MANAGER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "src/cluster/master_server.h"
+#include "src/log/side_log.h"
+
+namespace rocksteady {
+
+class PriorityPullManager {
+ public:
+  struct Options {
+    // §4.1: "PriorityPulls returned a batch of at most 16 records."
+    size_t max_batch = 16;
+    bool enabled = true;
+  };
+
+  PriorityPullManager(MasterServer* target, NodeId source_node, TableId table,
+                      const Options& options)
+      : target_(target), source_node_(source_node), table_(table), options_(options) {}
+
+  // Replayed records land here (processed "identically to Pulls", §3).
+  void set_side_log(SideLog* side_log) { side_log_ = side_log; }
+
+  // A read missed (table, hash). Schedules the hash (batched) and returns
+  // the absolute time the target expects to have the record.
+  Tick OnMissingRecord(KeyHash hash);
+
+  bool IsKnownAbsent(KeyHash hash) const { return known_absent_.contains(hash); }
+
+  // Synchronous mode: fetches the single record while holding a worker, then
+  // replies to the client read itself. Returns true (always services).
+  bool ServiceSynchronously(KeyHash hash, RpcContext* context);
+
+  bool idle() const { return !in_flight_ && pending_.empty(); }
+  void Shutdown() { shutdown_ = true; }
+
+  uint64_t batches_issued() const { return batches_issued_; }
+  uint64_t records_pulled() const { return records_pulled_; }
+  uint64_t not_found_count() const { return not_found_count_; }
+  uint64_t sync_pulls() const { return sync_pulls_; }
+
+ private:
+  void IssueBatch();
+
+  MasterServer* target_;
+  NodeId source_node_;
+  TableId table_;
+  Options options_;
+  SideLog* side_log_ = nullptr;
+  bool in_flight_ = false;
+  bool shutdown_ = false;
+  std::deque<KeyHash> pending_;
+  std::unordered_set<KeyHash> scheduled_;  // Pending or in flight (dedup).
+  std::unordered_set<KeyHash> known_absent_;
+  uint64_t batches_issued_ = 0;
+  uint64_t records_pulled_ = 0;
+  uint64_t not_found_count_ = 0;
+  uint64_t sync_pulls_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_MIGRATION_PRIORITY_PULL_MANAGER_H_

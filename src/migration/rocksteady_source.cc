@@ -1,0 +1,158 @@
+#include "src/migration/rocksteady_source.h"
+
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace rocksteady {
+
+namespace {
+
+void HandlePrepareMigration(MasterServer* master, RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<PrepareMigrationResponse>();
+  master->cores().EnqueueWorker(
+      {Priority::kClient,
+       [master, shared, response] {
+         auto& req = shared->As<PrepareMigrationRequest>();
+         Tablet* tablet = master->objects().tablets().Find(req.table, req.start_hash);
+         if (tablet == nullptr || tablet->start_hash != req.start_hash ||
+             tablet->end_hash != req.end_hash) {
+           response->status = Status::kTableNotFound;
+           return Tick{500};
+         }
+         if (req.freeze) {
+           // Immediate ownership transfer: from this instant the source
+           // serves each migrating record at most once more (via pulls).
+           tablet->state = TabletState::kMigrationSource;
+         }
+         response->version_horizon = master->objects().version_horizon();
+         response->num_hash_buckets = master->objects().hash_table().num_buckets();
+         return Tick{1'000};
+       },
+       [shared, response] {
+         shared->reply(std::make_unique<PrepareMigrationResponse>(*response));
+       }});
+}
+
+void HandlePull(MasterServer* master, RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<PullResponse>();
+  master->cores().EnqueueWorker(
+      {Priority::kMigration,  // §4.1: "Pulls were configured to have the
+                              // lowest priority in the system."
+       [master, shared, response] {
+         auto& req = shared->As<PullRequest>();
+         const HashTable& table = master->objects().hash_table();
+         const Log& log = master->objects().log();
+         size_t bytes = 0;
+         size_t records = 0;
+         const size_t cursor = table.ScanBuckets(
+             static_cast<size_t>(req.bucket_end), static_cast<size_t>(req.cursor),
+             [&](KeyHash hash, LogRef ref) {
+               if (hash < req.start_hash || hash > req.end_hash) {
+                 return;  // Boundary bucket: hash outside the tablet.
+               }
+               LogEntryView entry;
+               if (!log.Read(ref, &entry) || entry.table_id() != req.table ||
+                   entry.type() != LogEntryType::kObject) {
+                 return;
+               }
+               if (entry.version() <= req.min_version) {
+                 return;  // Delta round: unchanged since the last pass.
+               }
+               const uint8_t* raw = nullptr;
+               size_t length = 0;
+               log.RawEntry(ref, &raw, &length);
+               response->records.insert(response->records.end(), raw, raw + length);
+               bytes += length;
+               records++;
+             },
+             [&] { return bytes < req.budget_bytes; });
+         response->record_count = static_cast<uint32_t>(records);
+         response->next_cursor = cursor;
+         response->done = cursor >= req.bucket_end;
+         return master->costs().PullCost(records, bytes);
+       },
+       [shared, response] {
+         auto out = std::make_unique<PullResponse>();
+         out->status = response->status;
+         out->records = std::move(response->records);
+         out->record_count = response->record_count;
+         out->next_cursor = response->next_cursor;
+         out->done = response->done;
+         shared->reply(std::move(out));
+       }});
+}
+
+void HandlePriorityPull(MasterServer* master, RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  auto response = std::make_shared<PriorityPullResponse>();
+  master->cores().EnqueueWorker(
+      {Priority::kPriorityPull,  // §4.1: highest priority in the system —
+                                 // the target is servicing its own client.
+       [master, shared, response] {
+         auto& req = shared->As<PriorityPullRequest>();
+         const HashTable& table = master->objects().hash_table();
+         const Log& log = master->objects().log();
+         size_t bytes = 0;
+         for (const KeyHash hash : req.hashes) {
+           const LogRef ref = table.Lookup(hash);
+           LogEntryView entry;
+           if (!ref.valid() || !log.Read(ref, &entry) || entry.table_id() != req.table ||
+               entry.type() != LogEntryType::kObject) {
+             // Authoritatively absent: the migrating tablet is immutable.
+             response->not_found.push_back(hash);
+             continue;
+           }
+           const uint8_t* raw = nullptr;
+           size_t length = 0;
+           log.RawEntry(ref, &raw, &length);
+           response->records.insert(response->records.end(), raw, raw + length);
+           response->record_count++;
+           bytes += length;
+         }
+         return master->costs().PriorityPullCost(req.hashes.size()) +
+                static_cast<Tick>(master->costs().pull_per_byte_ns * static_cast<double>(bytes));
+       },
+       [shared, response] {
+         auto out = std::make_unique<PriorityPullResponse>();
+         out->status = response->status;
+         out->records = std::move(response->records);
+         out->record_count = response->record_count;
+         out->not_found = std::move(response->not_found);
+         shared->reply(std::move(out));
+       }});
+}
+
+void HandleReleaseTablet(MasterServer* master, RpcContext context) {
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  master->cores().EnqueueWorker(
+      {Priority::kMigration,
+       [master, shared] {
+         auto& req = shared->As<ReleaseTabletRequest>();
+         master->objects().tablets().Remove(req.table, req.start_hash, req.end_hash);
+         const size_t dropped =
+             master->objects().DropTabletEntries(req.table, req.start_hash, req.end_hash);
+         // Dropping hash-table entries is cheap; the log space is reclaimed
+         // by the cleaner over time.
+         return Tick{1'000} + 50 * static_cast<Tick>(dropped) / 100;
+       },
+       [shared] { shared->reply(std::make_unique<StatusResponse>()); }});
+}
+
+}  // namespace
+
+void InstallRocksteadySourceHandlers(MasterServer* master) {
+  master->endpoint().Register(Opcode::kPrepareMigration, [master](RpcContext c) {
+    HandlePrepareMigration(master, std::move(c));
+  });
+  master->endpoint().Register(Opcode::kPull,
+                              [master](RpcContext c) { HandlePull(master, std::move(c)); });
+  master->endpoint().Register(
+      Opcode::kPriorityPull, [master](RpcContext c) { HandlePriorityPull(master, std::move(c)); });
+  master->endpoint().Register(
+      Opcode::kReleaseTablet, [master](RpcContext c) { HandleReleaseTablet(master, std::move(c)); });
+}
+
+}  // namespace rocksteady

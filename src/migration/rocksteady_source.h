@@ -1,0 +1,24 @@
+// Source-side Rocksteady handlers (§3.1.1, §3.3).
+//
+// The source keeps *no* migration state: Pull cursors live at the target,
+// and the migrating tablet is immutable here. Handlers:
+//   kPrepareMigration — mark the tablet immutable, report version horizon +
+//                       hash-table geometry.
+//   kPull             — lowest priority; scan whole buckets of one hash
+//                       partition, return ~20 KB of raw log entries.
+//   kPriorityPull     — highest priority; return specific records by hash.
+//   kReleaseTablet    — migration finished; drop the local copy.
+#ifndef ROCKSTEADY_SRC_MIGRATION_ROCKSTEADY_SOURCE_H_
+#define ROCKSTEADY_SRC_MIGRATION_ROCKSTEADY_SOURCE_H_
+
+#include "src/cluster/master_server.h"
+
+namespace rocksteady {
+
+// Registers the source-side migration handlers on `master`. Installed on
+// every server by EnableMigration (any server can be a migration source).
+void InstallRocksteadySourceHandlers(MasterServer* master);
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_MIGRATION_ROCKSTEADY_SOURCE_H_

@@ -1,0 +1,528 @@
+#include "src/migration/rocksteady_target.h"
+
+#include <cassert>
+
+#include <bit>
+
+#include "src/common/logging.h"
+#include "src/migration/migration_state.h"
+#include "src/migration/ramcloud_migration.h"
+#include "src/migration/rocksteady_source.h"
+
+namespace rocksteady {
+
+namespace {
+
+// Adds a manager to the server's migration state and returns a raw handle.
+RocksteadyMigrationManager* ParkManager(MasterServer* master,
+                                        std::shared_ptr<RocksteadyMigrationManager> manager) {
+  auto* state = GetServerMigrationState(master);
+  state->inbound.push_back(manager.get());
+  state->owned.push_back(std::move(manager));
+  return state->inbound.back();
+}
+
+// Pseudo-segment ids for synchronous re-replication streams (distinct from
+// real log segments; only load matters for these replicas).
+constexpr uint32_t kSyncReplStreamBase = 0x40000000;
+
+}  // namespace
+
+RocksteadyMigrationManager::RocksteadyMigrationManager(
+    MasterServer* target, TableId table, KeyHash start_hash, KeyHash end_hash, ServerId source,
+    RocksteadyOptions options, std::function<void(const MigrationStats&)> done)
+    : target_(target),
+      table_(table),
+      start_hash_(start_hash),
+      end_hash_(end_hash),
+      source_(source),
+      options_(std::move(options)),
+      done_(std::move(done)) {
+  source_node_ = target_->coordinator().NodeOf(source_);
+}
+
+RocksteadyMigrationManager::~RocksteadyMigrationManager() = default;
+
+void RocksteadyMigrationManager::ManagerTick(std::function<void()> fn) {
+  // §3.1.2: the migration manager runs as an asynchronous continuation on
+  // the target's dispatch core; §4.3: it "requires little CPU".
+  target_->cores().EnqueueDispatch(target_->costs().dispatch_manager_ns, std::move(fn));
+}
+
+void RocksteadyMigrationManager::Start() {
+  stats_.start_time = target_->sim().now();
+  auto prepare = std::make_unique<PrepareMigrationRequest>();
+  prepare->table = table_;
+  prepare->start_hash = start_hash_;
+  prepare->end_hash = end_hash_;
+  prepare->target = target_->id();
+  prepare->freeze = options_.mode != MigrationMode::kSourceOwns;
+  target_->rpc().Call(
+      target_->node(), source_node_, std::move(prepare),
+      [this](Status status, std::unique_ptr<RpcResponse> response) {
+        if (aborted_) {
+          return;
+        }
+        if (status != Status::kOk || response->status != Status::kOk) {
+          LOG_ERROR("migration: PrepareMigration failed (%d)", static_cast<int>(status));
+          return;
+        }
+        OnPrepared(static_cast<PrepareMigrationResponse&>(*response));
+      },
+      target_->costs().migration_rpc_timeout_ns);
+}
+
+void RocksteadyMigrationManager::OnPrepared(const PrepareMigrationResponse& response) {
+  SetUpPartitions(response.num_hash_buckets);
+  round_start_horizon_ = response.version_horizon;
+
+  if (options_.mode == MigrationMode::kSourceOwns) {
+    // Pre-copy comparison: no ownership transfer, no lineage; replayed data
+    // is synchronously re-replicated. Just start pulling rounds.
+    StartRound(0);
+    return;
+  }
+
+  // Immediate ownership transfer. Seed the version horizon so local writes
+  // always beat replayed source records (any-order replay safety).
+  target_->objects().RaiseVersionHorizon(response.version_horizon);
+  target_->objects().tablets().Add(
+      Tablet{table_, start_hash_, end_hash_, TabletState::kMigrationTarget});
+  PriorityPullManager::Options pp_options;
+  pp_options.max_batch = options_.priority_pull_batch;
+  pp_options.enabled = options_.mode == MigrationMode::kRocksteady;
+  priority_pulls_ =
+      std::make_unique<PriorityPullManager>(target_, source_node_, table_, pp_options);
+  priority_pulls_->set_side_log(side_logs_.back().get());
+  target_->set_migration_hooks(this);
+
+  // §3.4: register the source's dependency on our log tail at the
+  // coordinator, together with the ownership change (one contact).
+  const auto head = target_->objects().log().HeadPosition();
+  auto reg = std::make_unique<RegisterDependencyRequest>();
+  reg->source = source_;
+  reg->target = target_->id();
+  reg->table = table_;
+  reg->start_hash = start_hash_;
+  reg->end_hash = end_hash_;
+  reg->target_log_segment = head.first;
+  reg->target_log_offset = head.second;
+  target_->rpc().Call(
+      target_->node(), target_->coordinator().node(), std::move(reg),
+      [this](Status, std::unique_ptr<RpcResponse>) {
+        auto own = std::make_unique<UpdateOwnershipRequest>();
+        own->table = table_;
+        own->start_hash = start_hash_;
+        own->end_hash = end_hash_;
+        own->new_owner = target_->id();
+        target_->rpc().Call(target_->node(), target_->coordinator().node(), std::move(own),
+                            [this](Status, std::unique_ptr<RpcResponse>) {
+                              if (!aborted_) {
+                                StartRound(0);
+                              }
+                            });
+      });
+}
+
+void RocksteadyMigrationManager::SetUpPartitions(uint64_t num_buckets) {
+  // Map the migrating hash range onto the source's bucket space; §3.1.1:
+  // concurrent Pulls work on disjoint bucket regions. num_buckets = 2^k.
+  const int log2 = std::countr_zero(num_buckets);
+  const uint64_t first_bucket = start_hash_ >> (64 - log2);
+  const uint64_t last_bucket = end_hash_ >> (64 - log2);
+  const uint64_t begin = first_bucket;
+  const uint64_t end = last_bucket + 1;
+  partitions_.clear();
+  side_logs_.clear();
+  const uint64_t span = end - begin;
+  const size_t parts = std::min<size_t>(options_.num_partitions, span);
+  for (size_t i = 0; i < parts; i++) {
+    Partition partition;
+    partition.bucket_begin = begin + span * i / parts;
+    partition.bucket_end = begin + span * (i + 1) / parts;
+    partition.cursor = partition.bucket_begin;
+    partitions_.push_back(partition);
+    side_logs_.push_back(std::make_unique<SideLog>(&target_->objects().log()));
+  }
+  // One extra side log for PriorityPull replay.
+  side_logs_.push_back(std::make_unique<SideLog>(&target_->objects().log()));
+}
+
+void RocksteadyMigrationManager::StartRound(Version min_version) {
+  round_min_version_ = min_version;
+  stats_.rounds++;
+  for (auto& partition : partitions_) {
+    partition.cursor = partition.bucket_begin;
+    partition.source_exhausted = false;
+  }
+  PumpPulls();
+}
+
+void RocksteadyMigrationManager::PumpPulls() {
+  if (aborted_ || !options_.background_pulls) {
+    return;
+  }
+  for (size_t i = 0; i < partitions_.size(); i++) {
+    Partition& partition = partitions_[i];
+    if (!partition.pull_in_flight && !partition.source_exhausted &&
+        partition.replay_backlog < options_.max_replay_backlog) {
+      IssuePull(i);
+    }
+  }
+}
+
+void RocksteadyMigrationManager::IssuePull(size_t partition_index) {
+  Partition& partition = partitions_[partition_index];
+  partition.pull_in_flight = true;
+  ManagerTick([this, partition_index] {
+    if (aborted_) {
+      return;
+    }
+    Partition& partition = partitions_[partition_index];
+    auto request = std::make_unique<PullRequest>();
+    request->table = table_;
+    request->start_hash = start_hash_;
+    request->end_hash = end_hash_;
+    request->bucket_begin = partition.bucket_begin;
+    request->bucket_end = partition.bucket_end;
+    request->cursor = partition.cursor;
+    request->budget_bytes = options_.pull_budget_bytes;
+    request->min_version = round_min_version_;
+    target_->rpc().Call(
+        target_->node(), source_node_, std::move(request),
+        [this, partition_index](Status status, std::unique_ptr<RpcResponse> response) {
+          if (aborted_) {
+            return;
+          }
+          if (status != Status::kOk) {
+            // Source unreachable; the coordinator's recovery will abort us.
+            partitions_[partition_index].pull_in_flight = false;
+            return;
+          }
+          OnPullResponse(partition_index,
+                         std::unique_ptr<PullResponse>(
+                             static_cast<PullResponse*>(response.release())));
+        },
+        target_->costs().migration_rpc_timeout_ns);
+  });
+}
+
+void RocksteadyMigrationManager::OnPullResponse(size_t partition_index,
+                                                std::unique_ptr<PullResponse> response) {
+  Partition& partition = partitions_[partition_index];
+  partition.pull_in_flight = false;
+  partition.cursor = response->next_cursor;
+  partition.source_exhausted = response->done;
+  stats_.pulls_completed++;
+  stats_.last_pull_time = target_->sim().now();
+  stats_.bytes_pulled += response->records.size();
+  stats_.records_pulled += response->record_count;
+  if (bytes_timeline_ != nullptr) {
+    bytes_timeline_->Add(target_->sim().now(), response->records.size());
+  }
+
+  const bool sync_rerepl =
+      !options_.lazy_rereplication || options_.mode == MigrationMode::kSourceOwns;
+
+  if (response->record_count > 0) {
+    partition.replay_backlog++;
+    auto shared = std::make_shared<PullResponse>(std::move(*response));
+    // §3.1.2/§3.1.3: replay on any idle worker, lowest priority, into this
+    // partition's side log (no contention with other replay workers).
+    target_->cores().EnqueueWorker(
+        {Priority::kMigration,
+         [this, shared, partition_index] {
+           size_t offset = 0;
+           size_t replayed = 0;
+           while (offset < shared->records.size()) {
+             LogEntryView entry;
+             if (!ReadEntry(shared->records.data() + offset, shared->records.size() - offset,
+                            &entry)) {
+               break;
+             }
+             target_->objects().Replay(entry, side_logs_[partition_index].get());
+             replayed++;
+             offset += entry.header.TotalLength();
+           }
+           return target_->costs().ReplayCost(replayed, shared->records.size());
+         },
+         [this, shared, partition_index, sync_rerepl] {
+           Partition& partition = partitions_[partition_index];
+           if (sync_rerepl) {
+             // Fig. 9c / ablation: replicated before this partition's next
+             // pull proceeds — re-replication is on the migration fast path.
+             const uint32_t stream =
+                 kSyncReplStreamBase + static_cast<uint32_t>(partition_index);
+             stats_.rereplicated_bytes += shared->records.size();
+             target_->cores().EnqueueWorker(
+                 {Priority::kReplication,
+                  [this, shared] {
+                    return target_->costs().ReplicationSrcCost(shared->records.size());
+                  },
+                  [this, shared, stream, partition_index] {
+                    target_->replicas().Replicate(
+                        stream, 0, shared->records.data(), shared->records.size(),
+                        [this, partition_index](Status) {
+                          if (aborted_) {
+                            return;
+                          }
+                          partitions_[partition_index].replay_backlog--;
+                          PumpPulls();
+                          OnRoundComplete();
+                        });
+                  }});
+             return;
+           }
+           partition.replay_backlog--;
+           PumpPulls();
+           OnRoundComplete();
+         }});
+  }
+  PumpPulls();
+  OnRoundComplete();
+}
+
+void RocksteadyMigrationManager::OnRoundComplete() {
+  if (aborted_ || finished_) {
+    return;
+  }
+  for (const auto& partition : partitions_) {
+    if (!partition.Done()) {
+      return;
+    }
+  }
+  // Wait for in-flight PriorityPulls to drain (their records are duplicates
+  // by now, but keep the state machine tidy).
+  if (priority_pulls_ != nullptr && !priority_pulls_->idle()) {
+    target_->sim().After(10 * kMicrosecond, [this] { OnRoundComplete(); });
+    return;
+  }
+
+  if (options_.mode == MigrationMode::kSourceOwns) {
+    if (!frozen_) {
+      // Round 1 done: freeze the source, then pull the delta (records
+      // written during round 1 have version > round_start_horizon_).
+      frozen_ = true;
+      auto prepare = std::make_unique<PrepareMigrationRequest>();
+      prepare->table = table_;
+      prepare->start_hash = start_hash_;
+      prepare->end_hash = end_hash_;
+      prepare->target = target_->id();
+      prepare->freeze = true;
+      target_->rpc().Call(
+          target_->node(), source_node_, std::move(prepare),
+          [this](Status status, std::unique_ptr<RpcResponse> response) {
+            if (aborted_ || status != Status::kOk) {
+              return;
+            }
+            const Version frozen_horizon =
+                static_cast<PrepareMigrationResponse&>(*response).version_horizon;
+            const Version delta_from = round_start_horizon_;
+            round_start_horizon_ = frozen_horizon;
+            StartRound(delta_from);
+          },
+          target_->costs().migration_rpc_timeout_ns);
+      return;
+    }
+    // Delta round done: switch ownership and go live.
+    target_->objects().RaiseVersionHorizon(round_start_horizon_);
+    target_->objects().tablets().Add(
+        Tablet{table_, start_hash_, end_hash_, TabletState::kNormal});
+    auto own = std::make_unique<UpdateOwnershipRequest>();
+    own->table = table_;
+    own->start_hash = start_hash_;
+    own->end_hash = end_hash_;
+    own->new_owner = target_->id();
+    target_->rpc().Call(target_->node(), target_->coordinator().node(), std::move(own),
+                        [this](Status, std::unique_ptr<RpcResponse>) { CommitAndComplete(); });
+    return;
+  }
+
+  if (options_.lazy_rereplication) {
+    FinishLazyReplication();
+  } else {
+    CommitAndComplete();
+  }
+}
+
+void RocksteadyMigrationManager::FinishLazyReplication() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;  // Guard against re-entry from late OnRoundComplete calls.
+  // §3.1.3 / §3.4: "At the end of migration, each side log's segments are
+  // lazily replicated, and then the side log is committed into the main
+  // log." The replication runs entirely in the background: bounded 64 KB
+  // chunks at migration (lowest) priority, so foreground ops — and other
+  // masters' foreground replication to this server's backup — never queue
+  // behind it.
+  struct Chunk {
+    const Segment* segment;
+    uint32_t offset;
+    size_t length;
+    bool last;
+  };
+  std::vector<Chunk> chunks;
+  for (const auto& side_log : side_logs_) {
+    for (const auto& segment : side_log->segments()) {
+      stats_.rereplicated_bytes += segment->used();
+      for (size_t offset = 0; offset < segment->used();
+           offset += ReplicaManager::kBulkChunkBytes) {
+        const size_t length =
+            std::min(ReplicaManager::kBulkChunkBytes, segment->used() - offset);
+        chunks.push_back(Chunk{segment.get(), static_cast<uint32_t>(offset), length,
+                               offset + length >= segment->used()});
+      }
+    }
+  }
+  if (chunks.empty()) {
+    CommitAndComplete();
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(chunks.size());
+  for (const Chunk& chunk : chunks) {
+    target_->cores().EnqueueWorker(
+        {Priority::kMigration,
+         [this, chunk] { return target_->costs().ReplicationSrcCost(chunk.length); },
+         [this, chunk, remaining] {
+           target_->replicas().ReplicateBulk(chunk.segment->id(), chunk.offset,
+                                             chunk.segment->data() + chunk.offset, chunk.length,
+                                             chunk.last, [this, remaining](Status) {
+                                               if (--*remaining == 0) {
+                                                 CommitAndComplete();
+                                               }
+                                             });
+         }});
+  }
+}
+
+void RocksteadyMigrationManager::CommitAndComplete() {
+  finished_ = true;
+  for (auto& side_log : side_logs_) {
+    side_log->Commit();
+  }
+  if (priority_pulls_ != nullptr) {
+    priority_pulls_->Shutdown();
+    stats_.priority_pull_batches = priority_pulls_->batches_issued();
+    stats_.priority_pull_records = priority_pulls_->records_pulled();
+  }
+  if (Tablet* tablet = target_->objects().tablets().Find(table_, start_hash_)) {
+    tablet->state = TabletState::kNormal;
+  }
+  if (target_->migration_hooks() == this) {
+    target_->set_migration_hooks(nullptr);
+  }
+  // Tell the coordinator the lineage dependency is gone...
+  if (options_.mode != MigrationMode::kSourceOwns) {
+    auto drop = std::make_unique<DropDependencyRequest>();
+    drop->source = source_;
+    drop->target = target_->id();
+    drop->table = table_;
+    target_->rpc().Call(target_->node(), target_->coordinator().node(), std::move(drop),
+                        [](Status, std::unique_ptr<RpcResponse>) {});
+  }
+  // ...and tell the source it can free its copy.
+  auto release = std::make_unique<ReleaseTabletRequest>();
+  release->table = table_;
+  release->start_hash = start_hash_;
+  release->end_hash = end_hash_;
+  target_->rpc().Call(target_->node(), source_node_, std::move(release),
+                      [](Status, std::unique_ptr<RpcResponse>) {});
+
+  stats_.end_time = target_->sim().now();
+  LOG_INFO("migration done: %.1f MB in %.2f s (%.0f MB/s), %llu pulls, %llu pp batches",
+           static_cast<double>(stats_.bytes_pulled) / 1e6, stats_.DurationSeconds(),
+           stats_.RateMBps(), static_cast<unsigned long long>(stats_.pulls_completed),
+           static_cast<unsigned long long>(stats_.priority_pull_batches));
+  if (done_) {
+    done_(stats_);
+  }
+}
+
+void RocksteadyMigrationManager::Abort() {
+  if (aborted_ || finished_) {
+    return;
+  }
+  aborted_ = true;
+  if (priority_pulls_ != nullptr) {
+    priority_pulls_->Shutdown();
+  }
+  for (auto& side_log : side_logs_) {
+    target_->objects().DropSideLogEntries(*side_log);
+    side_log->Abort();
+  }
+  target_->objects().tablets().Remove(table_, start_hash_, end_hash_);
+  if (target_->migration_hooks() == this) {
+    target_->set_migration_hooks(nullptr);
+  }
+  LOG_INFO("migration aborted on target %u", target_->id());
+}
+
+Tick RocksteadyMigrationManager::OnMissingRecord(TableId table, KeyHash hash) {
+  assert(table == table_);
+  (void)table;
+  return priority_pulls_->OnMissingRecord(hash);
+}
+
+bool RocksteadyMigrationManager::IsKnownAbsent(TableId table, KeyHash hash) {
+  (void)table;
+  return priority_pulls_ != nullptr && priority_pulls_->IsKnownAbsent(hash);
+}
+
+bool RocksteadyMigrationManager::ServiceReadSynchronously(TableId table, KeyHash hash,
+                                                          RpcContext* context) {
+  (void)table;
+  if (!options_.sync_priority_pulls || priority_pulls_ == nullptr) {
+    return false;
+  }
+  return priority_pulls_->ServiceSynchronously(hash, context);
+}
+
+void InstallRocksteadyHandlers(MasterServer* master) {
+  InstallRocksteadySourceHandlers(master);
+  master->endpoint().Register(Opcode::kMigrateTablet, [master](RpcContext context) {
+    auto& request = context.As<MigrateTabletRequest>();
+    auto* manager = ParkManager(
+        master, std::make_shared<RocksteadyMigrationManager>(
+                    master, request.table, request.start_hash, request.end_hash, request.source,
+                    RocksteadyOptions{}, nullptr));
+    manager->Start();
+    context.reply(std::make_unique<StatusResponse>());
+  });
+}
+
+void EnableMigration(Cluster* cluster) {
+  for (size_t i = 0; i < cluster->num_masters(); i++) {
+    InstallRocksteadyHandlers(&cluster->master(i));
+    InstallBaselineMigrationHandlers(&cluster->master(i));
+  }
+  cluster->coordinator().abort_inbound_migration = [](MasterServer* target, TableId table) {
+    auto* state = GetServerMigrationState(target);
+    for (auto* manager : state->inbound) {
+      if (!manager->finished()) {
+        manager->Abort();
+      }
+    }
+    (void)table;
+  };
+}
+
+RocksteadyMigrationManager* StartRocksteadyMigration(
+    Cluster* cluster, TableId table, KeyHash start_hash, KeyHash end_hash, size_t source_index,
+    size_t target_index, const RocksteadyOptions& options,
+    std::function<void(const MigrationStats&)> done) {
+  // The paper's client first splits the tablet, then issues MigrateTablet.
+  cluster->coordinator().SplitTablet(table, start_hash);
+  if (end_hash != ~0ull) {
+    cluster->coordinator().SplitTablet(table, end_hash + 1);
+  }
+  MasterServer& target = cluster->master(target_index);
+  auto* manager = ParkManager(
+      &target, std::make_shared<RocksteadyMigrationManager>(
+                   &target, table, start_hash, end_hash, cluster->master(source_index).id(),
+                   options, std::move(done)));
+  manager->Start();
+  return manager;
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,169 @@
+// Target-side Rocksteady migration manager (§3.1.2, §3.1.3, §3.4).
+//
+// Runs as asynchronous continuations on the target's dispatch core. It
+// partitions the source's key-hash space, keeps one pipelined Pull
+// outstanding per partition (flow-controlled by replay backlog), replays
+// completed Pulls on idle workers at the lowest priority into per-partition
+// side logs, and at the end lazily re-replicates + commits the side logs and
+// drops the lineage dependency.
+//
+// Modes (the evaluation's comparisons):
+//  * kRocksteady          — full protocol (Figures 9-11a).
+//  * kNoPriorityPulls     — ownership transfers but misses only resolve via
+//                           background Pulls (Figures 9-11b).
+//  * kSourceOwns          — pre-copy: source keeps ownership and keeps
+//                           serving; rounds of pulls with synchronous
+//                           re-replication, then freeze + delta + switch
+//                           (Figures 9-11c).
+//  * sync_priority_pulls  — naive synchronous PriorityPulls (Figures 13-14).
+#ifndef ROCKSTEADY_SRC_MIGRATION_ROCKSTEADY_TARGET_H_
+#define ROCKSTEADY_SRC_MIGRATION_ROCKSTEADY_TARGET_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/master_server.h"
+#include "src/migration/priority_pull_manager.h"
+
+namespace rocksteady {
+
+enum class MigrationMode {
+  kRocksteady,
+  kNoPriorityPulls,
+  kSourceOwns,
+};
+
+struct RocksteadyOptions {
+  MigrationMode mode = MigrationMode::kRocksteady;
+  // §4.1: "partition the source's key hash space into 8 parts, with each
+  // Pull returning 20 KB of data."
+  size_t num_partitions = 8;
+  uint32_t pull_budget_bytes = 20 * 1024;
+  size_t priority_pull_batch = 16;
+  // Figures 13-14: hold a worker per missed read instead of batching.
+  bool sync_priority_pulls = false;
+  // Figures 13-14 also disable background Pulls entirely.
+  bool background_pulls = true;
+  // Ablation: replicate replayed data synchronously during migration even
+  // in ownership-transfer mode (§4.2 reports lazy is 1.4x faster).
+  bool lazy_rereplication = true;
+  // Max un-replayed pull responses per partition before pulls pause (the
+  // "built-in flow control", §3.1.2).
+  size_t max_replay_backlog = 2;
+};
+
+struct MigrationStats {
+  Tick start_time = 0;
+  Tick end_time = 0;
+  uint64_t bytes_pulled = 0;
+  uint64_t records_pulled = 0;
+  uint64_t pulls_completed = 0;
+  uint64_t priority_pull_batches = 0;
+  uint64_t priority_pull_records = 0;
+  uint64_t rereplicated_bytes = 0;
+  uint64_t rounds = 0;  // Pre-copy mode: pull rounds (1 + deltas).
+  // When the last Pull completed (before end-of-migration replication /
+  // commit); isolates transfer speed from the lazy-replication epilogue.
+  Tick last_pull_time = 0;
+
+  double DurationSeconds() const {
+    return static_cast<double>(end_time - start_time) / static_cast<double>(kSecond);
+  }
+  // Effective migration rate over moved record bytes.
+  double RateMBps() const {
+    const double seconds = DurationSeconds();
+    return seconds <= 0 ? 0 : static_cast<double>(bytes_pulled) / 1e6 / seconds;
+  }
+};
+
+class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
+ public:
+  RocksteadyMigrationManager(MasterServer* target, TableId table, KeyHash start_hash,
+                             KeyHash end_hash, ServerId source, RocksteadyOptions options,
+                             std::function<void(const MigrationStats&)> done);
+  ~RocksteadyMigrationManager() override;
+
+  void Start();
+
+  // Source crashed: drop all partial state (side logs + hash-table refs);
+  // recovery re-homes the tablet.
+  void Abort();
+
+  const MigrationStats& stats() const { return stats_; }
+  bool finished() const { return finished_; }
+
+  // Bytes-moved timeline (optional; drives Figure 9-11 rate curves).
+  void set_bytes_timeline(CounterTimeline* timeline) { bytes_timeline_ = timeline; }
+
+  // --- MasterServer::MigrationHooks ---
+  Tick OnMissingRecord(TableId table, KeyHash hash) override;
+  bool IsKnownAbsent(TableId table, KeyHash hash) override;
+  bool ServiceReadSynchronously(TableId table, KeyHash hash, RpcContext* context) override;
+
+ private:
+  struct Partition {
+    uint64_t bucket_begin = 0;
+    uint64_t bucket_end = 0;
+    uint64_t cursor = 0;
+    bool pull_in_flight = false;
+    bool source_exhausted = false;
+    size_t replay_backlog = 0;  // Completed pulls not yet replayed.
+
+    bool Done() const { return source_exhausted && !pull_in_flight && replay_backlog == 0; }
+  };
+
+  // Runs `fn` as a migration-manager continuation on the dispatch core.
+  void ManagerTick(std::function<void()> fn);
+
+  void OnPrepared(const PrepareMigrationResponse& response);
+  void SetUpPartitions(uint64_t num_buckets);
+  void StartRound(Version min_version);
+  void PumpPulls();
+  void IssuePull(size_t partition_index);
+  void OnPullResponse(size_t partition_index, std::unique_ptr<PullResponse> response);
+  void OnRoundComplete();
+  void FinishLazyReplication();
+  void CommitAndComplete();
+
+  MasterServer* target_;
+  TableId table_;
+  KeyHash start_hash_;
+  KeyHash end_hash_;
+  ServerId source_;
+  NodeId source_node_ = 0;
+  RocksteadyOptions options_;
+  std::function<void(const MigrationStats&)> done_;
+  MigrationStats stats_;
+  CounterTimeline* bytes_timeline_ = nullptr;
+
+  std::vector<Partition> partitions_;
+  std::vector<std::unique_ptr<SideLog>> side_logs_;  // One per partition (+1 for PP).
+  std::unique_ptr<PriorityPullManager> priority_pulls_;
+  Version round_min_version_ = 0;   // Pre-copy delta filter for this round.
+  Version round_start_horizon_ = 0;
+  bool frozen_ = false;  // Pre-copy: source has been frozen.
+  bool finished_ = false;
+  bool aborted_ = false;
+};
+
+// Installs kMigrateTablet + all source-side handlers on `master`. Any
+// server can then act as source or target.
+void InstallRocksteadyHandlers(MasterServer* master);
+
+// Installs Rocksteady (and the baseline migration) on every master of a
+// cluster and hooks migration-abort into crash recovery.
+void EnableMigration(Cluster* cluster);
+
+// Convenience driver used by experiments and tests: splits the tablet at
+// `split_hash`, then asks `target` to migrate [split_hash, end_hash]. The
+// manager lives until completion; `done` receives final stats.
+RocksteadyMigrationManager* StartRocksteadyMigration(
+    Cluster* cluster, TableId table, KeyHash start_hash, KeyHash end_hash, size_t source_index,
+    size_t target_index, const RocksteadyOptions& options,
+    std::function<void(const MigrationStats&)> done);
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_MIGRATION_ROCKSTEADY_TARGET_H_

@@ -1,0 +1,6 @@
+#include "src/rpc/messages.h"
+
+// Message types are header-only aggregates; this anchor keeps one
+// translation unit per library component.
+
+namespace rocksteady {}  // namespace rocksteady

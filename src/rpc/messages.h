@@ -1,0 +1,420 @@
+// RPC message types.
+//
+// All RAMCloud/Rocksteady operations travel as typed request/response objects
+// through the simulated fabric. Payloads are real C++ objects (records carry
+// real bytes); WireSize() declares how many bytes the message charges against
+// link bandwidth, mirroring a compact binary wire format.
+#ifndef ROCKSTEADY_SRC_RPC_MESSAGES_H_
+#define ROCKSTEADY_SRC_RPC_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/network.h"
+
+namespace rocksteady {
+
+enum class Opcode : uint8_t {
+  kInvalid = 0,
+  // Data path.
+  kRead,
+  kWrite,
+  kRemove,
+  kMultiGet,       // By full key (Figure 3 workload).
+  kMultiGetHash,   // By primary key hash (index-driven reads, Figure 4).
+  kIndexLookup,    // Short secondary-index range scan: returns key hashes.
+  kIndexInsert,    // Master -> indexlet owner on writes to indexed tables.
+  // Replication and recovery.
+  kBackupWrite,
+  kGetRecoveryData,
+  // Coordinator.
+  kGetTableConfig,
+  kRegisterDependency,
+  kDropDependency,
+  kUpdateOwnership,
+  // Rocksteady migration.
+  kMigrateTablet,     // Client -> target: start migration.
+  kPrepareMigration,  // Target -> source: mark tablet immutable, get horizon.
+  kPull,              // Target -> source: bulk batch (lowest priority).
+  kPriorityPull,      // Target -> source: specific hashes (highest priority).
+  kReleaseTablet,     // Target -> source: migration done, drop your copy.
+  // Baseline (pre-existing RAMCloud) migration.
+  kBaselineMigrate,  // Client -> source: start source-driven migration.
+  kBaselineReplay,   // Source -> target: batch of records to replay.
+};
+
+// Fixed per-RPC wire overhead (headers, opcode, ids).
+inline constexpr size_t kRpcHeaderBytes = 32;
+
+struct RpcRequest {
+  virtual ~RpcRequest() = default;
+  virtual Opcode op() const = 0;
+  virtual size_t WireSize() const = 0;
+};
+
+struct RpcResponse {
+  virtual ~RpcResponse() = default;
+  virtual size_t WireSize() const { return kRpcHeaderBytes; }
+
+  Status status = Status::kOk;
+};
+
+// Convenience base: empty response carrying only a status.
+struct StatusResponse : RpcResponse {};
+
+// ------------------------------------------------------------- Data path.
+
+struct ReadRequest : RpcRequest {
+  TableId table = 0;
+  std::string key;
+  KeyHash hash = 0;
+
+  Opcode op() const override { return Opcode::kRead; }
+  size_t WireSize() const override { return kRpcHeaderBytes + key.size() + 8; }
+};
+
+struct ReadResponse : RpcResponse {
+  std::string value;
+  Version version = 0;
+  // For Status::kRetryLater: when the target expects the record to be
+  // available (absolute simulated time).
+  Tick retry_after = 0;
+
+  size_t WireSize() const override { return kRpcHeaderBytes + value.size(); }
+};
+
+struct WriteRequest : RpcRequest {
+  TableId table = 0;
+  std::string key;
+  KeyHash hash = 0;
+  std::string value;
+  // Secondary key for indexed tables (empty = unindexed).
+  std::string secondary_key;
+
+  Opcode op() const override { return Opcode::kWrite; }
+  size_t WireSize() const override {
+    return kRpcHeaderBytes + key.size() + value.size() + secondary_key.size() + 8;
+  }
+};
+
+struct WriteResponse : RpcResponse {
+  Version version = 0;
+};
+
+struct RemoveRequest : RpcRequest {
+  TableId table = 0;
+  std::string key;
+  KeyHash hash = 0;
+
+  Opcode op() const override { return Opcode::kRemove; }
+  size_t WireSize() const override { return kRpcHeaderBytes + key.size() + 8; }
+};
+
+struct RemoveResponse : RpcResponse {
+  Version version = 0;
+};
+
+struct MultiGetRequest : RpcRequest {
+  TableId table = 0;
+  std::vector<std::string> keys;
+  std::vector<KeyHash> hashes;
+
+  Opcode op() const override { return Opcode::kMultiGet; }
+  size_t WireSize() const override {
+    size_t size = kRpcHeaderBytes + hashes.size() * 8;
+    for (const auto& key : keys) {
+      size += key.size();
+    }
+    return size;
+  }
+};
+
+struct MultiGetResponse : RpcResponse {
+  std::vector<Status> statuses;
+  std::vector<std::string> values;
+  Tick retry_after = 0;  // Set when any entry is kRetryLater.
+
+  size_t WireSize() const override {
+    size_t size = kRpcHeaderBytes + statuses.size();
+    for (const auto& value : values) {
+      size += value.size();
+    }
+    return size;
+  }
+};
+
+struct MultiGetHashRequest : RpcRequest {
+  TableId table = 0;
+  std::vector<KeyHash> hashes;
+
+  Opcode op() const override { return Opcode::kMultiGetHash; }
+  size_t WireSize() const override { return kRpcHeaderBytes + hashes.size() * 8; }
+};
+
+using MultiGetHashResponse = MultiGetResponse;
+
+struct IndexLookupRequest : RpcRequest {
+  TableId table = 0;
+  uint8_t index_id = 0;
+  std::string start_key;  // First secondary key of the scan.
+  uint32_t count = 4;     // Figure 4: short 4-record scans.
+
+  Opcode op() const override { return Opcode::kIndexLookup; }
+  size_t WireSize() const override { return kRpcHeaderBytes + start_key.size() + 8; }
+};
+
+struct IndexLookupResponse : RpcResponse {
+  std::vector<KeyHash> hashes;  // Indexes store primary key hashes (Fig. 2).
+
+  size_t WireSize() const override { return kRpcHeaderBytes + hashes.size() * 8; }
+};
+
+struct IndexInsertRequest : RpcRequest {
+  TableId table = 0;
+  uint8_t index_id = 0;
+  std::string secondary_key;
+  KeyHash primary_hash = 0;
+
+  Opcode op() const override { return Opcode::kIndexInsert; }
+  size_t WireSize() const override { return kRpcHeaderBytes + secondary_key.size() + 8; }
+};
+
+// ------------------------------------------------ Replication / recovery.
+
+struct BackupWriteRequest : RpcRequest {
+  ServerId master = 0;
+  uint32_t segment_id = 0;
+  uint32_t offset = 0;
+  std::vector<uint8_t> data;  // Real log bytes, replayable at recovery.
+  bool seal = false;
+  // Bulk (lazy re-replication / recovery) writes are processed at background
+  // priority on the backup so durable foreground writes never queue behind
+  // them — the deferred-re-replication spirit of §3.4.
+  bool bulk = false;
+
+  Opcode op() const override { return Opcode::kBackupWrite; }
+  size_t WireSize() const override { return kRpcHeaderBytes + data.size() + 16; }
+};
+
+struct GetRecoveryDataRequest : RpcRequest {
+  ServerId crashed_master = 0;
+  // Only segments with id >= min_segment_id (used for lineage tail replay:
+  // the dependency names a log offset, §3.4).
+  uint32_t min_segment_id = 0;
+
+  Opcode op() const override { return Opcode::kGetRecoveryData; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 8; }
+};
+
+struct RecoverySegment {
+  uint32_t segment_id = 0;
+  std::vector<uint8_t> data;
+};
+
+struct GetRecoveryDataResponse : RpcResponse {
+  std::vector<RecoverySegment> segments;
+
+  size_t WireSize() const override {
+    size_t size = kRpcHeaderBytes;
+    for (const auto& segment : segments) {
+      size += segment.data.size() + 8;
+    }
+    return size;
+  }
+};
+
+// ------------------------------------------------------------ Coordinator.
+
+struct TabletConfigEntry {
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+  ServerId owner = 0;
+  NodeId owner_node = 0;
+};
+
+struct GetTableConfigRequest : RpcRequest {
+  TableId table = 0;
+
+  Opcode op() const override { return Opcode::kGetTableConfig; }
+  size_t WireSize() const override { return kRpcHeaderBytes; }
+};
+
+struct GetTableConfigResponse : RpcResponse {
+  std::vector<TabletConfigEntry> tablets;
+
+  size_t WireSize() const override { return kRpcHeaderBytes + tablets.size() * 28; }
+};
+
+struct RegisterDependencyRequest : RpcRequest {
+  // §3.4: "the dependency ... consists of two integers: one indicating which
+  // master's log it depends on (the target's), and another indicating the
+  // offset into the log where the dependency starts." Plus enough tablet
+  // metadata for recovery to act on it.
+  ServerId source = 0;
+  ServerId target = 0;
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+  uint32_t target_log_segment = 0;  // Dependency starts at this segment...
+  uint32_t target_log_offset = 0;   // ...and offset of the target's log.
+
+  Opcode op() const override { return Opcode::kRegisterDependency; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 40; }
+};
+
+struct DropDependencyRequest : RpcRequest {
+  ServerId source = 0;
+  ServerId target = 0;
+  TableId table = 0;
+
+  Opcode op() const override { return Opcode::kDropDependency; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 16; }
+};
+
+struct UpdateOwnershipRequest : RpcRequest {
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+  ServerId new_owner = 0;
+
+  Opcode op() const override { return Opcode::kUpdateOwnership; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 28; }
+};
+
+// ------------------------------------------------- Rocksteady migration.
+
+struct MigrateTabletRequest : RpcRequest {
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+  ServerId source = 0;
+
+  Opcode op() const override { return Opcode::kMigrateTablet; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 28; }
+};
+
+struct PrepareMigrationRequest : RpcRequest {
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+  ServerId target = 0;
+  // When true, the source marks the tablet immutable (kMigrationSource) and
+  // stops serving it — the normal Rocksteady ownership transfer. When
+  // false, the source only reports its horizon and hash-table geometry (the
+  // pre-copy "source retains ownership" comparison mode, Figure 9c).
+  bool freeze = true;
+
+  Opcode op() const override { return Opcode::kPrepareMigration; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 28; }
+};
+
+struct PrepareMigrationResponse : RpcResponse {
+  // Seeds the target's version horizon above anything the source ever
+  // issued, so target writes always win over replayed source records.
+  Version version_horizon = 0;
+  // The source's hash-table geometry, so the target can partition the
+  // source's bucket space for parallel Pulls (§3.1.1).
+  uint64_t num_hash_buckets = 0;
+};
+
+struct PullRequest : RpcRequest {
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+  // Bucket range of this partition and the scan cursor within it.
+  uint64_t bucket_begin = 0;
+  uint64_t bucket_end = 0;
+  uint64_t cursor = 0;
+  // §4.1: each Pull returns ~20 KB of data.
+  uint32_t budget_bytes = 20 * 1024;
+  // Only return records with version > min_version (delta rounds of the
+  // pre-copy comparison mode; 0 = everything).
+  Version min_version = 0;
+
+  Opcode op() const override { return Opcode::kPull; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 48; }
+};
+
+struct PullResponse : RpcResponse {
+  // Concatenated serialized log entries (validated on replay).
+  std::vector<uint8_t> records;
+  uint32_t record_count = 0;
+  uint64_t next_cursor = 0;
+  bool done = false;  // Partition exhausted.
+
+  size_t WireSize() const override { return kRpcHeaderBytes + records.size() + 16; }
+};
+
+struct PriorityPullRequest : RpcRequest {
+  TableId table = 0;
+  std::vector<KeyHash> hashes;  // Batched (§3.3).
+
+  Opcode op() const override { return Opcode::kPriorityPull; }
+  size_t WireSize() const override { return kRpcHeaderBytes + hashes.size() * 8; }
+};
+
+struct PriorityPullResponse : RpcResponse {
+  std::vector<uint8_t> records;
+  uint32_t record_count = 0;
+  // Hashes with no record at the source: authoritatively absent (the
+  // migrating tablet is immutable at the source).
+  std::vector<KeyHash> not_found;
+
+  size_t WireSize() const override {
+    return kRpcHeaderBytes + records.size() + not_found.size() * 8;
+  }
+};
+
+// ---------------------------------------------------- Baseline migration.
+
+struct BaselineMigrateOptions {
+  // Figure 5's knobs, cumulative from the bottom of the ladder up:
+  bool skip_rereplication = false;  // Target skips synchronous re-replication.
+  bool skip_replay = false;         // Target drops batches without replaying.
+  bool skip_tx = false;             // Source does all work but never sends.
+  bool skip_copy = false;           // Source only identifies, never copies.
+};
+
+struct BaselineMigrateRequest : RpcRequest {
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+  ServerId target = 0;
+  BaselineMigrateOptions options;
+
+  Opcode op() const override { return Opcode::kBaselineMigrate; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 32; }
+};
+
+struct BaselineReplayRequest : RpcRequest {
+  TableId table = 0;
+  std::vector<uint8_t> records;
+  uint32_t record_count = 0;
+  bool last_batch = false;
+  bool skip_replay = false;
+  bool skip_rereplication = false;
+  // On the last batch: the source's version horizon, so the target's
+  // versions continue above the source's after the ownership switch.
+  Version version_horizon = 0;
+
+  Opcode op() const override { return Opcode::kBaselineReplay; }
+  size_t WireSize() const override { return kRpcHeaderBytes + records.size() + 8; }
+};
+
+struct ReleaseTabletRequest : RpcRequest {
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;
+
+  Opcode op() const override { return Opcode::kReleaseTablet; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 24; }
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_RPC_MESSAGES_H_

@@ -1,0 +1,119 @@
+#include "src/rpc/rpc_system.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace rocksteady {
+
+RpcEndpoint* RpcSystem::CreateEndpoint(CoreSet* cores) {
+  const NodeId node = net_->AddNode();
+  assert(node == endpoints_.size());
+  endpoints_.push_back(std::make_unique<RpcEndpoint>(this, node, cores));
+  return endpoints_.back().get();
+}
+
+void RpcSystem::Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request,
+                     ResponseCallback cb, Tick timeout) {
+  const uint64_t call_id = next_call_id_++;
+  pending_[call_id] = PendingCall{from, std::move(cb)};
+
+  const size_t wire = request->WireSize();
+  // std::function requires copyable callables; stash the request in a
+  // shared_ptr for the trip across the fabric.
+  auto boxed = std::make_shared<std::unique_ptr<RpcRequest>>(std::move(request));
+  net_->Send(from, to, wire, [this, from, to, call_id, boxed] {
+    RpcEndpoint* endpoint = Endpoint(to);
+    if (endpoint == nullptr) {
+      return;
+    }
+    endpoint->Deliver(from, std::move(*boxed), call_id);
+  });
+
+  if (timeout > 0) {
+    const Opcode op = (*boxed) != nullptr ? (*boxed)->op() : Opcode::kInvalid;
+    sim_->After(timeout, [this, call_id, op, from, to] {
+      auto it = pending_.find(call_id);
+      if (it == pending_.end()) {
+        return;  // Already completed.
+      }
+      LOG_DEBUG("rpc timeout: op=%d %u->%u at t=%.6f s", static_cast<int>(op), from, to,
+                static_cast<double>(sim_->now()) / 1e9);
+      ResponseCallback cb = std::move(it->second.cb);
+      pending_.erase(it);
+      cb(Status::kServerDown, nullptr);
+    });
+  }
+}
+
+void RpcEndpoint::Deliver(NodeId from, std::unique_ptr<RpcRequest> request, uint64_t call_id) {
+  auto it = handlers_.find(request->op());
+  if (it == handlers_.end()) {
+    LOG_ERROR("node %u: no handler for opcode %d", node_, static_cast<int>(request->op()));
+    return;
+  }
+  const Handler& handler = it->second;
+
+  auto run = [this, from, call_id, &handler, request = std::move(request)]() mutable {
+    RpcContext context;
+    context.sim = system_->sim();
+    context.from = from;
+    context.request = std::move(request);
+    const NodeId server_node = node_;
+    RpcSystem* system = system_;
+    CoreSet* cores = cores_;
+    context.reply = [system, server_node, from, call_id,
+                     cores](std::unique_ptr<RpcResponse> response) {
+      auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(response));
+      auto transmit = [system, server_node, call_id, boxed] {
+        system->CompleteCall(call_id, server_node, std::move(*boxed));
+      };
+      if (cores != nullptr) {
+        // The worker hands the response to the dispatch core, which posts it
+        // to the transport.
+        cores->EnqueueDispatch(system->costs()->dispatch_tx_ns, std::move(transmit));
+      } else {
+        transmit();
+      }
+    };
+    handler(std::move(context));
+  };
+
+  if (cores_ != nullptr) {
+    // The dispatch core polls the request off the NIC before the handler
+    // sees it. Wrap in shared_ptr: the closure must be copyable.
+    auto shared_run = std::make_shared<decltype(run)>(std::move(run));
+    cores_->EnqueueDispatch(system_->costs()->dispatch_per_rpc_ns,
+                            [shared_run] { (*shared_run)(); });
+  } else {
+    run();
+  }
+}
+
+void RpcSystem::CompleteCall(uint64_t call_id, NodeId server_node,
+                             std::unique_ptr<RpcResponse> response) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) {
+    return;  // Timed out earlier.
+  }
+  const NodeId caller = it->second.caller;
+  auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(response));
+  const size_t wire = (*boxed)->WireSize();
+  ResponseCallback cb = std::move(it->second.cb);
+  pending_.erase(it);
+
+  auto shared_cb = std::make_shared<ResponseCallback>(std::move(cb));
+  net_->Send(server_node, caller, wire, [this, caller, boxed, shared_cb] {
+    RpcEndpoint* endpoint = Endpoint(caller);
+    auto deliver = [boxed, shared_cb] { (*shared_cb)(Status::kOk, std::move(*boxed)); };
+    if (endpoint != nullptr && endpoint->cores() != nullptr) {
+      // Responses are polled off the NIC by the caller's dispatch core too.
+      endpoint->cores()->EnqueueDispatch(costs_->dispatch_per_rpc_ns, std::move(deliver));
+    } else {
+      deliver();
+    }
+  });
+}
+
+}  // namespace rocksteady

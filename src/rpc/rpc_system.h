@@ -1,0 +1,120 @@
+// RPC over the simulated fabric.
+//
+// Mirrors RAMCloud's transport/dispatch integration (§3.1): an inbound RPC
+// is polled off the NIC by the destination's dispatch core (charged
+// dispatch_per_rpc_ns), handled (handlers usually enqueue worker tasks), and
+// the response transmission is posted back through the dispatch core
+// (dispatch_tx_ns). Nodes without a CoreSet (client machines, which the
+// paper never bottlenecks) deliver straight to the continuation.
+//
+// Calls may carry a timeout; if the response has not arrived (e.g. the peer
+// crashed and the fabric dropped the message), the callback fires with
+// Status::kServerDown and a null response.
+#ifndef ROCKSTEADY_SRC_RPC_RPC_SYSTEM_H_
+#define ROCKSTEADY_SRC_RPC_RPC_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rpc/messages.h"
+#include "src/sim/core_set.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace rocksteady {
+
+class RpcSystem;
+
+// Server-side context for one in-flight RPC.
+struct RpcContext {
+  Simulator* sim = nullptr;
+  NodeId from = 0;
+  std::unique_ptr<RpcRequest> request;
+
+  // Sends the response (exactly once).
+  std::function<void(std::unique_ptr<RpcResponse>)> reply;
+
+  template <typename T>
+  T& As() {
+    return static_cast<T&>(*request);
+  }
+};
+
+// One RPC-reachable node: handlers plus an optional CoreSet through which
+// inbound requests and outbound responses are dispatched.
+class RpcEndpoint {
+ public:
+  using Handler = std::function<void(RpcContext)>;
+
+  RpcEndpoint(RpcSystem* system, NodeId node, CoreSet* cores)
+      : system_(system), node_(node), cores_(cores) {}
+
+  void Register(Opcode op, Handler handler) { handlers_[op] = std::move(handler); }
+
+  NodeId node() const { return node_; }
+  CoreSet* cores() const { return cores_; }
+  RpcSystem* system() const { return system_; }
+
+ private:
+  friend class RpcSystem;
+
+  void Deliver(NodeId from, std::unique_ptr<RpcRequest> request, uint64_t call_id);
+
+  RpcSystem* system_;
+  NodeId node_;
+  CoreSet* cores_;  // Null for unmodeled-CPU nodes (clients).
+  std::unordered_map<Opcode, Handler> handlers_;
+};
+
+class RpcSystem {
+ public:
+  using ResponseCallback = std::function<void(Status, std::unique_ptr<RpcResponse>)>;
+
+  RpcSystem(Simulator* sim, Network* net, const CostModel* costs)
+      : sim_(sim), net_(net), costs_(costs) {}
+
+  RpcSystem(const RpcSystem&) = delete;
+  RpcSystem& operator=(const RpcSystem&) = delete;
+
+  // Creates an endpoint on a fresh network node.
+  RpcEndpoint* CreateEndpoint(CoreSet* cores);
+
+  // Issues an RPC. `timeout` of zero means no timeout. The callback receives
+  // kOk plus the response, or an error status with a null response.
+  void Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request, ResponseCallback cb,
+            Tick timeout = 0);
+
+  RpcEndpoint* Endpoint(NodeId node) const {
+    return node < endpoints_.size() ? endpoints_[node].get() : nullptr;
+  }
+
+  Simulator* sim() const { return sim_; }
+  Network* net() const { return net_; }
+  const CostModel* costs() const { return costs_; }
+
+  uint64_t calls_issued() const { return next_call_id_; }
+
+ private:
+  friend class RpcEndpoint;
+
+  struct PendingCall {
+    NodeId caller = 0;
+    ResponseCallback cb;
+  };
+
+  // Invoked by the server side to route a response back.
+  void CompleteCall(uint64_t call_id, NodeId server_node, std::unique_ptr<RpcResponse> response);
+
+  Simulator* sim_;
+  Network* net_;
+  const CostModel* costs_;
+  std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
+  std::unordered_map<uint64_t, PendingCall> pending_;
+  uint64_t next_call_id_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_RPC_RPC_SYSTEM_H_

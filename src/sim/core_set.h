@@ -1,0 +1,129 @@
+// RAMCloud's dispatch/worker threading model as simulated resources.
+//
+// §3.1: "One core handles dispatch; it polls the network for messages, and it
+// assigns tasks to worker cores or queues them if no workers are idle. Each
+// core runs one thread, and running tasks are never preempted. ... If no
+// cores are available, the task is placed in a queue corresponding to its
+// priority. When a worker becomes available ... it is assigned a task from
+// the front of the highest-priority queue with any entries."
+//
+// CoreSet models exactly that: a serial dispatch resource plus N worker
+// resources fed from strict non-preemptive priority FIFOs. Tail latency in
+// every experiment emerges from this queueing discipline.
+#ifndef ROCKSTEADY_SRC_SIM_CORE_SET_H_
+#define ROCKSTEADY_SRC_SIM_CORE_SET_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/common/timeseries.h"
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace rocksteady {
+
+// Worker-task priorities, highest first. §4.1: PriorityPulls were configured
+// with the highest priority in the system; bulk Pulls (and replay) with the
+// lowest; client requests in between.
+enum class Priority : uint8_t {
+  kPriorityPull = 0,
+  kClient = 1,
+  kReplication = 2,
+  kMigration = 3,  // Bulk pulls on the source, replay on the target.
+};
+inline constexpr size_t kNumPriorities = 4;
+
+class CoreSet {
+ public:
+  // A worker task: `work` runs when a worker picks the task up and returns
+  // the simulated service time; `done` (optional) runs at completion.
+  struct WorkerTask {
+    Priority priority;
+    std::function<Tick()> work;
+    std::function<void()> done;
+  };
+
+  CoreSet(Simulator* sim, int num_workers);
+
+  CoreSet(const CoreSet&) = delete;
+  CoreSet& operator=(const CoreSet&) = delete;
+
+  // Serializes `fn` on the dispatch core; `fn` runs after `cost` of dispatch
+  // time (and after any earlier dispatch work).
+  void EnqueueDispatch(Tick cost, std::function<void()> fn);
+
+  // Hands a task to an idle worker, or queues it at its priority.
+  void EnqueueWorker(WorkerTask task);
+
+  // A task that *holds* its worker until externally finished — used to model
+  // synchronous RPC waits inside a worker (the naive PriorityPull design the
+  // paper compares against in §4.4, where "workers at the target wait for
+  // PriorityPulls to return"). `work` runs when a worker is acquired and
+  // receives a finish callback; the worker stays busy (and is charged as
+  // busy) until finish(extra_cost) is invoked and `extra_cost` more time
+  // elapses.
+  struct HeldTask {
+    Priority priority;
+    std::function<void(std::function<void(Tick)> finish)> work;
+  };
+  void EnqueueWorkerHeld(HeldTask task);
+
+  bool HasIdleWorker() const { return idle_workers_ > 0; }
+  int idle_workers() const { return idle_workers_; }
+  int num_workers() const { return num_workers_; }
+  size_t QueuedTasks(Priority p) const { return queues_[static_cast<size_t>(p)].size(); }
+
+  // Optional utilization recorders (Figure 11 / Figure 14 timelines).
+  void set_dispatch_util(UtilizationTimeline* util) { dispatch_util_ = util; }
+  void set_worker_util(UtilizationTimeline* util) { worker_util_ = util; }
+
+  // Lifetime totals, for load summaries (Figure 3's CPU-load panel).
+  Tick total_dispatch_busy() const { return total_dispatch_busy_; }
+  Tick total_worker_busy() const { return total_worker_busy_; }
+  void ResetBusyCounters() {
+    total_dispatch_busy_ = 0;
+    total_worker_busy_ = 0;
+  }
+
+  // Simulates a server crash: all queued work is dropped and new work is
+  // ignored until Restart().
+  void Halt();
+  void Restart();
+  bool halted() const { return halted_; }
+
+ private:
+  // Internal unified task: either a timed task (work/done) or a held task.
+  struct AnyTask {
+    Priority priority;
+    std::function<Tick()> work;
+    std::function<void()> done;
+    std::function<void(std::function<void(Tick)>)> held_work;  // Non-null = held.
+  };
+
+  void Enqueue(AnyTask task);
+  void StartWorker(AnyTask task);
+  void WorkerFinished(std::function<void()> done, uint64_t epoch);
+  void PumpQueues();
+
+  Simulator* sim_;
+  int num_workers_;
+  int idle_workers_;
+  bool halted_ = false;
+  // Bumped on Halt(); in-flight completions from an older epoch are stale
+  // and must not return their worker to the pool.
+  uint64_t epoch_ = 0;
+
+  Tick dispatch_free_at_ = 0;
+  std::array<std::deque<AnyTask>, kNumPriorities> queues_;
+
+  UtilizationTimeline* dispatch_util_ = nullptr;
+  UtilizationTimeline* worker_util_ = nullptr;
+  Tick total_dispatch_busy_ = 0;
+  Tick total_worker_busy_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_SIM_CORE_SET_H_

@@ -1,0 +1,30 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rocksteady {
+
+void Network::Send(NodeId from, NodeId to, size_t wire_bytes, std::function<void()> on_delivery) {
+  assert(from < egress_free_at_.size() && to < egress_free_at_.size());
+  if (node_down_[from]) {
+    return;
+  }
+  const Tick serialization = costs_->Serialization(wire_bytes) + costs_->net_per_message_ns;
+  std::vector<Tick>& track =
+      wire_bytes >= kBulkThresholdBytes ? egress_bulk_free_at_ : egress_free_at_;
+  const Tick depart = std::max(sim_->now(), track[from]) + serialization;
+  track[from] = depart;
+  total_bytes_sent_ += wire_bytes;
+  total_messages_++;
+  const Tick arrive = depart + costs_->net_propagation_ns;
+  sim_->At(arrive, [this, to, fn = std::move(on_delivery)] {
+    if (node_down_[to]) {
+      return;  // Dropped on the floor; RPC timeouts handle the rest.
+    }
+    fn();
+  });
+}
+
+}  // namespace rocksteady

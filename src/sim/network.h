@@ -1,0 +1,75 @@
+// Simulated data-center fabric.
+//
+// Models each node's egress NIC as a serial link with finite bandwidth plus a
+// fixed one-way propagation delay (Table 1: 40 Gbps links through one
+// switch). Message payloads never serialize for real — the RPC layer moves
+// C++ objects — but every message charges serialization time for its declared
+// wire size, which is what creates the bandwidth ceilings the paper measures
+// (line rate 5 GB/s; migration contending with client traffic).
+//
+// Packet interleaving: a real kernel-bypass transport sends MTU-sized frames,
+// so a microsecond-scale response never waits behind a whole 256 KB bulk
+// transfer (§2.4: Rocksteady "incorporates into RAMCloud's transport layer to
+// minimize jitter caused by background migration transfers"). The model
+// approximates this with two egress tracks per node: small messages (under
+// kBulkThresholdBytes) serialize on their own track and only ever wait for
+// other small messages; bulk messages queue FIFO among themselves. The model
+// error (small traffic's bandwidth is not deducted from bulk) is a few
+// percent at the paper's traffic mix.
+#ifndef ROCKSTEADY_SRC_SIM_NETWORK_H_
+#define ROCKSTEADY_SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/simulator.h"
+
+namespace rocksteady {
+
+using NodeId = uint32_t;
+
+class Network {
+ public:
+  Network(Simulator* sim, const CostModel* costs) : sim_(sim), costs_(costs) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  static constexpr size_t kBulkThresholdBytes = 4096;
+
+  NodeId AddNode() {
+    egress_free_at_.push_back(0);
+    egress_bulk_free_at_.push_back(0);
+    node_down_.push_back(false);
+    return static_cast<NodeId>(egress_free_at_.size() - 1);
+  }
+  size_t NumNodes() const { return egress_free_at_.size(); }
+
+  // Delivers `on_delivery` at the destination after egress serialization of
+  // `wire_bytes` plus propagation. Messages from one node share its egress
+  // link (FIFO). Messages to or from a down node are dropped.
+  void Send(NodeId from, NodeId to, size_t wire_bytes, std::function<void()> on_delivery);
+
+  // Crash simulation: messages in flight to a down node are dropped at
+  // delivery time; messages from it are not sent.
+  void SetNodeDown(NodeId node, bool down) { node_down_[node] = down; }
+  bool IsNodeDown(NodeId node) const { return node_down_[node]; }
+
+  uint64_t total_bytes_sent() const { return total_bytes_sent_; }
+  uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  Simulator* sim_;
+  const CostModel* costs_;
+  std::vector<Tick> egress_free_at_;       // Small-message track.
+  std::vector<Tick> egress_bulk_free_at_;  // Bulk track (>= threshold).
+  std::vector<bool> node_down_;
+  uint64_t total_bytes_sent_ = 0;
+  uint64_t total_messages_ = 0;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_SIM_NETWORK_H_

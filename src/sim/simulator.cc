@@ -1,0 +1,43 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rocksteady {
+
+void Simulator::At(Tick t, std::function<void()> fn) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+size_t Simulator::Run() {
+  size_t processed = 0;
+  while (!queue_.empty()) {
+    // Move the event out before popping; the callback may schedule more.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+    processed++;
+  }
+  events_processed_ += processed;
+  return processed;
+}
+
+size_t Simulator::RunUntil(Tick t) {
+  size_t processed = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+    processed++;
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+  events_processed_ += processed;
+  return processed;
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,212 @@
+#include "src/store/object_manager.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace rocksteady {
+
+ObjectManager::ObjectManager(const ObjectManagerOptions& options)
+    : log_(options.segment_size),
+      hash_table_(options.hash_table_log2_buckets),
+      cleaner_(&log_, [this](LogRef old_ref, const LogEntryView& entry) {
+        // Relocator: live entries move to the log head; their hash-table
+        // reference is CASed to the new location. Unreferenced entries
+        // (overwritten objects, satisfied tombstones) are dropped — their
+        // bytes survive on the backups for recovery.
+        if (!(hash_table_.Lookup(entry.key_hash()) == old_ref)) {
+          return false;  // Dead: overwritten or removed since.
+        }
+        Result<LogRef> moved =
+            entry.type() == LogEntryType::kObject
+                ? log_.AppendObject(entry.table_id(), entry.key_hash(), entry.key, entry.value,
+                                    entry.version())
+                : log_.AppendTombstone(entry.table_id(), entry.key_hash(), entry.key,
+                                       entry.version());
+        assert(moved.ok());
+        const bool swapped = hash_table_.Replace(entry.key_hash(), old_ref, *moved);
+        assert(swapped);
+        (void)swapped;
+        return true;
+      }) {}
+
+Result<ObjectView> ObjectManager::ViewAt(LogRef ref, TableId table) const {
+  LogEntryView entry;
+  if (!log_.Read(ref, &entry)) {
+    return Status::kCorruptData;
+  }
+  if (entry.type() != LogEntryType::kObject || entry.table_id() != table) {
+    return Status::kObjectNotFound;
+  }
+  return ObjectView{entry.key, entry.value, entry.version()};
+}
+
+Result<ObjectView> ObjectManager::Read(TableId table, std::string_view key, KeyHash hash) const {
+  const LogRef ref = hash_table_.Lookup(hash);
+  if (!ref.valid()) {
+    return Status::kObjectNotFound;
+  }
+  auto view = ViewAt(ref, table);
+  if (view.ok() && view->key != key) {
+    // 64-bit hash collision between distinct keys; the simulated store
+    // treats the hash as identity, so surface this loudly.
+    LOG_ERROR("key-hash collision on table %llu", static_cast<unsigned long long>(table));
+    return Status::kObjectNotFound;
+  }
+  return view;
+}
+
+Result<ObjectView> ObjectManager::ReadByHash(TableId table, KeyHash hash) const {
+  const LogRef ref = hash_table_.Lookup(hash);
+  if (!ref.valid()) {
+    return Status::kObjectNotFound;
+  }
+  return ViewAt(ref, table);
+}
+
+Result<Version> ObjectManager::Write(TableId table, std::string_view key, KeyHash hash,
+                                     std::string_view value, LogRef* out_ref) {
+  const LogRef old_ref = hash_table_.Lookup(hash);
+  Version version = version_horizon_ + 1;
+  if (old_ref.valid()) {
+    LogEntryView old_entry;
+    if (log_.Read(old_ref, &old_entry)) {
+      version = std::max(version, old_entry.version() + 1);
+    }
+  }
+  auto ref = log_.AppendObject(table, hash, key, value, version);
+  if (!ref.ok()) {
+    return ref.status();
+  }
+  hash_table_.Insert(hash, *ref);
+  if (old_ref.valid()) {
+    log_.MarkDead(old_ref);
+  }
+  version_horizon_ = std::max(version_horizon_, version);
+  if (out_ref != nullptr) {
+    *out_ref = *ref;
+  }
+  return version;
+}
+
+Result<Version> ObjectManager::Remove(TableId table, std::string_view key, KeyHash hash,
+                                      LogRef* out_ref, bool tombstone_if_missing) {
+  const LogRef old_ref = hash_table_.Lookup(hash);
+  Version floor = version_horizon_;
+  bool have_object = false;
+  if (old_ref.valid()) {
+    LogEntryView old_entry;
+    if (!log_.Read(old_ref, &old_entry)) {
+      return Status::kCorruptData;
+    }
+    floor = std::max(floor, old_entry.version());
+    have_object = old_entry.type() == LogEntryType::kObject;
+  }
+  if (!have_object && !tombstone_if_missing) {
+    return Status::kObjectNotFound;
+  }
+  const Version version = floor + 1;
+  auto ref = log_.AppendTombstone(table, hash, key, version);
+  if (!ref.ok()) {
+    return ref.status();
+  }
+  if (old_ref.valid()) {
+    log_.MarkDead(old_ref);
+  }
+  if (have_object) {
+    // The object is gone; the tombstone lives only in the recovery log (the
+    // backups keep their replica of it), so it is immediately dead in
+    // memory and the hash-table entry is dropped.
+    hash_table_.Remove(hash);
+    log_.MarkDead(*ref);
+  } else {
+    // Deleting a record that has not arrived yet (migration target, §3):
+    // keep the tombstone *live and referenced* so a later-arriving older
+    // copy loses the version comparison instead of resurrecting.
+    hash_table_.Insert(hash, *ref);
+  }
+  version_horizon_ = std::max(version_horizon_, version);
+  if (out_ref != nullptr) {
+    *out_ref = *ref;
+  }
+  return version;
+}
+
+bool ObjectManager::Replay(const LogEntryView& entry, SideLog* side_log) {
+  const KeyHash hash = entry.key_hash();
+  const LogRef old_ref = hash_table_.Lookup(hash);
+  if (old_ref.valid()) {
+    LogEntryView existing;
+    if (log_.Read(old_ref, &existing) && existing.version() >= entry.version()) {
+      return false;  // Local copy is as new or newer; drop the stale record.
+    }
+  }
+  if (entry.type() == LogEntryType::kTombstone) {
+    // Keep the tombstone referenced: replay is order-free, so an older copy
+    // of the object may arrive *after* its tombstone and must lose the
+    // version comparison.
+    Result<LogRef> ref = side_log != nullptr
+                             ? side_log->AppendTombstone(entry.table_id(), hash, entry.key,
+                                                         entry.version())
+                             : log_.AppendTombstone(entry.table_id(), hash, entry.key,
+                                                    entry.version());
+    if (!ref.ok()) {
+      return false;
+    }
+    hash_table_.Insert(hash, *ref);
+    if (old_ref.valid()) {
+      log_.MarkDead(old_ref);
+    }
+    version_horizon_ = std::max(version_horizon_, entry.version());
+    return true;
+  }
+  assert(entry.type() == LogEntryType::kObject);
+  Result<LogRef> ref = side_log != nullptr
+                           ? side_log->AppendObject(entry.table_id(), hash, entry.key,
+                                                    entry.value, entry.version())
+                           : log_.AppendObject(entry.table_id(), hash, entry.key, entry.value,
+                                               entry.version());
+  if (!ref.ok()) {
+    return false;
+  }
+  hash_table_.Insert(hash, *ref);
+  if (old_ref.valid()) {
+    log_.MarkDead(old_ref);
+  }
+  version_horizon_ = std::max(version_horizon_, entry.version());
+  return true;
+}
+
+size_t ObjectManager::DropSideLogEntries(const SideLog& side_log) {
+  std::vector<uint32_t> segment_ids;
+  segment_ids.reserve(side_log.segments().size());
+  for (const auto& segment : side_log.segments()) {
+    segment_ids.push_back(segment->id());
+  }
+  return hash_table_.RemoveIf([&](KeyHash, LogRef ref) {
+    for (uint32_t id : segment_ids) {
+      if (ref.segment_id() == id) {
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
+size_t ObjectManager::DropTabletEntries(TableId table, KeyHash start_hash, KeyHash end_hash) {
+  return hash_table_.RemoveIf([&](KeyHash hash, LogRef ref) {
+    if (hash < start_hash || hash > end_hash) {
+      return false;
+    }
+    LogEntryView entry;
+    if (!log_.Read(ref, &entry) || entry.table_id() != table) {
+      return false;
+    }
+    log_.MarkDead(ref);
+    return true;
+  });
+}
+
+size_t ObjectManager::RunCleaner(size_t max_segments) { return cleaner_.CleanOnce(max_segments); }
+
+}  // namespace rocksteady

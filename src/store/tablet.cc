@@ -1,0 +1,46 @@
+#include "src/store/tablet.h"
+
+#include <algorithm>
+
+namespace rocksteady {
+
+Tablet* TabletManager::Find(TableId table, KeyHash hash) {
+  for (auto& tablet : tablets_) {
+    if (tablet.Contains(table, hash)) {
+      return &tablet;
+    }
+  }
+  return nullptr;
+}
+
+const Tablet* TabletManager::Find(TableId table, KeyHash hash) const {
+  return const_cast<TabletManager*>(this)->Find(table, hash);
+}
+
+Status TabletManager::Split(TableId table, KeyHash split_hash) {
+  Tablet* tablet = Find(table, split_hash);
+  if (tablet == nullptr) {
+    return Status::kTableNotFound;
+  }
+  if (tablet->start_hash == split_hash) {
+    return Status::kOk;  // Already split here.
+  }
+  Tablet upper = *tablet;
+  upper.start_hash = split_hash;
+  tablet->end_hash = split_hash - 1;
+  tablets_.push_back(upper);
+  return Status::kOk;
+}
+
+bool TabletManager::Remove(TableId table, KeyHash start_hash, KeyHash end_hash) {
+  auto it = std::find_if(tablets_.begin(), tablets_.end(), [&](const Tablet& t) {
+    return t.table_id == table && t.start_hash == start_hash && t.end_hash == end_hash;
+  });
+  if (it == tablets_.end()) {
+    return false;
+  }
+  tablets_.erase(it);
+  return true;
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,75 @@
+// Tablets: contiguous key-hash ranges of a table, the unit of ownership.
+//
+// §2: "its key space is divided into unordered tables and tables can be
+// broken into tablets that reside on different servers", partitioned on
+// primary key hash. Rocksteady's "lazy partitioning" means a tablet can be
+// split at any hash at migration time with no preparatory work.
+#ifndef ROCKSTEADY_SRC_STORE_TABLET_H_
+#define ROCKSTEADY_SRC_STORE_TABLET_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace rocksteady {
+
+enum class TabletState : uint8_t {
+  // Owned and serving normally.
+  kNormal,
+  // This server is the *source* of an in-progress Rocksteady migration:
+  // ownership has already moved, the local copy is immutable, and client
+  // ops get kWrongServer (§3: "Sources keep no migration state, and their
+  // migrating tablets are immutable").
+  kMigrationSource,
+  // This server is the *target*: it owns the tablet and serves writes
+  // immediately, but reads of not-yet-arrived records trigger PriorityPulls
+  // and kRetryLater (§3).
+  kMigrationTarget,
+  // Owned by the baseline (pre-existing RAMCloud) migration source: still
+  // serving reads, rejecting writes is not needed (baseline keeps ownership
+  // until the end), but the migration scan is in progress.
+  kBaselineSourceBusy,
+  // Re-homed here by crash recovery; replay still in progress. Reads answer
+  // kRetryLater until the log replay finishes.
+  kRecovering,
+};
+
+struct Tablet {
+  TableId table_id = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;  // Inclusive.
+  TabletState state = TabletState::kNormal;
+
+  bool Contains(TableId table, KeyHash hash) const {
+    return table == table_id && hash >= start_hash && hash <= end_hash;
+  }
+};
+
+// The set of tablets a master currently knows about (owned or mid-release).
+class TabletManager {
+ public:
+  void Add(const Tablet& tablet) { tablets_.push_back(tablet); }
+
+  Tablet* Find(TableId table, KeyHash hash);
+  const Tablet* Find(TableId table, KeyHash hash) const;
+
+  // Splits the tablet containing `split_hash` into [start, split_hash-1] and
+  // [split_hash, end]. Rocksteady defers all partitioning work to this
+  // moment; it is a metadata-only operation.
+  Status Split(TableId table, KeyHash split_hash);
+
+  // Removes the exact tablet [start, end]; returns false if absent.
+  bool Remove(TableId table, KeyHash start_hash, KeyHash end_hash);
+
+  std::vector<Tablet>& tablets() { return tablets_; }
+  const std::vector<Tablet>& tablets() const { return tablets_; }
+
+ private:
+  std::vector<Tablet> tablets_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_STORE_TABLET_H_

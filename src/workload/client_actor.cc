@@ -1,0 +1,85 @@
+#include "src/workload/client_actor.h"
+
+#include <cmath>
+
+namespace rocksteady {
+
+void ClientActor::Start() {
+  Simulator& sim = client_->coordinator().sim();
+  if (sim.now() < config_.start_time) {
+    sim.At(config_.start_time, [this] { ScheduleNextArrival(); });
+  } else {
+    ScheduleNextArrival();
+  }
+}
+
+void ClientActor::ScheduleNextArrival() {
+  Simulator& sim = client_->coordinator().sim();
+  // Poisson arrivals: exponential interarrival at the configured rate.
+  const double u = std::max(1e-12, sim.rng().NextDouble());
+  const double gap_seconds = -std::log(u) / config_.ops_per_second;
+  const Tick gap = std::max<Tick>(1, static_cast<Tick>(gap_seconds * static_cast<double>(kSecond)));
+  const Tick at = sim.now() + gap;
+  if (config_.stop_time != 0 && at >= config_.stop_time) {
+    return;
+  }
+  sim.At(at, [this] {
+    Simulator& sim2 = client_->coordinator().sim();
+    PendingOp pending;
+    pending.op = workload_->NextOp(sim2.rng());
+    pending.arrival = sim2.now();
+    if (outstanding_ < config_.max_outstanding) {
+      Issue(std::move(pending));
+    } else {
+      backlog_.push_back(std::move(pending));
+    }
+    ScheduleNextArrival();
+  });
+}
+
+void ClientActor::PumpBacklog() {
+  while (outstanding_ < config_.max_outstanding && !backlog_.empty()) {
+    PendingOp pending = std::move(backlog_.front());
+    backlog_.pop_front();
+    Issue(std::move(pending));
+  }
+}
+
+void ClientActor::Issue(PendingOp op) {
+  outstanding_++;
+  issued_++;
+  auto shared = std::make_shared<PendingOp>(std::move(op));
+  if (shared->op.is_read) {
+    client_->Read(table_, shared->op.key, [this, shared](Status status, const std::string&) {
+      Completed(*shared, status);
+    });
+  } else {
+    const std::string value(workload_->config().value_length, 'w');
+    client_->Write(table_, shared->op.key, value,
+                   [this, shared](Status status) { Completed(*shared, status); });
+  }
+}
+
+void ClientActor::Completed(const PendingOp& op, Status status) {
+  Simulator& sim = client_->coordinator().sim();
+  outstanding_--;
+  if (status == Status::kOk || (op.op.is_read && status == Status::kObjectNotFound)) {
+    completed_++;
+    const Tick latency = sim.now() - op.arrival;
+    if (op.op.is_read) {
+      if (read_latency_ != nullptr) {
+        read_latency_->Record(sim.now(), latency);
+      }
+    } else if (write_latency_ != nullptr) {
+      write_latency_->Record(sim.now(), latency);
+    }
+    if (throughput_ != nullptr) {
+      throughput_->Record(sim.now(), latency);
+    }
+  } else {
+    failed_++;
+  }
+  PumpBacklog();
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,263 @@
+// End-to-end cluster tests: reads/writes through the full stack (client ->
+// dispatch -> worker -> log -> replication -> backups), multigets, index
+// scans, tablet map refresh, and baseline latency calibration against the
+// paper's Table 1 numbers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/workload/client_actor.h"
+#include "src/workload/ycsb.h"
+
+namespace rocksteady {
+namespace {
+
+ClusterConfig SmallCluster(int masters = 4, int clients = 1) {
+  ClusterConfig config;
+  config.num_masters = masters;
+  config.num_clients = clients;
+  config.master.hash_table_log2_buckets = 14;
+  config.master.segment_size = 64 * 1024;
+  return config;
+}
+
+TEST(ClusterTest, WriteThenReadThroughRpc) {
+  Cluster cluster(SmallCluster());
+  cluster.CreateTable(1, 0);
+  Status write_status = Status::kInvalidState;
+  cluster.client(0).Write(1, "hello", "world", [&](Status s) { write_status = s; });
+  cluster.sim().Run();
+  EXPECT_EQ(write_status, Status::kOk);
+
+  std::string value;
+  Status read_status = Status::kInvalidState;
+  cluster.client(0).Read(1, "hello", [&](Status s, const std::string& v) {
+    read_status = s;
+    value = v;
+  });
+  cluster.sim().Run();
+  EXPECT_EQ(read_status, Status::kOk);
+  EXPECT_EQ(value, "world");
+}
+
+TEST(ClusterTest, ReadMissingKey) {
+  Cluster cluster(SmallCluster());
+  cluster.CreateTable(1, 0);
+  Status status = Status::kOk;
+  cluster.client(0).Read(1, "ghost", [&](Status s, const std::string&) { status = s; });
+  cluster.sim().Run();
+  EXPECT_EQ(status, Status::kObjectNotFound);
+}
+
+TEST(ClusterTest, UnloadedReadLatencyNearSixMicroseconds) {
+  // §2: "End-to-end read and durable write operations take just 6 us and
+  // 15 us respectively on our hardware."
+  Cluster cluster(SmallCluster());
+  cluster.CreateTable(1, 0);
+  cluster.LoadTable(1, 100, 30, 100);
+  // Warm the tablet cache first.
+  cluster.client(0).Read(1, Cluster::MakeKey(0, 30), [](Status, const std::string&) {});
+  cluster.sim().Run();
+  const Tick start = cluster.sim().now();
+  Tick read_done = 0;
+  cluster.client(0).Read(1, Cluster::MakeKey(1, 30),
+                         [&](Status s, const std::string& v) {
+                           EXPECT_EQ(s, Status::kOk);
+                           EXPECT_EQ(v.size(), 100u);
+                           read_done = cluster.sim().now();
+                         });
+  cluster.sim().Run();
+  const double read_us = static_cast<double>(read_done - start) / 1'000.0;
+  EXPECT_GT(read_us, 3.0);
+  EXPECT_LT(read_us, 9.0);
+
+  const Tick wstart = cluster.sim().now();
+  Tick write_done = 0;
+  cluster.client(0).Write(1, Cluster::MakeKey(1, 30), std::string(100, 'x'),
+                          [&](Status s) {
+                            EXPECT_EQ(s, Status::kOk);
+                            write_done = cluster.sim().now();
+                          });
+  cluster.sim().Run();
+  const double write_us = static_cast<double>(write_done - wstart) / 1'000.0;
+  EXPECT_GT(write_us, 8.0);
+  EXPECT_LT(write_us, 22.0);
+}
+
+TEST(ClusterTest, WritesAreReplicatedToBackups) {
+  Cluster cluster(SmallCluster());
+  cluster.CreateTable(1, 0);
+  int completed = 0;
+  for (int i = 0; i < 20; i++) {
+    cluster.client(0).Write(1, "key" + std::to_string(i), "value", [&](Status s) {
+      EXPECT_EQ(s, Status::kOk);
+      completed++;
+    });
+  }
+  cluster.sim().Run();
+  EXPECT_EQ(completed, 20);
+  // Three backups each hold the replicated bytes.
+  uint64_t replica_bytes = 0;
+  for (size_t i = 1; i < cluster.num_masters(); i++) {
+    replica_bytes += cluster.master(i).backup().bytes_stored();
+  }
+  EXPECT_GT(replica_bytes, 20u * 45u * 3u / 2u);
+}
+
+TEST(ClusterTest, LoadTableDistributesByHash) {
+  Cluster cluster(SmallCluster());
+  // Table split across two masters at the hash midpoint.
+  cluster.CreateTable(1, 0);
+  cluster.coordinator().SplitTablet(1, 1ull << 63);
+  cluster.coordinator().UpdateOwnership(1, 1ull << 63, ~0ull, cluster.master(1).id());
+  cluster.master(1).objects().tablets().Add(
+      Tablet{1, 1ull << 63, ~0ull, TabletState::kNormal});
+  cluster.master(0).objects().tablets().Find(1, 0);  // Lower half stays.
+  // Remove upper tablet from master 0 (ownership moved pre-load).
+  cluster.master(0).objects().tablets().Remove(1, 1ull << 63, ~0ull);
+  cluster.LoadTable(1, 1'000, 30, 100);
+  const uint64_t on0 = cluster.master(0).objects().object_count();
+  const uint64_t on1 = cluster.master(1).objects().object_count();
+  EXPECT_EQ(on0 + on1, 1'000u);
+  EXPECT_GT(on0, 350u);
+  EXPECT_GT(on1, 350u);
+
+  // Every record readable through the data path regardless of owner.
+  int ok = 0;
+  for (int i = 0; i < 50; i++) {
+    cluster.client(0).Read(1, Cluster::MakeKey(static_cast<uint64_t>(i * 17), 30),
+                           [&](Status s, const std::string&) { ok += (s == Status::kOk); });
+  }
+  cluster.sim().Run();
+  EXPECT_EQ(ok, 50);
+}
+
+TEST(ClusterTest, MultiGetSpansServers) {
+  Cluster cluster(SmallCluster());
+  cluster.CreateTable(1, 0);
+  cluster.coordinator().SplitTablet(1, 1ull << 63);
+  cluster.coordinator().UpdateOwnership(1, 1ull << 63, ~0ull, cluster.master(1).id());
+  cluster.master(0).objects().tablets().Remove(1, 1ull << 63, ~0ull);
+  cluster.master(1).objects().tablets().Add(
+      Tablet{1, 1ull << 63, ~0ull, TabletState::kNormal});
+  cluster.LoadTable(1, 200, 30, 100);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 7; i++) {
+    keys.push_back(Cluster::MakeKey(static_cast<uint64_t>(i * 29), 30));
+  }
+  Status status = Status::kInvalidState;
+  cluster.client(0).MultiGet(1, keys, [&](Status s) { status = s; });
+  cluster.sim().Run();
+  EXPECT_EQ(status, Status::kOk);
+}
+
+TEST(ClusterTest, IndexScanEndToEnd) {
+  Cluster cluster(SmallCluster());
+  cluster.CreateTable(1, 0);
+  cluster.coordinator().CreateIndex(1, 1, {{.start_key = "", .end_key = "", .owner = 2}});
+
+  // Write records with secondary keys through the data path so the index
+  // updates flow through kIndexInsert.
+  int writes_done = 0;
+  for (int i = 0; i < 50; i++) {
+    char secondary[16];
+    std::snprintf(secondary, sizeof(secondary), "name%04d", i);
+    cluster.client(0).Write(1, "pk" + std::to_string(i), "record-value",
+                            [&](Status s) {
+                              EXPECT_EQ(s, Status::kOk);
+                              writes_done++;
+                            },
+                            secondary);
+  }
+  cluster.sim().Run();
+  ASSERT_EQ(writes_done, 50);
+
+  Status status = Status::kInvalidState;
+  cluster.client(0).IndexScan(1, 1, "name0010", 4, [&](Status s) { status = s; });
+  cluster.sim().Run();
+  EXPECT_EQ(status, Status::kOk);
+}
+
+TEST(ClusterTest, ClientRefreshAfterOwnershipChange) {
+  Cluster cluster(SmallCluster());
+  cluster.CreateTable(1, 0);
+  cluster.LoadTable(1, 100, 30, 100);
+  // Client caches the initial map.
+  Status status = Status::kInvalidState;
+  cluster.client(0).Read(1, Cluster::MakeKey(5, 30),
+                         [&](Status s, const std::string&) { status = s; });
+  cluster.sim().Run();
+  ASSERT_EQ(status, Status::kOk);
+
+  // Move the whole table to master 1 behind the client's back (data copied
+  // directly; this tests the kWrongServer refresh path, not migration).
+  auto& src = cluster.master(0).objects();
+  auto& dst = cluster.master(1).objects();
+  src.log().ForEachEntry([&](LogRef, const LogEntryView& entry) {
+    if (entry.type() == LogEntryType::kObject) {
+      dst.Replay(entry, nullptr);
+    }
+  });
+  dst.tablets().Add(Tablet{1, 0, ~0ull, TabletState::kNormal});
+  src.tablets().Remove(1, 0, ~0ull);
+  cluster.coordinator().UpdateOwnership(1, 0, ~0ull, cluster.master(1).id());
+
+  status = Status::kInvalidState;
+  cluster.client(0).Read(1, Cluster::MakeKey(5, 30),
+                         [&](Status s, const std::string&) { status = s; });
+  cluster.sim().Run();
+  EXPECT_EQ(status, Status::kOk);
+  EXPECT_GE(cluster.client(0).wrong_server_retries(), 1u);
+}
+
+TEST(ClusterTest, YcsbActorDrivesLoad) {
+  Cluster cluster(SmallCluster(4, 2));
+  cluster.CreateTable(1, 0);
+  cluster.LoadTable(1, 10'000, 30, 100);
+  YcsbConfig ycsb_config;
+  ycsb_config.num_records = 10'000;
+  YcsbWorkload workload(ycsb_config);
+
+  LatencyTimeline reads(kSecond / 10, 20);
+  ClientActorConfig actor_config;
+  actor_config.ops_per_second = 20'000;
+  actor_config.stop_time = kSecond;
+  ClientActor actor(1, &cluster.client(0), &workload, actor_config);
+  actor.set_read_latency(&reads);
+  actor.Start();
+  cluster.sim().Run();
+
+  EXPECT_GT(actor.issued(), 15'000u);
+  EXPECT_EQ(actor.issued(), actor.completed() + actor.failed());
+  EXPECT_EQ(actor.failed(), 0u);
+  const Histogram total = reads.Total();
+  EXPECT_GT(total.count(), 10'000u);
+  // Median unloaded-ish read latency in single-digit microseconds.
+  EXPECT_LT(total.Percentile(0.5), 15'000u);
+}
+
+TEST(ClusterTest, Determinism) {
+  auto run = [] {
+    Cluster cluster(SmallCluster());
+    cluster.CreateTable(1, 0);
+    cluster.LoadTable(1, 1'000, 30, 100);
+    YcsbConfig ycsb_config;
+    ycsb_config.num_records = 1'000;
+    YcsbWorkload workload(ycsb_config);
+    ClientActorConfig actor_config;
+    actor_config.ops_per_second = 50'000;
+    actor_config.stop_time = kSecond / 5;
+    ClientActor actor(1, &cluster.client(0), &workload, actor_config);
+    actor.Start();
+    cluster.sim().Run();
+    return std::make_tuple(actor.issued(), actor.completed(), cluster.sim().now(),
+                           cluster.net().total_bytes_sent());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rocksteady

@@ -1,0 +1,201 @@
+// Unit tests for the hash table, including the bucket-range scan primitive
+// Rocksteady's partitioned Pulls rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/hashtable/hash_table.h"
+
+namespace rocksteady {
+namespace {
+
+LogRef Ref(uint32_t segment, uint32_t offset) { return LogRef(segment, offset); }
+
+TEST(HashTableTest, InsertLookupRemove) {
+  HashTable table(8);
+  EXPECT_TRUE(table.Insert(42, Ref(1, 100)));
+  EXPECT_TRUE(table.Lookup(42) == Ref(1, 100));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.Remove(42));
+  EXPECT_FALSE(table.Lookup(42).valid());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.Remove(42));
+}
+
+TEST(HashTableTest, InsertReplacesExisting) {
+  HashTable table(8);
+  EXPECT_TRUE(table.Insert(42, Ref(1, 100)));
+  EXPECT_FALSE(table.Insert(42, Ref(2, 200)));  // Replace, not new.
+  EXPECT_TRUE(table.Lookup(42) == Ref(2, 200));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(HashTableTest, MissingKeyReturnsInvalid) {
+  HashTable table(8);
+  EXPECT_FALSE(table.Lookup(12345).valid());
+}
+
+TEST(HashTableTest, HandlesBucketOverflowChains) {
+  // Put 100 entries into a 2-bucket table: forces long overflow chains.
+  HashTable table(1);
+  for (uint64_t i = 0; i < 100; i++) {
+    EXPECT_TRUE(table.Insert(i, Ref(1, static_cast<uint32_t>(i))));
+  }
+  EXPECT_EQ(table.size(), 100u);
+  EXPECT_GT(table.MaxChainLength(), 1u);
+  for (uint64_t i = 0; i < 100; i++) {
+    ASSERT_TRUE(table.Lookup(i).valid()) << i;
+    EXPECT_EQ(table.Lookup(i).offset(), i);
+  }
+  // Remove half; the rest must survive the slot shuffling.
+  for (uint64_t i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(table.Remove(i));
+  }
+  for (uint64_t i = 0; i < 100; i++) {
+    EXPECT_EQ(table.Lookup(i).valid(), i % 2 == 1) << i;
+  }
+}
+
+TEST(HashTableTest, ReplaceIsConditional) {
+  HashTable table(8);
+  table.Insert(7, Ref(1, 10));
+  EXPECT_FALSE(table.Replace(7, Ref(9, 9), Ref(2, 20)));  // Wrong expected.
+  EXPECT_TRUE(table.Lookup(7) == Ref(1, 10));
+  EXPECT_TRUE(table.Replace(7, Ref(1, 10), Ref(2, 20)));
+  EXPECT_TRUE(table.Lookup(7) == Ref(2, 20));
+  EXPECT_FALSE(table.Replace(99, Ref(1, 1), Ref(2, 2)));  // Absent key.
+}
+
+TEST(HashTableTest, BucketOfUsesTopBits) {
+  HashTable table(4);  // 16 buckets.
+  EXPECT_EQ(table.BucketOf(0), 0u);
+  EXPECT_EQ(table.BucketOf(~0ull), 15u);
+  EXPECT_EQ(table.BucketOf(1ull << 60), 1u);
+  // Contiguous hash ranges map to contiguous bucket ranges.
+  EXPECT_LE(table.BucketOf(0x1000000000000000ull), table.BucketOf(0x2000000000000000ull));
+}
+
+TEST(HashTableTest, ScanVisitsExactlyRangeOnce) {
+  HashTable table(6);  // 64 buckets.
+  constexpr uint64_t kEntries = 2'000;
+  for (uint64_t i = 0; i < kEntries; i++) {
+    table.Insert(Mix64(i), Ref(1, static_cast<uint32_t>(i)));
+  }
+  // Scan the two halves separately; union must be everything, no overlap.
+  std::set<KeyHash> first_half;
+  std::set<KeyHash> second_half;
+  size_t cursor = table.ScanBuckets(
+      32, 0, [&](KeyHash h, LogRef) { first_half.insert(h); }, [] { return true; });
+  EXPECT_EQ(cursor, 32u);
+  cursor = table.ScanBuckets(
+      64, 32, [&](KeyHash h, LogRef) { second_half.insert(h); }, [] { return true; });
+  EXPECT_EQ(cursor, 64u);
+  EXPECT_EQ(first_half.size() + second_half.size(), kEntries);
+  for (KeyHash h : first_half) {
+    EXPECT_EQ(second_half.count(h), 0u);
+    EXPECT_LT(table.BucketOf(h), 32u);
+  }
+}
+
+TEST(HashTableTest, ScanPausesAtBucketBoundary) {
+  HashTable table(4);
+  for (uint64_t i = 0; i < 500; i++) {
+    table.Insert(Mix64(i), Ref(1, static_cast<uint32_t>(i)));
+  }
+  // Budget-limited scan: stop after each bucket once >= 50 entries seen.
+  std::set<KeyHash> seen;
+  size_t cursor = 0;
+  int scans = 0;
+  while (cursor < 16) {
+    size_t batch = 0;
+    cursor = table.ScanBuckets(
+        16, cursor, [&](KeyHash h, LogRef) { seen.insert(h); batch++; },
+        [&] { return batch < 50; });
+    scans++;
+    ASSERT_LT(scans, 100);
+  }
+  EXPECT_EQ(seen.size(), 500u);
+  EXPECT_GT(scans, 1);  // The budget actually paused the scan.
+}
+
+TEST(HashTableTest, ScanOfEmptyRange) {
+  HashTable table(4);
+  int visited = 0;
+  const size_t cursor = table.ScanBuckets(
+      8, 0, [&](KeyHash, LogRef) { visited++; }, [] { return true; });
+  EXPECT_EQ(cursor, 8u);
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(HashTableTest, RemoveIfFiltersCorrectly) {
+  HashTable table(8);
+  for (uint64_t i = 0; i < 100; i++) {
+    table.Insert(i, Ref(static_cast<uint32_t>(i % 3 + 1), 0));
+  }
+  const size_t removed = table.RemoveIf([](KeyHash, LogRef ref) { return ref.segment_id() == 2; });
+  EXPECT_EQ(removed, 33u);
+  EXPECT_EQ(table.size(), 67u);
+  for (uint64_t i = 0; i < 100; i++) {
+    EXPECT_EQ(table.Lookup(i).valid(), i % 3 != 1);
+  }
+}
+
+TEST(HashTableTest, ForEachSeesAll) {
+  HashTable table(10);
+  for (uint64_t i = 0; i < 5'000; i++) {
+    table.Insert(Mix64(i + 1), Ref(1, static_cast<uint32_t>(i)));
+  }
+  size_t count = 0;
+  table.ForEach([&](KeyHash, LogRef) { count++; });
+  EXPECT_EQ(count, 5'000u);
+}
+
+TEST(HashTableTest, LargeScaleInsertLookup) {
+  HashTable table(16);
+  constexpr uint64_t kEntries = 100'000;
+  for (uint64_t i = 0; i < kEntries; i++) {
+    table.Insert(Mix64(i), Ref(1 + static_cast<uint32_t>(i >> 16),
+                               static_cast<uint32_t>(i & 0xFFFF)));
+  }
+  EXPECT_EQ(table.size(), kEntries);
+  for (uint64_t i = 0; i < kEntries; i += 97) {
+    const LogRef ref = table.Lookup(Mix64(i));
+    ASSERT_TRUE(ref.valid());
+    EXPECT_EQ(ref.offset(), i & 0xFFFF);
+  }
+}
+
+// Property-style sweep: across table sizes, scans partitioned into P pieces
+// cover everything exactly once — the invariant Rocksteady's parallel Pull
+// partitioning depends on.
+class HashTablePartitionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashTablePartitionTest, PartitionedScansCoverExactly) {
+  const int partitions = GetParam();
+  HashTable table(8);  // 256 buckets.
+  constexpr uint64_t kEntries = 3'000;
+  for (uint64_t i = 0; i < kEntries; i++) {
+    table.Insert(Mix64(i * 31 + 7), Ref(1, static_cast<uint32_t>(i)));
+  }
+  std::set<KeyHash> seen;
+  const size_t buckets = table.num_buckets();
+  for (int p = 0; p < partitions; p++) {
+    const size_t begin = buckets * p / partitions;
+    const size_t end = buckets * (p + 1) / partitions;
+    table.ScanBuckets(
+        end, begin,
+        [&](KeyHash h, LogRef) {
+          EXPECT_TRUE(seen.insert(h).second) << "entry visited twice";
+        },
+        [] { return true; });
+  }
+  EXPECT_EQ(seen.size(), kEntries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, HashTablePartitionTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 64));
+
+}  // namespace
+}  // namespace rocksteady

@@ -1,0 +1,233 @@
+// Unit and property tests for the B+tree and indexlets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/index/btree.h"
+#include "src/index/indexlet.h"
+
+namespace rocksteady {
+namespace {
+
+std::string Key(int i) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "k%06d", i);
+  return buffer;
+}
+
+TEST(BTreeTest, InsertAndContains) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert("alice", 1));
+  EXPECT_TRUE(tree.Contains("alice", 1));
+  EXPECT_FALSE(tree.Contains("alice", 2));
+  EXPECT_FALSE(tree.Contains("bob", 1));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, DuplicatePairIgnored) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert("k", 7));
+  EXPECT_FALSE(tree.Insert("k", 7));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, DuplicateKeysDistinctValues) {
+  // Secondary keys are non-unique (many "Alice"s); each maps to a distinct
+  // primary hash.
+  BTree tree;
+  for (uint64_t v = 0; v < 100; v++) {
+    EXPECT_TRUE(tree.Insert("alice", v));
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  std::vector<uint64_t> values;
+  tree.ScanFrom("alice", 100, [&](const BTree::Item& item) { values.push_back(item.value); });
+  ASSERT_EQ(values.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+}
+
+TEST(BTreeTest, SplitsMaintainOrder) {
+  BTree tree;
+  for (int i = 0; i < 10'000; i++) {
+    tree.Insert(Key(i), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 10'000u);
+  EXPECT_GT(tree.Height(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, RandomInsertMatchesReference) {
+  BTree tree;
+  std::set<std::pair<std::string, uint64_t>> reference;
+  Random rng(31);
+  for (int i = 0; i < 20'000; i++) {
+    const std::string key = Key(static_cast<int>(rng.Uniform(5'000)));
+    const uint64_t value = rng.Uniform(10);
+    const bool fresh = reference.insert({key, value}).second;
+    EXPECT_EQ(tree.Insert(key, value), fresh);
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Full iteration matches the reference exactly.
+  auto it = reference.begin();
+  bool match = true;
+  tree.ForEach([&](const BTree::Item& item) {
+    if (it == reference.end() || it->first != item.key || it->second != item.value) {
+      match = false;
+    } else {
+      ++it;
+    }
+  });
+  EXPECT_TRUE(match);
+  EXPECT_EQ(it, reference.end());
+}
+
+TEST(BTreeTest, EraseRemovesExactPair) {
+  BTree tree;
+  for (int i = 0; i < 1'000; i++) {
+    tree.Insert(Key(i), static_cast<uint64_t>(i));
+  }
+  EXPECT_TRUE(tree.Erase(Key(500), 500));
+  EXPECT_FALSE(tree.Erase(Key(500), 500));
+  EXPECT_FALSE(tree.Contains(Key(500), 500));
+  EXPECT_TRUE(tree.Contains(Key(499), 499));
+  EXPECT_TRUE(tree.Contains(Key(501), 501));
+  EXPECT_EQ(tree.size(), 999u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, EraseEverythingThenReinsert) {
+  BTree tree;
+  for (int i = 0; i < 2'000; i++) {
+    tree.Insert(Key(i), 1);
+  }
+  for (int i = 0; i < 2'000; i++) {
+    EXPECT_TRUE(tree.Erase(Key(i), 1)) << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  for (int i = 0; i < 2'000; i += 2) {
+    EXPECT_TRUE(tree.Insert(Key(i), 2));
+  }
+  EXPECT_EQ(tree.size(), 1'000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, ScanFromMidRange) {
+  BTree tree;
+  for (int i = 0; i < 1'000; i++) {
+    tree.Insert(Key(i), static_cast<uint64_t>(i));
+  }
+  std::vector<uint64_t> values;
+  const size_t n =
+      tree.ScanFrom(Key(123), 4, [&](const BTree::Item& item) { values.push_back(item.value); });
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(values, (std::vector<uint64_t>{123, 124, 125, 126}));
+}
+
+TEST(BTreeTest, ScanFromBetweenKeys) {
+  BTree tree;
+  tree.Insert("b", 2);
+  tree.Insert("d", 4);
+  tree.Insert("f", 6);
+  std::vector<uint64_t> values;
+  tree.ScanFrom("c", 2, [&](const BTree::Item& item) { values.push_back(item.value); });
+  EXPECT_EQ(values, (std::vector<uint64_t>{4, 6}));
+}
+
+TEST(BTreeTest, ScanPastEnd) {
+  BTree tree;
+  tree.Insert("a", 1);
+  std::vector<uint64_t> values;
+  const size_t n =
+      tree.ScanFrom("z", 10, [&](const BTree::Item& item) { values.push_back(item.value); });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Contains("x", 1));
+  EXPECT_FALSE(tree.Erase("x", 1));
+  size_t visited = tree.ScanFrom("", 10, [](const BTree::Item&) {});
+  EXPECT_EQ(visited, 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+// Parameterized sweep: tree correctness across sizes (exercises 1..4 levels).
+class BTreeSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeSizeTest, OrderedIterationAtEverySize) {
+  const int n = GetParam();
+  BTree tree;
+  Random rng(n);
+  std::vector<int> ids(n);
+  for (int i = 0; i < n; i++) {
+    ids[i] = i;
+  }
+  // Shuffle insertion order.
+  for (int i = n - 1; i > 0; i--) {
+    std::swap(ids[i], ids[rng.Uniform(static_cast<uint64_t>(i + 1))]);
+  }
+  for (int id : ids) {
+    tree.Insert(Key(id), static_cast<uint64_t>(id));
+  }
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<uint64_t> values;
+  tree.ScanFrom("", static_cast<size_t>(n), [&](const BTree::Item& item) {
+    values.push_back(item.value);
+  });
+  for (int i = 0; i < n; i++) {
+    EXPECT_EQ(values[static_cast<size_t>(i)], static_cast<uint64_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeSizeTest,
+                         ::testing::Values(0, 1, 2, 31, 32, 33, 64, 1'000, 20'000));
+
+// ---------------------------------------------------------------- Indexlet.
+
+TEST(IndexletTest, RangeMembership) {
+  Indexlet indexlet(1, 1, "a", "m");
+  EXPECT_TRUE(indexlet.ContainsKey("a"));
+  EXPECT_TRUE(indexlet.ContainsKey("lzz"));
+  EXPECT_FALSE(indexlet.ContainsKey("m"));
+  EXPECT_FALSE(indexlet.ContainsKey("z"));
+  Indexlet open_end(1, 1, "m", "");
+  EXPECT_TRUE(open_end.ContainsKey("m"));
+  EXPECT_TRUE(open_end.ContainsKey("zzz"));
+  EXPECT_FALSE(open_end.ContainsKey("a"));
+}
+
+TEST(IndexletTest, ScanStopsAtRangeEnd) {
+  Indexlet indexlet(1, 1, "a", "c");
+  indexlet.Insert("apple", 1);
+  indexlet.Insert("banana", 2);
+  indexlet.Insert("cherry", 3);  // Outside [a, c) but inserted anyway.
+  const auto hashes = indexlet.Scan("a", 10);
+  EXPECT_EQ(hashes, (std::vector<KeyHash>{1, 2}));
+}
+
+TEST(IndexletTest, ScanReturnsHashesInKeyOrder) {
+  Indexlet indexlet(1, 1, "", "");
+  indexlet.Insert("delta", 4);
+  indexlet.Insert("alpha", 1);
+  indexlet.Insert("charlie", 3);
+  indexlet.Insert("bravo", 2);
+  EXPECT_EQ(indexlet.Scan("", 4), (std::vector<KeyHash>{1, 2, 3, 4}));
+  EXPECT_EQ(indexlet.Scan("bravo", 2), (std::vector<KeyHash>{2, 3}));
+}
+
+TEST(IndexletTest, EraseRemovesEntry) {
+  Indexlet indexlet(1, 1, "", "");
+  indexlet.Insert("k", 9);
+  EXPECT_TRUE(indexlet.Erase("k", 9));
+  EXPECT_TRUE(indexlet.Scan("", 10).empty());
+}
+
+}  // namespace
+}  // namespace rocksteady

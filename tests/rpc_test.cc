@@ -1,0 +1,166 @@
+// Tests for the RPC layer: dispatch integration, timing, timeouts, crash
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/rpc/rpc_system.h"
+
+namespace rocksteady {
+namespace {
+
+struct Fixture {
+  Simulator sim{7};
+  CostModel costs;
+  Network net{&sim, &costs};
+  RpcSystem rpc{&sim, &net, &costs};
+};
+
+TEST(RpcTest, RoundTripThroughDispatch) {
+  Fixture f;
+  CoreSet server_cores(&f.sim, 2);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+
+  server->Register(Opcode::kRead, [](RpcContext context) {
+    auto& request = context.As<ReadRequest>();
+    auto response = std::make_unique<ReadResponse>();
+    response->value = "value-for-" + request.key;
+    context.reply(std::move(response));
+  });
+
+  std::string got;
+  auto request = std::make_unique<ReadRequest>();
+  request->key = "k1";
+  f.rpc.Call(client->node(), server->node(), std::move(request),
+             [&](Status status, std::unique_ptr<RpcResponse> response) {
+               ASSERT_EQ(status, Status::kOk);
+               got = static_cast<ReadResponse&>(*response).value;
+             });
+  f.sim.Run();
+  EXPECT_EQ(got, "value-for-k1");
+}
+
+TEST(RpcTest, LatencyIncludesDispatchAndNetwork) {
+  Fixture f;
+  CoreSet server_cores(&f.sim, 2);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  server->Register(Opcode::kRead, [](RpcContext context) {
+    context.reply(std::make_unique<ReadResponse>());
+  });
+  Tick completed_at = 0;
+  f.rpc.Call(client->node(), server->node(), std::make_unique<ReadRequest>(),
+             [&](Status, std::unique_ptr<RpcResponse>) { completed_at = f.sim.now(); });
+  f.sim.Run();
+  // At minimum: two propagation delays + dispatch rx + dispatch tx.
+  const Tick floor = 2 * f.costs.net_propagation_ns + f.costs.dispatch_per_rpc_ns +
+                     f.costs.dispatch_tx_ns;
+  EXPECT_GE(completed_at, floor);
+  EXPECT_LT(completed_at, floor + 5'000);
+}
+
+TEST(RpcTest, ConcurrentCallsSerializeOnDispatch) {
+  Fixture f;
+  CoreSet server_cores(&f.sim, 4);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  int handled = 0;
+  server->Register(Opcode::kRead, [&](RpcContext context) {
+    handled++;
+    context.reply(std::make_unique<ReadResponse>());
+  });
+  int completed = 0;
+  for (int i = 0; i < 10; i++) {
+    f.rpc.Call(client->node(), server->node(), std::make_unique<ReadRequest>(),
+               [&](Status status, std::unique_ptr<RpcResponse>) {
+                 EXPECT_EQ(status, Status::kOk);
+                 completed++;
+               });
+  }
+  f.sim.Run();
+  EXPECT_EQ(handled, 10);
+  EXPECT_EQ(completed, 10);
+}
+
+TEST(RpcTest, TimeoutFiresWhenServerDown) {
+  Fixture f;
+  CoreSet server_cores(&f.sim, 1);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  server->Register(Opcode::kRead, [](RpcContext context) {
+    context.reply(std::make_unique<ReadResponse>());
+  });
+  f.net.SetNodeDown(server->node(), true);
+  Status got = Status::kOk;
+  bool fired = false;
+  f.rpc.Call(client->node(), server->node(), std::make_unique<ReadRequest>(),
+             [&](Status status, std::unique_ptr<RpcResponse> response) {
+               got = status;
+               fired = true;
+               EXPECT_EQ(response, nullptr);
+             },
+             /*timeout=*/kMillisecond);
+  f.sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(got, Status::kServerDown);
+  EXPECT_EQ(f.sim.now(), kMillisecond);
+}
+
+TEST(RpcTest, NoTimeoutAfterResponse) {
+  Fixture f;
+  CoreSet server_cores(&f.sim, 1);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  server->Register(Opcode::kRead, [](RpcContext context) {
+    context.reply(std::make_unique<ReadResponse>());
+  });
+  int callbacks = 0;
+  f.rpc.Call(client->node(), server->node(), std::make_unique<ReadRequest>(),
+             [&](Status status, std::unique_ptr<RpcResponse>) {
+               callbacks++;
+               EXPECT_EQ(status, Status::kOk);
+             },
+             /*timeout=*/kMillisecond);
+  f.sim.Run();
+  EXPECT_EQ(callbacks, 1);  // The timeout must not double-fire.
+}
+
+TEST(RpcTest, HaltedServerNeverReplies) {
+  Fixture f;
+  CoreSet server_cores(&f.sim, 1);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  server->Register(Opcode::kRead, [](RpcContext context) {
+    context.reply(std::make_unique<ReadResponse>());
+  });
+  server_cores.Halt();  // NIC up, cores dead.
+  Status got = Status::kOk;
+  f.rpc.Call(client->node(), server->node(), std::make_unique<ReadRequest>(),
+             [&](Status status, std::unique_ptr<RpcResponse>) { got = status; },
+             /*timeout=*/kMillisecond);
+  f.sim.Run();
+  EXPECT_EQ(got, Status::kServerDown);
+}
+
+TEST(RpcTest, ServerToServerCallsChargeBothDispatches) {
+  Fixture f;
+  CoreSet a_cores(&f.sim, 1);
+  CoreSet b_cores(&f.sim, 1);
+  RpcEndpoint* a = f.rpc.CreateEndpoint(&a_cores);
+  RpcEndpoint* b = f.rpc.CreateEndpoint(&b_cores);
+  b->Register(Opcode::kRead,
+              [](RpcContext context) { context.reply(std::make_unique<ReadResponse>()); });
+  bool done = false;
+  f.rpc.Call(a->node(), b->node(), std::make_unique<ReadRequest>(),
+             [&](Status, std::unique_ptr<RpcResponse>) { done = true; });
+  f.sim.Run();
+  EXPECT_TRUE(done);
+  // Caller's dispatch polled the response off its NIC.
+  EXPECT_GE(a_cores.total_dispatch_busy(), f.costs.dispatch_per_rpc_ns);
+  EXPECT_GE(b_cores.total_dispatch_busy(),
+            f.costs.dispatch_per_rpc_ns + f.costs.dispatch_tx_ns);
+}
+
+}  // namespace
+}  // namespace rocksteady

@@ -1,0 +1,426 @@
+// Unit tests for tablets and the ObjectManager (read/write/remove, replay
+// semantics, version horizons, cleaner integration).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/store/object_manager.h"
+#include "src/store/tablet.h"
+
+namespace rocksteady {
+namespace {
+
+ObjectManagerOptions SmallOptions() {
+  ObjectManagerOptions options;
+  options.hash_table_log2_buckets = 10;
+  options.segment_size = 4096;
+  return options;
+}
+
+// ---------------------------------------------------------------- Tablets.
+
+TEST(TabletTest, ContainsChecksRangeAndTable) {
+  Tablet tablet{.table_id = 1, .start_hash = 100, .end_hash = 200};
+  EXPECT_TRUE(tablet.Contains(1, 100));
+  EXPECT_TRUE(tablet.Contains(1, 200));
+  EXPECT_TRUE(tablet.Contains(1, 150));
+  EXPECT_FALSE(tablet.Contains(1, 99));
+  EXPECT_FALSE(tablet.Contains(1, 201));
+  EXPECT_FALSE(tablet.Contains(2, 150));
+}
+
+TEST(TabletManagerTest, FindLocatesOwningTablet) {
+  TabletManager tablets;
+  tablets.Add({.table_id = 1, .start_hash = 0, .end_hash = 999});
+  tablets.Add({.table_id = 1, .start_hash = 1000, .end_hash = 1999});
+  tablets.Add({.table_id = 2, .start_hash = 0, .end_hash = ~0ull});
+  EXPECT_EQ(tablets.Find(1, 500)->start_hash, 0u);
+  EXPECT_EQ(tablets.Find(1, 1500)->start_hash, 1000u);
+  EXPECT_EQ(tablets.Find(2, 12345)->table_id, 2u);
+  EXPECT_EQ(tablets.Find(1, 5000), nullptr);
+  EXPECT_EQ(tablets.Find(3, 0), nullptr);
+}
+
+TEST(TabletManagerTest, SplitAtArbitraryHash) {
+  // Lazy partitioning: a split is metadata-only and can happen at any hash.
+  TabletManager tablets;
+  tablets.Add({.table_id = 1, .start_hash = 0, .end_hash = ~0ull});
+  ASSERT_EQ(tablets.Split(1, 1ull << 63), Status::kOk);
+  ASSERT_EQ(tablets.tablets().size(), 2u);
+  const Tablet* low = tablets.Find(1, 0);
+  const Tablet* high = tablets.Find(1, ~0ull);
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  EXPECT_EQ(low->end_hash, (1ull << 63) - 1);
+  EXPECT_EQ(high->start_hash, 1ull << 63);
+  // Splitting again at the same point is a no-op.
+  EXPECT_EQ(tablets.Split(1, 1ull << 63), Status::kOk);
+  EXPECT_EQ(tablets.tablets().size(), 2u);
+}
+
+TEST(TabletManagerTest, SplitMissingTableFails) {
+  TabletManager tablets;
+  EXPECT_EQ(tablets.Split(9, 100), Status::kTableNotFound);
+}
+
+TEST(TabletManagerTest, RemoveExactRange) {
+  TabletManager tablets;
+  tablets.Add({.table_id = 1, .start_hash = 0, .end_hash = 999});
+  EXPECT_FALSE(tablets.Remove(1, 0, 500));  // Not an exact match.
+  EXPECT_TRUE(tablets.Remove(1, 0, 999));
+  EXPECT_EQ(tablets.Find(1, 10), nullptr);
+}
+
+// ------------------------------------------------------------ ObjectManager.
+
+TEST(ObjectManagerTest, WriteReadRoundTrip) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("alice");
+  auto version = om.Write(1, "alice", h, "in wonderland");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+  auto read = om.Read(1, "alice", h);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "in wonderland");
+  EXPECT_EQ(read->version, 1u);
+}
+
+TEST(ObjectManagerTest, OverwriteBumpsVersion) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("k");
+  om.Write(1, "k", h, "v1");
+  auto v2 = om.Write(1, "k", h, "v2");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_GT(*v2, 1u);
+  auto read = om.Read(1, "k", h);
+  EXPECT_EQ(read->value, "v2");
+  EXPECT_EQ(read->version, *v2);
+}
+
+TEST(ObjectManagerTest, ReadMissingKey) {
+  ObjectManager om(SmallOptions());
+  EXPECT_EQ(om.Read(1, "ghost", HashKey("ghost")).status(), Status::kObjectNotFound);
+}
+
+TEST(ObjectManagerTest, RemoveDeletesAndIsIdempotent) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("k");
+  om.Write(1, "k", h, "v");
+  ASSERT_TRUE(om.Remove(1, "k", h).ok());
+  EXPECT_EQ(om.Read(1, "k", h).status(), Status::kObjectNotFound);
+  EXPECT_EQ(om.Remove(1, "k", h).status(), Status::kObjectNotFound);
+}
+
+TEST(ObjectManagerTest, WriteAfterRemoveGetsHigherVersion) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("k");
+  auto v1 = om.Write(1, "k", h, "v1");
+  om.Remove(1, "k", h);
+  auto v2 = om.Write(1, "k", h, "v2");
+  EXPECT_GT(*v2, *v1);  // Versions never move backwards, even through deletes.
+}
+
+TEST(ObjectManagerTest, ReadByHashIgnoresKey) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("indexed-key");
+  om.Write(1, "indexed-key", h, "payload");
+  auto read = om.ReadByHash(1, h);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "payload");
+  EXPECT_EQ(read->key, "indexed-key");
+}
+
+TEST(ObjectManagerTest, ReadWrongTableFails) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("k");
+  om.Write(1, "k", h, "v");
+  EXPECT_FALSE(om.Read(2, "k", h).ok());
+  EXPECT_FALSE(om.ReadByHash(2, h).ok());
+}
+
+TEST(ObjectManagerTest, ManyObjectsSurviveSegmentRolls) {
+  ObjectManager om(SmallOptions());
+  for (int i = 0; i < 1'000; i++) {
+    const std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(om.Write(1, key, HashKey(key), "value" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(om.log().segments().size(), 2u);
+  for (int i = 0; i < 1'000; i++) {
+    const std::string key = "key" + std::to_string(i);
+    auto read = om.Read(1, key, HashKey(key));
+    ASSERT_TRUE(read.ok()) << key;
+    EXPECT_EQ(read->value, "value" + std::to_string(i));
+  }
+}
+
+// ------------------------------------------------------------------ Replay.
+
+LogEntryView MakeObjectEntry(std::vector<uint8_t>& buffer, TableId table, KeyHash hash,
+                             std::string_view key, std::string_view value, Version version) {
+  LogEntryHeader header;
+  header.type = LogEntryType::kObject;
+  header.table_id = table;
+  header.key_hash = hash;
+  header.version = version;
+  buffer.resize(sizeof(LogEntryHeader) + key.size() + value.size());
+  WriteEntry(buffer.data(), header, key, value);
+  LogEntryView view;
+  EXPECT_TRUE(ReadEntry(buffer.data(), buffer.size(), &view));
+  return view;
+}
+
+LogEntryView MakeTombstoneEntry(std::vector<uint8_t>& buffer, TableId table, KeyHash hash,
+                                std::string_view key, Version version) {
+  LogEntryHeader header;
+  header.type = LogEntryType::kTombstone;
+  header.table_id = table;
+  header.key_hash = hash;
+  header.version = version;
+  buffer.resize(sizeof(LogEntryHeader) + key.size());
+  WriteEntry(buffer.data(), header, key, {});
+  LogEntryView view;
+  EXPECT_TRUE(ReadEntry(buffer.data(), buffer.size(), &view));
+  return view;
+}
+
+TEST(ObjectManagerReplayTest, IncorporatesNewRecord) {
+  ObjectManager om(SmallOptions());
+  std::vector<uint8_t> buffer;
+  const auto entry = MakeObjectEntry(buffer, 1, HashKey("k"), "k", "migrated", 5);
+  EXPECT_TRUE(om.Replay(entry, nullptr));
+  auto read = om.Read(1, "k", HashKey("k"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "migrated");
+  EXPECT_EQ(read->version, 5u);
+}
+
+TEST(ObjectManagerReplayTest, StaleRecordDropped) {
+  // A write at the target (higher version) must not be clobbered by a
+  // migrated record arriving later (lower version). This is the invariant
+  // behind Rocksteady's immediate-ownership-transfer + any-order replay.
+  ObjectManager om(SmallOptions());
+  om.RaiseVersionHorizon(100);  // Seeded from the source's horizon.
+  const KeyHash h = HashKey("k");
+  auto fresh = om.Write(1, "k", h, "written-at-target");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(*fresh, 100u);
+  std::vector<uint8_t> buffer;
+  const auto stale = MakeObjectEntry(buffer, 1, h, "k", "old-source-copy", 7);
+  EXPECT_FALSE(om.Replay(stale, nullptr));
+  EXPECT_EQ(om.Read(1, "k", h)->value, "written-at-target");
+}
+
+TEST(ObjectManagerReplayTest, ReplayIsIdempotent) {
+  ObjectManager om(SmallOptions());
+  std::vector<uint8_t> buffer;
+  const auto entry = MakeObjectEntry(buffer, 1, HashKey("k"), "k", "once", 3);
+  EXPECT_TRUE(om.Replay(entry, nullptr));
+  EXPECT_FALSE(om.Replay(entry, nullptr));  // Duplicate: version not newer.
+  EXPECT_EQ(om.object_count(), 1u);
+}
+
+TEST(ObjectManagerReplayTest, NewerReplayWins) {
+  ObjectManager om(SmallOptions());
+  std::vector<uint8_t> b1;
+  std::vector<uint8_t> b2;
+  const KeyHash h = HashKey("k");
+  EXPECT_TRUE(om.Replay(MakeObjectEntry(b1, 1, h, "k", "v3", 3), nullptr));
+  EXPECT_TRUE(om.Replay(MakeObjectEntry(b2, 1, h, "k", "v9", 9), nullptr));
+  EXPECT_EQ(om.Read(1, "k", h)->value, "v9");
+}
+
+TEST(ObjectManagerReplayTest, OutOfOrderReplayConverges) {
+  // Any-order parallel replay: applying versions 9 then 3 equals 3 then 9.
+  ObjectManager a(SmallOptions());
+  ObjectManager b(SmallOptions());
+  std::vector<uint8_t> b1;
+  std::vector<uint8_t> b2;
+  const KeyHash h = HashKey("k");
+  const auto v3 = MakeObjectEntry(b1, 1, h, "k", "v3", 3);
+  const auto v9 = MakeObjectEntry(b2, 1, h, "k", "v9", 9);
+  a.Replay(v3, nullptr);
+  a.Replay(v9, nullptr);
+  b.Replay(v9, nullptr);
+  b.Replay(v3, nullptr);
+  EXPECT_EQ(a.Read(1, "k", h)->value, b.Read(1, "k", h)->value);
+  EXPECT_EQ(a.Read(1, "k", h)->version, b.Read(1, "k", h)->version);
+}
+
+TEST(ObjectManagerReplayTest, TombstoneReplayDeletes) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("k");
+  std::vector<uint8_t> b1;
+  std::vector<uint8_t> b2;
+  om.Replay(MakeObjectEntry(b1, 1, h, "k", "v", 3), nullptr);
+  EXPECT_TRUE(om.Replay(MakeTombstoneEntry(b2, 1, h, "k", 5), nullptr));
+  EXPECT_EQ(om.Read(1, "k", h).status(), Status::kObjectNotFound);
+}
+
+TEST(ObjectManagerReplayTest, StaleTombstoneIgnored) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("k");
+  std::vector<uint8_t> b1;
+  std::vector<uint8_t> b2;
+  om.Replay(MakeObjectEntry(b1, 1, h, "k", "v7", 7), nullptr);
+  EXPECT_FALSE(om.Replay(MakeTombstoneEntry(b2, 1, h, "k", 5), nullptr));
+  EXPECT_EQ(om.Read(1, "k", h)->value, "v7");
+}
+
+TEST(ObjectManagerReplayTest, ReplayIntoSideLog) {
+  ObjectManager om(SmallOptions());
+  SideLog side(&om.log());
+  std::vector<uint8_t> buffer;
+  const KeyHash h = HashKey("k");
+  EXPECT_TRUE(om.Replay(MakeObjectEntry(buffer, 1, h, "k", "via-side", 2), &side));
+  // Readable immediately, before commit.
+  EXPECT_EQ(om.Read(1, "k", h)->value, "via-side");
+  side.Commit();
+  EXPECT_EQ(om.Read(1, "k", h)->value, "via-side");
+}
+
+TEST(ObjectManagerReplayTest, DropSideLogEntriesOnAbort) {
+  ObjectManager om(SmallOptions());
+  SideLog side(&om.log());
+  std::vector<uint8_t> buffer;
+  for (int i = 0; i < 20; i++) {
+    const std::string key = "k" + std::to_string(i);
+    const auto entry = MakeObjectEntry(buffer, 1, HashKey(key), key, "v", 2);
+    ASSERT_TRUE(om.Replay(entry, &side));
+  }
+  EXPECT_EQ(om.object_count(), 20u);
+  const size_t dropped = om.DropSideLogEntries(side);
+  side.Abort();
+  EXPECT_EQ(dropped, 20u);
+  EXPECT_EQ(om.object_count(), 0u);
+}
+
+TEST(ObjectManagerTest, DropTabletEntriesRemovesRange) {
+  ObjectManager om(SmallOptions());
+  size_t in_upper_half = 0;
+  for (int i = 0; i < 200; i++) {
+    const std::string key = "key" + std::to_string(i);
+    const KeyHash h = HashKey(key);
+    om.Write(1, key, h, "v");
+    in_upper_half += (h >= (1ull << 63));
+  }
+  const size_t dropped = om.DropTabletEntries(1, 1ull << 63, ~0ull);
+  EXPECT_EQ(dropped, in_upper_half);
+  EXPECT_EQ(om.object_count(), 200 - in_upper_half);
+}
+
+TEST(ObjectManagerTest, CleanerPreservesLiveData) {
+  ObjectManager om(SmallOptions());
+  // Three rounds of overwrites -> two thirds of entries dead.
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 300; i++) {
+      const std::string key = "key" + std::to_string(i);
+      ASSERT_TRUE(om.Write(1, key, HashKey(key), "round" + std::to_string(round)).ok());
+    }
+  }
+  size_t cleaned = 0;
+  for (int i = 0; i < 50; i++) {
+    cleaned += om.RunCleaner();
+  }
+  EXPECT_GT(cleaned, 0u);
+  for (int i = 0; i < 300; i++) {
+    const std::string key = "key" + std::to_string(i);
+    auto read = om.Read(1, key, HashKey(key));
+    ASSERT_TRUE(read.ok()) << key;
+    EXPECT_EQ(read->value, "round2");
+  }
+}
+
+TEST(ObjectManagerTest, VersionHorizonMonotone) {
+  ObjectManager om(SmallOptions());
+  EXPECT_EQ(om.version_horizon(), 0u);
+  om.Write(1, "a", HashKey("a"), "v");
+  const Version after_one = om.version_horizon();
+  EXPECT_GE(after_one, 1u);
+  om.RaiseVersionHorizon(1'000);
+  EXPECT_EQ(om.version_horizon(), 1'000u);
+  om.RaiseVersionHorizon(5);  // Lower: no effect.
+  EXPECT_EQ(om.version_horizon(), 1'000u);
+  auto v = om.Write(1, "b", HashKey("b"), "v");
+  EXPECT_GT(*v, 1'000u);
+}
+
+
+TEST(ObjectManagerTest, TombstoneIfMissingGuardsAgainstResurrection) {
+  // A migration target deletes a record that has not arrived yet; the
+  // tombstone must survive (referenced) so the later-arriving older copy
+  // loses the version comparison.
+  ObjectManager om(SmallOptions());
+  om.RaiseVersionHorizon(50);  // Seeded from the source.
+  const KeyHash h = HashKey("k");
+  auto version = om.Remove(1, "k", h, nullptr, /*tombstone_if_missing=*/true);
+  ASSERT_TRUE(version.ok());
+  EXPECT_GT(*version, 50u);
+  // The old copy arrives via replay with a lower version: dropped.
+  std::vector<uint8_t> buffer;
+  const auto stale = MakeObjectEntry(buffer, 1, h, "k", "old-copy", 7);
+  EXPECT_FALSE(om.Replay(stale, nullptr));
+  EXPECT_EQ(om.Read(1, "k", h).status(), Status::kObjectNotFound);
+}
+
+TEST(ObjectManagerTest, RemoveWithoutFlagStillNotFound) {
+  ObjectManager om(SmallOptions());
+  EXPECT_EQ(om.Remove(1, "ghost", HashKey("ghost")).status(), Status::kObjectNotFound);
+}
+
+TEST(ObjectManagerTest, WriteAfterMissingDeleteWins) {
+  ObjectManager om(SmallOptions());
+  const KeyHash h = HashKey("k");
+  om.Remove(1, "k", h, nullptr, /*tombstone_if_missing=*/true);
+  auto version = om.Write(1, "k", h, "resurrected-on-purpose");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(om.Read(1, "k", h)->value, "resurrected-on-purpose");
+}
+
+TEST(ObjectManagerTest, ReferencedTombstoneSurvivesCleaning) {
+  ObjectManager om(SmallOptions());
+  const KeyHash guard = HashKey("guarded");
+  om.RaiseVersionHorizon(100);
+  om.Remove(1, "guarded", guard, nullptr, /*tombstone_if_missing=*/true);
+  // Churn enough data to force segment rolls and cleaning.
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 200; i++) {
+      const std::string key = "churn" + std::to_string(i);
+      om.Write(1, key, HashKey(key), std::string(40, 'x'));
+    }
+  }
+  for (int i = 0; i < 50; i++) {
+    om.RunCleaner();
+  }
+  // The guard still works: a stale copy arriving now must be dropped.
+  std::vector<uint8_t> buffer;
+  const auto stale = MakeObjectEntry(buffer, 1, guard, "guarded", "stale", 9);
+  EXPECT_FALSE(om.Replay(stale, nullptr));
+  EXPECT_EQ(om.Read(1, "guarded", guard).status(), Status::kObjectNotFound);
+}
+
+TEST(ObjectManagerReplayTest, TombstoneThenOlderObjectAnyOrder) {
+  // Order-free replay: tombstone(v5) then object(v3) must equal
+  // object(v3) then tombstone(v5).
+  std::vector<uint8_t> b1;
+  std::vector<uint8_t> b2;
+  const KeyHash h = HashKey("k");
+  for (bool tombstone_first : {true, false}) {
+    ObjectManager om(SmallOptions());
+    const auto obj = MakeObjectEntry(b1, 1, h, "k", "v3", 3);
+    const auto tomb = MakeTombstoneEntry(b2, 1, h, "k", 5);
+    if (tombstone_first) {
+      om.Replay(tomb, nullptr);
+      om.Replay(obj, nullptr);
+    } else {
+      om.Replay(obj, nullptr);
+      om.Replay(tomb, nullptr);
+    }
+    EXPECT_EQ(om.Read(1, "k", h).status(), Status::kObjectNotFound)
+        << "tombstone_first=" << tombstone_first;
+  }
+}
+
+}  // namespace
+}  // namespace rocksteady
