@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_spread.dir/fig03_spread.cc.o"
+  "CMakeFiles/fig03_spread.dir/fig03_spread.cc.o.d"
+  "fig03_spread"
+  "fig03_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

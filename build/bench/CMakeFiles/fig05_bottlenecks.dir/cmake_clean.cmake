@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bottlenecks.dir/fig05_bottlenecks.cc.o"
+  "CMakeFiles/fig05_bottlenecks.dir/fig05_bottlenecks.cc.o.d"
+  "fig05_bottlenecks"
+  "fig05_bottlenecks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

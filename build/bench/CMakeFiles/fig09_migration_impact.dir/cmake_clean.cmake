@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_migration_impact.dir/fig09_migration_impact.cc.o"
+  "CMakeFiles/fig09_migration_impact.dir/fig09_migration_impact.cc.o.d"
+  "fig09_migration_impact"
+  "fig09_migration_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_migration_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

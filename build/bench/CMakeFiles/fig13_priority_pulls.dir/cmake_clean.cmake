@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_priority_pulls.dir/fig13_priority_pulls.cc.o"
+  "CMakeFiles/fig13_priority_pulls.dir/fig13_priority_pulls.cc.o.d"
+  "fig13_priority_pulls"
+  "fig13_priority_pulls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_priority_pulls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

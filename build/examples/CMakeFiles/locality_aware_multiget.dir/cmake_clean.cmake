@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_aware_multiget.dir/locality_aware_multiget.cc.o"
+  "CMakeFiles/locality_aware_multiget.dir/locality_aware_multiget.cc.o.d"
+  "locality_aware_multiget"
+  "locality_aware_multiget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_aware_multiget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

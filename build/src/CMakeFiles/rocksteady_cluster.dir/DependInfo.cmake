@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/backup_service.cc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/backup_service.cc.o" "gcc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/backup_service.cc.o.d"
+  "/root/repo/src/cluster/client.cc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/client.cc.o" "gcc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/client.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/coordinator.cc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/coordinator.cc.o" "gcc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/coordinator.cc.o.d"
+  "/root/repo/src/cluster/master_server.cc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/master_server.cc.o" "gcc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/master_server.cc.o.d"
+  "/root/repo/src/cluster/recovery.cc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/recovery.cc.o" "gcc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/recovery.cc.o.d"
+  "/root/repo/src/cluster/replica_manager.cc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/replica_manager.cc.o" "gcc" "src/CMakeFiles/rocksteady_cluster.dir/cluster/replica_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocksteady_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_hashtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_cluster.dir/cluster/backup_service.cc.o"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/backup_service.cc.o.d"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/client.cc.o"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/client.cc.o.d"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/coordinator.cc.o"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/coordinator.cc.o.d"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/master_server.cc.o"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/master_server.cc.o.d"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/recovery.cc.o"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/recovery.cc.o.d"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/replica_manager.cc.o"
+  "CMakeFiles/rocksteady_cluster.dir/cluster/replica_manager.cc.o.d"
+  "librocksteady_cluster.a"
+  "librocksteady_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librocksteady_cluster.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/rocksteady_common.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/rocksteady_common.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/rocksteady_common.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/rocksteady_common.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/rocksteady_common.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/rocksteady_common.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rocksteady_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rocksteady_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/timeseries.cc" "src/CMakeFiles/rocksteady_common.dir/common/timeseries.cc.o" "gcc" "src/CMakeFiles/rocksteady_common.dir/common/timeseries.cc.o.d"
+  "/root/repo/src/common/zipfian.cc" "src/CMakeFiles/rocksteady_common.dir/common/zipfian.cc.o" "gcc" "src/CMakeFiles/rocksteady_common.dir/common/zipfian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_common.dir/common/crc32c.cc.o"
+  "CMakeFiles/rocksteady_common.dir/common/crc32c.cc.o.d"
+  "CMakeFiles/rocksteady_common.dir/common/hash.cc.o"
+  "CMakeFiles/rocksteady_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/rocksteady_common.dir/common/histogram.cc.o"
+  "CMakeFiles/rocksteady_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/rocksteady_common.dir/common/logging.cc.o"
+  "CMakeFiles/rocksteady_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/rocksteady_common.dir/common/timeseries.cc.o"
+  "CMakeFiles/rocksteady_common.dir/common/timeseries.cc.o.d"
+  "CMakeFiles/rocksteady_common.dir/common/zipfian.cc.o"
+  "CMakeFiles/rocksteady_common.dir/common/zipfian.cc.o.d"
+  "librocksteady_common.a"
+  "librocksteady_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

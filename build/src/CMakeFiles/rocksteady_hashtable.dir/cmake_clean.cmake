@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_hashtable.dir/hashtable/hash_table.cc.o"
+  "CMakeFiles/rocksteady_hashtable.dir/hashtable/hash_table.cc.o.d"
+  "librocksteady_hashtable.a"
+  "librocksteady_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_index.dir/index/btree.cc.o"
+  "CMakeFiles/rocksteady_index.dir/index/btree.cc.o.d"
+  "CMakeFiles/rocksteady_index.dir/index/indexlet.cc.o"
+  "CMakeFiles/rocksteady_index.dir/index/indexlet.cc.o.d"
+  "librocksteady_index.a"
+  "librocksteady_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

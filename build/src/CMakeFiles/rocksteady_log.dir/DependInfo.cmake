@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/log.cc" "src/CMakeFiles/rocksteady_log.dir/log/log.cc.o" "gcc" "src/CMakeFiles/rocksteady_log.dir/log/log.cc.o.d"
+  "/root/repo/src/log/log_cleaner.cc" "src/CMakeFiles/rocksteady_log.dir/log/log_cleaner.cc.o" "gcc" "src/CMakeFiles/rocksteady_log.dir/log/log_cleaner.cc.o.d"
+  "/root/repo/src/log/log_entry.cc" "src/CMakeFiles/rocksteady_log.dir/log/log_entry.cc.o" "gcc" "src/CMakeFiles/rocksteady_log.dir/log/log_entry.cc.o.d"
+  "/root/repo/src/log/segment.cc" "src/CMakeFiles/rocksteady_log.dir/log/segment.cc.o" "gcc" "src/CMakeFiles/rocksteady_log.dir/log/segment.cc.o.d"
+  "/root/repo/src/log/side_log.cc" "src/CMakeFiles/rocksteady_log.dir/log/side_log.cc.o" "gcc" "src/CMakeFiles/rocksteady_log.dir/log/side_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocksteady_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

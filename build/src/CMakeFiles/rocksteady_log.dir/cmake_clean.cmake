@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_log.dir/log/log.cc.o"
+  "CMakeFiles/rocksteady_log.dir/log/log.cc.o.d"
+  "CMakeFiles/rocksteady_log.dir/log/log_cleaner.cc.o"
+  "CMakeFiles/rocksteady_log.dir/log/log_cleaner.cc.o.d"
+  "CMakeFiles/rocksteady_log.dir/log/log_entry.cc.o"
+  "CMakeFiles/rocksteady_log.dir/log/log_entry.cc.o.d"
+  "CMakeFiles/rocksteady_log.dir/log/segment.cc.o"
+  "CMakeFiles/rocksteady_log.dir/log/segment.cc.o.d"
+  "CMakeFiles/rocksteady_log.dir/log/side_log.cc.o"
+  "CMakeFiles/rocksteady_log.dir/log/side_log.cc.o.d"
+  "librocksteady_log.a"
+  "librocksteady_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

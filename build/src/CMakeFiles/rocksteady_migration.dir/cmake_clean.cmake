@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_migration.dir/migration/priority_pull_manager.cc.o"
+  "CMakeFiles/rocksteady_migration.dir/migration/priority_pull_manager.cc.o.d"
+  "CMakeFiles/rocksteady_migration.dir/migration/ramcloud_migration.cc.o"
+  "CMakeFiles/rocksteady_migration.dir/migration/ramcloud_migration.cc.o.d"
+  "CMakeFiles/rocksteady_migration.dir/migration/rocksteady_source.cc.o"
+  "CMakeFiles/rocksteady_migration.dir/migration/rocksteady_source.cc.o.d"
+  "CMakeFiles/rocksteady_migration.dir/migration/rocksteady_target.cc.o"
+  "CMakeFiles/rocksteady_migration.dir/migration/rocksteady_target.cc.o.d"
+  "librocksteady_migration.a"
+  "librocksteady_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_rpc.dir/rpc/messages.cc.o"
+  "CMakeFiles/rocksteady_rpc.dir/rpc/messages.cc.o.d"
+  "CMakeFiles/rocksteady_rpc.dir/rpc/rpc_system.cc.o"
+  "CMakeFiles/rocksteady_rpc.dir/rpc/rpc_system.cc.o.d"
+  "librocksteady_rpc.a"
+  "librocksteady_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

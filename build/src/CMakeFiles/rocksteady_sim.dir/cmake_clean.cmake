@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_sim.dir/sim/core_set.cc.o"
+  "CMakeFiles/rocksteady_sim.dir/sim/core_set.cc.o.d"
+  "CMakeFiles/rocksteady_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/rocksteady_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/rocksteady_sim.dir/sim/network.cc.o"
+  "CMakeFiles/rocksteady_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/rocksteady_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/rocksteady_sim.dir/sim/simulator.cc.o.d"
+  "librocksteady_sim.a"
+  "librocksteady_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

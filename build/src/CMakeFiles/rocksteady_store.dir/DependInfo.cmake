@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/object_manager.cc" "src/CMakeFiles/rocksteady_store.dir/store/object_manager.cc.o" "gcc" "src/CMakeFiles/rocksteady_store.dir/store/object_manager.cc.o.d"
+  "/root/repo/src/store/tablet.cc" "src/CMakeFiles/rocksteady_store.dir/store/tablet.cc.o" "gcc" "src/CMakeFiles/rocksteady_store.dir/store/tablet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocksteady_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_hashtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

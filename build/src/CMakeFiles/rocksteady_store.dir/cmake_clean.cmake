@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_store.dir/store/object_manager.cc.o"
+  "CMakeFiles/rocksteady_store.dir/store/object_manager.cc.o.d"
+  "CMakeFiles/rocksteady_store.dir/store/tablet.cc.o"
+  "CMakeFiles/rocksteady_store.dir/store/tablet.cc.o.d"
+  "librocksteady_store.a"
+  "librocksteady_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

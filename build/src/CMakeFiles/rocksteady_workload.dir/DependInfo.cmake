@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/client_actor.cc" "src/CMakeFiles/rocksteady_workload.dir/workload/client_actor.cc.o" "gcc" "src/CMakeFiles/rocksteady_workload.dir/workload/client_actor.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/rocksteady_workload.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/rocksteady_workload.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocksteady_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_hashtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rocksteady_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

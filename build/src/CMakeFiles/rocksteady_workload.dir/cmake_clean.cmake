@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksteady_workload.dir/workload/client_actor.cc.o"
+  "CMakeFiles/rocksteady_workload.dir/workload/client_actor.cc.o.d"
+  "CMakeFiles/rocksteady_workload.dir/workload/ycsb.cc.o"
+  "CMakeFiles/rocksteady_workload.dir/workload/ycsb.cc.o.d"
+  "librocksteady_workload.a"
+  "librocksteady_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksteady_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
