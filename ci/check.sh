@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate: determinism lint, then two full build+test passes —
+#  1. RelWithDebInfo with -Werror and ASan+UBSan,
+#  2. Debug with -Werror and ROCKSTEADY_AUDIT=ON (DCHECKs + invariant audits
+#     enabled, death tests active).
+# Run from anywhere; builds land in build-asan/ and build-audit/ under the
+# repo root. Any failure aborts with a nonzero exit.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "determinism lint"
+python3 "${ROOT}/tools/lint_determinism.py" "${ROOT}/src"
+
+step "build: ASan+UBSan (RelWithDebInfo, -Werror)"
+cmake -B "${ROOT}/build-asan" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DROCKSTEADY_WERROR=ON \
+  -DROCKSTEADY_SANITIZE="address;undefined"
+cmake --build "${ROOT}/build-asan" -j "${JOBS}"
+
+step "test: ASan+UBSan"
+ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}"
+
+step "build: debug audit (Debug, -Werror, ROCKSTEADY_AUDIT=ON)"
+cmake -B "${ROOT}/build-audit" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DROCKSTEADY_WERROR=ON \
+  -DROCKSTEADY_AUDIT=ON
+cmake --build "${ROOT}/build-audit" -j "${JOBS}"
+
+step "test: debug audit"
+ctest --test-dir "${ROOT}/build-audit" --output-on-failure -j "${JOBS}"
+
+step "all checks passed"

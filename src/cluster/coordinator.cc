@@ -59,6 +59,7 @@ std::vector<ServerId> Coordinator::AliveServers(ServerId except) const {
 void Coordinator::CreateTable(TableId table, ServerId owner) {
   tablet_map_.push_back(OwnedTablet{table, 0, ~0ull, owner});
   master(owner)->objects().tablets().Add(Tablet{table, 0, ~0ull, TabletState::kNormal});
+  DebugAudit(*this, "coordinator after CreateTable");
 }
 
 Status Coordinator::SplitTablet(TableId table, KeyHash split_hash) {
@@ -74,7 +75,9 @@ Status Coordinator::SplitTablet(TableId table, KeyHash split_hash) {
       tablet_map_.push_back(upper);
       // Mirror the split on the owning master (metadata only — this is the
       // whole point of lazy partitioning, §1).
-      return master(upper.owner)->objects().tablets().Split(table, split_hash);
+      const Status status = master(upper.owner)->objects().tablets().Split(table, split_hash);
+      DebugAudit(*this, "coordinator after SplitTablet");
+      return status;
     }
   }
   return Status::kTableNotFound;
@@ -85,7 +88,12 @@ Status Coordinator::UpdateOwnership(TableId table, KeyHash start_hash, KeyHash e
   for (auto& tablet : tablet_map_) {
     if (tablet.table == table && tablet.start_hash == start_hash &&
         tablet.end_hash == end_hash) {
+      // Legal ownership transitions repoint an existing range to a
+      // registered server; they never reshape the partition.
+      ROCKSTEADY_DCHECK_GE(new_owner, 1u);
+      ROCKSTEADY_DCHECK_LE(new_owner, masters_.size());
       tablet.owner = new_owner;
+      DebugAudit(*this, "coordinator after UpdateOwnership");
       return Status::kOk;
     }
   }
@@ -140,6 +148,7 @@ void Coordinator::RegisterDependency(const MigrationDependency& dependency) {
            dependency.source, dependency.target,
            static_cast<unsigned long long>(dependency.table), dependency.target_log_segment,
            dependency.target_log_offset);
+  DebugAudit(*this, "coordinator after RegisterDependency");
 }
 
 void Coordinator::DropDependency(ServerId source, ServerId target, TableId table) {
@@ -164,6 +173,62 @@ std::optional<MigrationDependency> Coordinator::FindDependencyByTarget(ServerId 
     }
   }
   return std::nullopt;
+}
+
+void Coordinator::AuditInvariants(AuditReport* report) const {
+  // Group the map by table, then check each table's ranges tile the full
+  // hash space. Sorting a copy keeps the audit read-only.
+  std::vector<OwnedTablet> sorted = tablet_map_;
+  std::sort(sorted.begin(), sorted.end(), [](const OwnedTablet& a, const OwnedTablet& b) {
+    return a.table != b.table ? a.table < b.table : a.start_hash < b.start_hash;
+  });
+  for (size_t i = 0; i < sorted.size(); i++) {
+    const OwnedTablet& tablet = sorted[i];
+    if (tablet.owner < 1 || tablet.owner > masters_.size()) {
+      report->Fail("coordinator: table %llu range [%llx, %llx] owned by unknown server %u",
+                   static_cast<unsigned long long>(tablet.table),
+                   static_cast<unsigned long long>(tablet.start_hash),
+                   static_cast<unsigned long long>(tablet.end_hash), tablet.owner);
+    }
+    const bool first_of_table = i == 0 || sorted[i - 1].table != tablet.table;
+    if (first_of_table) {
+      if (tablet.start_hash != 0) {
+        report->Fail("coordinator: table %llu does not start at hash 0 (starts at %llx)",
+                     static_cast<unsigned long long>(tablet.table),
+                     static_cast<unsigned long long>(tablet.start_hash));
+      }
+    } else if (tablet.start_hash != sorted[i - 1].end_hash + 1) {
+      report->Fail(
+          "coordinator: table %llu has a gap or overlap at %llx (previous range ends at %llx)",
+          static_cast<unsigned long long>(tablet.table),
+          static_cast<unsigned long long>(tablet.start_hash),
+          static_cast<unsigned long long>(sorted[i - 1].end_hash));
+    }
+    const bool last_of_table = i + 1 == sorted.size() || sorted[i + 1].table != tablet.table;
+    if (last_of_table && tablet.end_hash != ~0ull) {
+      report->Fail("coordinator: table %llu does not cover the top of the hash space (ends %llx)",
+                   static_cast<unsigned long long>(tablet.table),
+                   static_cast<unsigned long long>(tablet.end_hash));
+    }
+  }
+  for (size_t i = 0; i < dependencies_.size(); i++) {
+    const MigrationDependency& d = dependencies_[i];
+    if (d.source == d.target) {
+      report->Fail("coordinator: dependency of server %u on itself", d.source);
+    }
+    for (ServerId id : {d.source, d.target}) {
+      if (id < 1 || id > masters_.size()) {
+        report->Fail("coordinator: dependency names unknown server %u", id);
+      }
+    }
+    for (size_t j = i + 1; j < dependencies_.size(); j++) {
+      const MigrationDependency& other = dependencies_[j];
+      if (d.source == other.source && d.target == other.target && d.table == other.table) {
+        report->Fail("coordinator: duplicate dependency source=%u target=%u table=%llu",
+                     d.source, d.target, static_cast<unsigned long long>(d.table));
+      }
+    }
+  }
 }
 
 void Coordinator::HandleCrash(ServerId crashed, std::function<void()> done) {

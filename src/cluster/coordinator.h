@@ -113,6 +113,13 @@ class Coordinator {
   // master, table).
   std::function<void(MasterServer*, TableId)> abort_inbound_migration;
 
+  // Invariants: for every table, the tablet map is a *partition* of the full
+  // hash space — ranges tile [0, 2^64) with no gap or overlap, so every key
+  // hash has exactly one owner; owners are registered servers; lineage
+  // dependencies are unique per (source, target, table) and name registered,
+  // distinct servers.
+  void AuditInvariants(AuditReport* report) const;
+
  private:
   void HandleGetTableConfig(RpcContext context);
   void HandleRegisterDependency(RpcContext context);

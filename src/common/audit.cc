@@ -1,0 +1,45 @@
+#include "src/common/audit.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rocksteady {
+
+void AuditReport::Fail(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buffer[512];
+  vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  violations_.emplace_back(buffer);
+}
+
+std::string AuditReport::Summary() const {
+  std::string summary;
+  for (const std::string& violation : violations_) {
+    if (!summary.empty()) {
+      summary += '\n';
+    }
+    summary += violation;
+  }
+  return summary;
+}
+
+void AuditFail(const char* what, const AuditReport& report) {
+  fprintf(stderr, "AUDIT FAILED [%s]: %zu invariant violation(s)\n", what,
+          report.violations().size());
+  for (const std::string& violation : report.violations()) {
+    fprintf(stderr, "  - %s\n", violation.c_str());
+  }
+  fflush(stderr);
+  abort();
+}
+
+void DcheckFail(const char* file, int line, const char* expression, const std::string& detail) {
+  fprintf(stderr, "DCHECK failed at %s:%d: %s %s\n", file, line, expression, detail.c_str());
+  fflush(stderr);
+  abort();
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,63 @@
+// Invariant-audit framework.
+//
+// Every core structure (Log, Segment, SideLog, HashTable, TabletManager,
+// ObjectManager, Coordinator, RocksteadyMigrationManager) exposes
+// AuditInvariants(AuditReport*), which checks the invariants the paper's
+// safety argument rests on and *reports* violations instead of aborting —
+// tests corrupt state on purpose and assert the audit catches it. At
+// migration phase boundaries the debug builds upgrade a failed audit to
+// fatal via DebugAudit().
+#ifndef ROCKSTEADY_SRC_COMMON_AUDIT_H_
+#define ROCKSTEADY_SRC_COMMON_AUDIT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/dcheck.h"
+
+namespace rocksteady {
+
+// Collects invariant violations from one audit pass. Status-returning by
+// design: ok() tells the caller whether the structure is consistent, and
+// violations() say exactly what broke.
+class AuditReport {
+ public:
+  void Fail(const char* format, ...) __attribute__((format(printf, 2, 3)));
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  // All violations joined into one newline-separated block (test output,
+  // fatal-audit messages).
+  std::string Summary() const;
+
+ private:
+  std::vector<std::string> violations_;
+};
+
+// Prints every violation and aborts; used when an audit failure must be
+// fatal (phase boundaries in debug builds).
+[[noreturn]] void AuditFail(const char* what, const AuditReport& report);
+
+// Runs `object.AuditInvariants(&report, args...)` and dies with the full
+// violation list if anything failed. Compiled out entirely in release
+// builds, so audits of O(table size) are free on the fast path.
+template <typename T, typename... Args>
+inline void DebugAudit(const T& object, const char* what, Args&&... args) {
+#if ROCKSTEADY_DCHECK_ENABLED
+  AuditReport report;
+  object.AuditInvariants(&report, std::forward<Args>(args)...);
+  if (!report.ok()) {
+    AuditFail(what, report);
+  }
+#else
+  (void)object;
+  (void)what;
+  ((void)args, ...);
+#endif
+}
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_COMMON_AUDIT_H_

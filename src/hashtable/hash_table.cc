@@ -120,6 +120,61 @@ size_t HashTable::RemoveIf(const std::function<bool(KeyHash, LogRef)>& pred) {
   return doomed.size();
 }
 
+void HashTable::AuditInvariants(AuditReport* report, const Log* log) const {
+  size_t counted = 0;
+  for (size_t index = 0; index < buckets_.size(); index++) {
+    const Bucket* previous = nullptr;
+    for (const Bucket* bucket = &buckets_[index]; bucket != nullptr;
+         bucket = bucket->next.get()) {
+      if (bucket->count > kSlotsPerBucket) {
+        report->Fail("hashtable: bucket %zu slot count %u exceeds %zu", index, bucket->count,
+                     kSlotsPerBucket);
+        break;
+      }
+      if (previous != nullptr && previous->count < kSlotsPerBucket && bucket->count > 0) {
+        report->Fail("hashtable: bucket %zu overflow chain not packed", index);
+      }
+      for (size_t i = 0; i < bucket->count; i++) {
+        const KeyHash hash = bucket->hashes[i];
+        counted++;
+        if (BucketOf(hash) != index) {
+          report->Fail("hashtable: hash %llx filed in bucket %zu, belongs in %zu",
+                       static_cast<unsigned long long>(hash), index, BucketOf(hash));
+        }
+        const LogRef ref = bucket->refs[i];
+        if (!ref.valid()) {
+          report->Fail("hashtable: hash %llx maps to an invalid ref",
+                       static_cast<unsigned long long>(hash));
+        } else if (log != nullptr) {
+          LogEntryView entry;
+          if (!log->Read(ref, &entry)) {
+            report->Fail("hashtable: hash %llx dangles (segment %u offset %u unresolvable)",
+                         static_cast<unsigned long long>(hash), ref.segment_id(), ref.offset());
+          } else if (entry.key_hash() != hash) {
+            report->Fail("hashtable: hash %llx resolves to entry keyed %llx",
+                         static_cast<unsigned long long>(hash),
+                         static_cast<unsigned long long>(entry.key_hash()));
+          }
+        }
+        // Duplicate scan within the remainder of this chain.
+        size_t j = i + 1;
+        for (const Bucket* rest = bucket; rest != nullptr; rest = rest->next.get(), j = 0) {
+          for (; j < rest->count; j++) {
+            if (rest->hashes[j] == hash) {
+              report->Fail("hashtable: duplicate entries for hash %llx in bucket %zu",
+                           static_cast<unsigned long long>(hash), index);
+            }
+          }
+        }
+      }
+      previous = bucket;
+    }
+  }
+  if (counted != size_) {
+    report->Fail("hashtable: size() reports %zu but %zu entries found", size_, counted);
+  }
+}
+
 size_t HashTable::MaxChainLength() const {
   size_t longest = 0;
   for (const auto& head : buckets_) {

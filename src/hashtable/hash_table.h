@@ -73,6 +73,14 @@ class HashTable {
   // Longest overflow chain currently in the table (diagnostics/tests).
   size_t MaxChainLength() const;
 
+  // Invariants: size accounting, every entry hashed into its own bucket, no
+  // duplicate hashes, overflow chains packed (a non-full bucket is never
+  // followed by a non-empty one — Remove() backfills from the tail). With a
+  // `log`, additionally: every ref is valid, resolves to a live entry, and
+  // that entry's key hash matches the table's key (no dangling log
+  // pointers).
+  void AuditInvariants(AuditReport* report, const Log* log = nullptr) const;
+
  private:
   static constexpr size_t kSlotsPerBucket = 8;
 

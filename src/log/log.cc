@@ -114,10 +114,16 @@ void Log::AdoptSideSegments(std::vector<std::unique_ptr<Segment>> segments) {
     ids.append(reinterpret_cast<const char*>(&id), sizeof(id));
   }
   Append(LogEntryType::kSideLogCommit, 0, 0, {}, ids, 0);
+  // Seal the current head: sorting by id below may displace it from the back
+  // of the list, and an open segment that is not the head would violate the
+  // committed-vs-open ordering invariant (appends go only to the back).
+  if (!segments_.empty()) {
+    segments_.back()->Seal();
+  }
   for (auto& segment : segments) {
     segment->Seal();
     stats_.appended_bytes += segment->used();
-    assert(registry_.count(segment->id()) == 1);
+    ROCKSTEADY_DCHECK_EQ(registry_.count(segment->id()), 1u);
     segments_.push_back(std::move(segment));
   }
   // Keep iteration order deterministic: id order equals append order here
@@ -173,6 +179,54 @@ uint64_t Log::total_bytes() const {
     total += segment->used();
   }
   return total;
+}
+
+void Log::AuditInvariants(AuditReport* report) const {
+  uint32_t previous_id = 0;
+  for (size_t i = 0; i < segments_.size(); i++) {
+    const Segment* segment = segments_[i].get();
+    if (i > 0 && segment->id() <= previous_id) {
+      report->Fail("log: segment ids not strictly increasing (%u after %u)", segment->id(),
+                   previous_id);
+    }
+    previous_id = segment->id();
+    if (segment->id() >= next_segment_id_) {
+      report->Fail("log: segment %u at or beyond allocation cursor %u", segment->id(),
+                   next_segment_id_);
+    }
+    // Committed-vs-open ordering: appends go only to the back, so every
+    // earlier segment must be sealed.
+    if (i + 1 < segments_.size() && !segment->sealed()) {
+      report->Fail("log: non-head segment %u is not sealed", segment->id());
+    }
+    auto it = registry_.find(segment->id());
+    if (it == registry_.end()) {
+      report->Fail("log: owned segment %u missing from registry", segment->id());
+    } else if (it->second != segment) {
+      report->Fail("log: registry entry for segment %u points elsewhere", segment->id());
+    }
+    segment->AuditInvariants(report);
+  }
+  // The registry may only exceed the owned list by uncommitted side
+  // segments, which must not be sealed (sealing happens at commit) and must
+  // also be below the allocation cursor.
+  for (const auto& [id, segment] : registry_) {
+    if (id >= next_segment_id_) {
+      report->Fail("log: registered segment %u at or beyond allocation cursor %u", id,
+                   next_segment_id_);
+    }
+    const bool owned =
+        std::any_of(segments_.begin(), segments_.end(),
+                    [&](const auto& s) { return s.get() == segment; });
+    if (!owned && segment->sealed()) {
+      report->Fail("log: uncommitted side segment %u is sealed", id);
+    }
+  }
+  if (live_bytes() > total_bytes()) {
+    report->Fail("log: live bytes %llu exceed total bytes %llu",
+                 static_cast<unsigned long long>(live_bytes()),
+                 static_cast<unsigned long long>(total_bytes()));
+  }
 }
 
 }  // namespace rocksteady

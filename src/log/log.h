@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/audit.h"
 #include "src/common/status.h"
 #include "src/log/segment.h"
 
@@ -117,6 +118,13 @@ class Log {
   // (not side logs); the ReplicaManager hooks this to replicate new data.
   using AppendObserver = std::function<void(LogRef, const LogEntryView&)>;
   void set_append_observer(AppendObserver observer) { append_observer_ = std::move(observer); }
+
+  // Invariants: segment ids strictly increasing and below the allocation
+  // cursor, committed (non-head) segments sealed, every owned segment
+  // registered, registry covers at least the owned segments (the surplus is
+  // uncommitted side segments), per-segment entry checksums, and live-byte
+  // accounting bounded by used bytes.
+  void AuditInvariants(AuditReport* report) const;
 
  private:
   Result<LogRef> Append(LogEntryType type, TableId table, KeyHash hash, std::string_view key,

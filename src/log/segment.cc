@@ -42,6 +42,32 @@ bool Segment::ForEach(const std::function<bool(size_t, const LogEntryView&)>& fn
   return true;
 }
 
+void Segment::AuditInvariants(AuditReport* report) const {
+  if (used_ > buffer_.size()) {
+    report->Fail("segment %u: used %zu exceeds capacity %zu", id_, used_, buffer_.size());
+    return;  // Accounting is broken; walking the buffer would read past it.
+  }
+  if (live_bytes_ > used_) {
+    report->Fail("segment %u: live bytes %zu exceed used bytes %zu", id_, live_bytes_, used_);
+  }
+  size_t offset = 0;
+  while (offset < used_) {
+    LogEntryView view;
+    if (!ReadEntry(buffer_.data() + offset, used_ - offset, &view)) {
+      report->Fail("segment %u: corrupt entry at offset %zu (bad checksum or truncated)", id_,
+                   offset);
+      return;  // Entry length is untrustworthy; cannot continue the walk.
+    }
+    if (view.type() == LogEntryType::kInvalid) {
+      report->Fail("segment %u: entry at offset %zu has invalid type", id_, offset);
+    }
+    offset += view.header.TotalLength();
+  }
+  if (offset != used_) {
+    report->Fail("segment %u: entries tile %zu bytes but used is %zu", id_, offset, used_);
+  }
+}
+
 void Segment::RestoreRaw(const uint8_t* data, size_t length) {
   assert(length <= buffer_.size());
   std::memcpy(buffer_.data(), data, length);

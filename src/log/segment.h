@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/audit.h"
 #include "src/log/log_entry.h"
 
 namespace rocksteady {
@@ -52,6 +53,10 @@ class Segment {
   // Raw copy-in used by backup replicas and recovery (the bytes were
   // validated entry-by-entry on the original master).
   void RestoreRaw(const uint8_t* data, size_t length);
+
+  // Invariants: used/live accounting within bounds, and the used region is
+  // exactly tiled by entries whose checksums validate.
+  void AuditInvariants(AuditReport* report) const;
 
  private:
   uint32_t id_;

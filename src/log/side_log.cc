@@ -49,6 +49,37 @@ void SideLog::Commit() {
   pending_entries_ = 0;
 }
 
+void SideLog::AuditInvariants(AuditReport* report) const {
+  size_t bytes = 0;
+  size_t entries = 0;
+  for (const auto& segment : segments_) {
+    if (segment->sealed()) {
+      report->Fail("sidelog: pending segment %u is sealed before commit", segment->id());
+    }
+    if (parent_->FindSegment(segment->id()) != segment.get()) {
+      report->Fail("sidelog: segment %u not readable through parent log", segment->id());
+    }
+    for (const auto& owned : parent_->segments()) {
+      if (owned->id() == segment->id()) {
+        report->Fail("sidelog: uncommitted segment %u visible in parent's durable log",
+                     segment->id());
+      }
+    }
+    segment->AuditInvariants(report);
+    bytes += segment->used();
+    segment->ForEach([&](size_t, const LogEntryView&) {
+      entries++;
+      return true;
+    });
+  }
+  if (bytes != pending_bytes_) {
+    report->Fail("sidelog: pending_bytes %zu but segments hold %zu", pending_bytes_, bytes);
+  }
+  if (entries != pending_entries_) {
+    report->Fail("sidelog: pending_entries %zu but segments hold %zu", pending_entries_, entries);
+  }
+}
+
 void SideLog::Abort() {
   for (auto& segment : segments_) {
     parent_->DropSideSegment(std::move(segment));

@@ -45,6 +45,12 @@ class SideLog {
   size_t pending_entries() const { return pending_entries_; }
   const std::vector<std::unique_ptr<Segment>>& segments() const { return segments_; }
 
+  // Invariants: pending counters match the segments' contents, every pending
+  // segment is open, readable through the parent (migrated records must
+  // serve reads before commit), and *absent* from the parent's durable
+  // segment list (side-log data is invisible until commit, §3.1.3).
+  void AuditInvariants(AuditReport* report) const;
+
  private:
   Result<LogRef> Append(LogEntryType type, TableId table, KeyHash hash, std::string_view key,
                         std::string_view value, Version version);

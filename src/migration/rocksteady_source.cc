@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "src/common/audit.h"
 #include "src/common/logging.h"
 
 namespace rocksteady {
@@ -24,6 +25,10 @@ void HandlePrepareMigration(MasterServer* master, RpcContext context) {
          if (req.freeze) {
            // Immediate ownership transfer: from this instant the source
            // serves each migrating record at most once more (via pulls).
+           // Legal transitions into kMigrationSource come only from kNormal
+           // (or a repeated freeze of the same migration).
+           ROCKSTEADY_DCHECK(tablet->state == TabletState::kNormal ||
+                             tablet->state == TabletState::kMigrationSource);
            tablet->state = TabletState::kMigrationSource;
          }
          response->version_horizon = master->objects().version_horizon();
@@ -134,6 +139,9 @@ void HandleReleaseTablet(MasterServer* master, RpcContext context) {
          master->objects().tablets().Remove(req.table, req.start_hash, req.end_hash);
          const size_t dropped =
              master->objects().DropTabletEntries(req.table, req.start_hash, req.end_hash);
+         // Phase boundary: the source's copy is gone; what remains must
+         // still be a consistent store (no dangling refs, no stray tablet).
+         DebugAudit(master->objects(), "source ObjectManager after ReleaseTablet");
          // Dropping hash-table entries is cheap; the log space is reclaimed
          // by the cleaner over time.
          return Tick{1'000} + 50 * static_cast<Tick>(dropped) / 100;

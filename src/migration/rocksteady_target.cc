@@ -4,6 +4,7 @@
 
 #include <bit>
 
+#include "src/common/audit.h"
 #include "src/common/logging.h"
 #include "src/migration/migration_state.h"
 #include "src/migration/ramcloud_migration.h"
@@ -75,6 +76,8 @@ void RocksteadyMigrationManager::Start() {
 void RocksteadyMigrationManager::OnPrepared(const PrepareMigrationResponse& response) {
   SetUpPartitions(response.num_hash_buckets);
   round_start_horizon_ = response.version_horizon;
+  // Phase boundary: partitions laid out, nothing pulled yet.
+  DebugAudit(*this, "migration manager after prepare");
 
   if (options_.mode == MigrationMode::kSourceOwns) {
     // Pre-copy comparison: no ownership transfer, no lineage; replayed data
@@ -211,6 +214,11 @@ void RocksteadyMigrationManager::OnPullResponse(size_t partition_index,
                                                 std::unique_ptr<PullResponse> response) {
   Partition& partition = partitions_[partition_index];
   partition.pull_in_flight = false;
+  // §3.1.1: the frontier over the source's hash buckets is monotonic — a
+  // Pull response can only advance this partition's cursor, never rewind it
+  // (a rewind would re-migrate records and shadow newer versions).
+  ROCKSTEADY_DCHECK_GE(response->next_cursor, partition.cursor);
+  ROCKSTEADY_DCHECK_LE(response->next_cursor, partition.bucket_end);
   partition.cursor = response->next_cursor;
   partition.source_exhausted = response->done;
   stats_.pulls_completed++;
@@ -282,6 +290,48 @@ void RocksteadyMigrationManager::OnPullResponse(size_t partition_index,
   OnRoundComplete();
 }
 
+void RocksteadyMigrationManager::AuditInvariants(AuditReport* report) const {
+  for (size_t i = 0; i < partitions_.size(); i++) {
+    const Partition& partition = partitions_[i];
+    if (partition.bucket_begin > partition.bucket_end) {
+      report->Fail("migration: partition %zu has inverted bucket range [%llu, %llu)", i,
+                   static_cast<unsigned long long>(partition.bucket_begin),
+                   static_cast<unsigned long long>(partition.bucket_end));
+    }
+    if (partition.cursor < partition.bucket_begin || partition.cursor > partition.bucket_end) {
+      report->Fail("migration: partition %zu cursor %llu outside [%llu, %llu)", i,
+                   static_cast<unsigned long long>(partition.cursor),
+                   static_cast<unsigned long long>(partition.bucket_begin),
+                   static_cast<unsigned long long>(partition.bucket_end));
+    }
+    if (partition.source_exhausted && partition.cursor < partition.bucket_end) {
+      report->Fail("migration: partition %zu exhausted with cursor %llu short of %llu", i,
+                   static_cast<unsigned long long>(partition.cursor),
+                   static_cast<unsigned long long>(partition.bucket_end));
+    }
+    if (i + 1 < partitions_.size() &&
+        partition.bucket_end > partitions_[i + 1].bucket_begin) {
+      report->Fail("migration: partitions %zu and %zu overlap", i, i + 1);
+    }
+    if (partition.replay_backlog > options_.max_replay_backlog) {
+      report->Fail("migration: partition %zu backlog %zu exceeds flow-control bound %zu", i,
+                   partition.replay_backlog, options_.max_replay_backlog);
+    }
+  }
+  for (const auto& side_log : side_logs_) {
+    if (finished_ || aborted_) {
+      // Post-commit/abort, all side-log data must have moved into the main
+      // log (or been dropped); lingering pending data would be dark state.
+      if (side_log->pending_entries() != 0) {
+        report->Fail("migration: side log still holds %zu entries after completion",
+                     side_log->pending_entries());
+      }
+    } else {
+      side_log->AuditInvariants(report);
+    }
+  }
+}
+
 void RocksteadyMigrationManager::OnRoundComplete() {
   if (aborted_ || finished_) {
     return;
@@ -291,6 +341,8 @@ void RocksteadyMigrationManager::OnRoundComplete() {
       return;
     }
   }
+  // Phase boundary: all pulls done, before replication/commit.
+  DebugAudit(*this, "migration manager at round completion");
   // Wait for in-flight PriorityPulls to drain (their records are duplicates
   // by now, but keep the state machine tidy).
   if (priority_pulls_ != nullptr && !priority_pulls_->idle()) {
@@ -430,6 +482,10 @@ void RocksteadyMigrationManager::CommitAndComplete() {
                       [](Status, std::unique_ptr<RpcResponse>) {});
 
   stats_.end_time = target_->sim().now();
+  // Phase boundary: migration complete. The tablet is normal, the side logs
+  // are committed, and the whole target store must be consistent.
+  DebugAudit(*this, "migration manager after commit");
+  DebugAudit(target_->objects(), "target ObjectManager after commit");
   LOG_INFO("migration done: %.1f MB in %.2f s (%.0f MB/s), %llu pulls, %llu pp batches",
            static_cast<double>(stats_.bytes_pulled) / 1e6, stats_.DurationSeconds(),
            stats_.RateMBps(), static_cast<unsigned long long>(stats_.pulls_completed),
@@ -455,6 +511,10 @@ void RocksteadyMigrationManager::Abort() {
   if (target_->migration_hooks() == this) {
     target_->set_migration_hooks(nullptr);
   }
+  // Phase boundary: after an abort no half-replayed state may survive — all
+  // side-log refs dropped from the hash table, side segments deregistered.
+  DebugAudit(*this, "migration manager after abort");
+  DebugAudit(target_->objects(), "target ObjectManager after abort");
   LOG_INFO("migration aborted on target %u", target_->id());
 }
 

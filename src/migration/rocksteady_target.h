@@ -94,6 +94,12 @@ class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
   const MigrationStats& stats() const { return stats_; }
   bool finished() const { return finished_; }
 
+  // Invariants: partitions are ordered and disjoint with each pull cursor
+  // inside its partition's bucket range (the pulled-hash-bucket frontier
+  // only moves forward), replay backlogs within the flow-control bound, and
+  // side-log data invisible before commit (empty after commit/abort).
+  void AuditInvariants(AuditReport* report) const;
+
   // Bytes-moved timeline (optional; drives Figure 9-11 rate curves).
   void set_bytes_timeline(CounterTimeline* timeline) { bytes_timeline_ = timeline; }
 

@@ -1,12 +1,17 @@
 #include "src/sim/simulator.h"
 
-#include <cassert>
 #include <utility>
 
 namespace rocksteady {
 
 void Simulator::At(Tick t, std::function<void()> fn) {
-  assert(t >= now_);
+  // Scheduling in the past would silently reorder the event ahead of
+  // already-queued same-tick work; treat it as a bug, and clamp in release
+  // so the clock still never rewinds.
+  ROCKSTEADY_DCHECK_GE(t, now_);
+  if (t < now_) {
+    t = now_;
+  }
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 
@@ -16,7 +21,9 @@ size_t Simulator::Run() {
     // Move the event out before popping; the callback may schedule more.
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    ROCKSTEADY_DCHECK_GE(event.time, now_);
     now_ = event.time;
+    MixTrace(event);
     event.fn();
     processed++;
   }
@@ -25,11 +32,16 @@ size_t Simulator::Run() {
 }
 
 size_t Simulator::RunUntil(Tick t) {
+  // The clock never rewinds: RunUntil into the past is a checked error and
+  // a no-op in release (no events run, now() is unchanged).
+  ROCKSTEADY_DCHECK_GE(t, now_);
   size_t processed = 0;
   while (!queue_.empty() && queue_.top().time <= t) {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    ROCKSTEADY_DCHECK_GE(event.time, now_);
     now_ = event.time;
+    MixTrace(event);
     event.fn();
     processed++;
   }

@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/common/dcheck.h"
 #include "src/common/random.h"
 #include "src/common/types.h"
 
@@ -30,6 +31,8 @@ class Simulator {
 
   // Schedules `fn` at absolute time `t` (>= now). Events scheduled for the
   // same tick run in scheduling order (FIFO), which keeps runs deterministic.
+  // Scheduling in the past is a checked error: fatal in debug builds, and
+  // clamped to now() in release builds — time never flows backwards.
   void At(Tick t, std::function<void()> fn);
 
   void After(Tick delay, std::function<void()> fn) { At(now_ + delay, std::move(fn)); }
@@ -38,11 +41,18 @@ class Simulator {
   size_t Run();
 
   // Runs events with timestamp <= `t`, then advances the clock to `t`.
-  // Returns the number processed.
+  // Returns the number processed. `t` must be >= now(): the clock never
+  // rewinds (checked error in debug builds; no-op in release builds).
   size_t RunUntil(Tick t);
 
   bool Idle() const { return queue_.empty(); }
   size_t events_processed() const { return events_processed_; }
+
+  // Order-sensitive digest of every event dispatched so far: two runs of
+  // the same scenario are deterministic iff their trace hashes are equal.
+  // Mixed from each event's (time, seq) at dispatch, so any divergence in
+  // scheduling order or timing changes the hash.
+  uint64_t trace_hash() const { return trace_hash_; }
 
   Random& rng() { return rng_; }
 
@@ -58,9 +68,16 @@ class Simulator {
     }
   };
 
+  void MixTrace(const Event& event) {
+    // FNV-1a over the event's (time, seq); cheap enough to keep always on.
+    trace_hash_ = (trace_hash_ ^ event.time) * 0x100000001b3ull;
+    trace_hash_ = (trace_hash_ ^ event.seq) * 0x100000001b3ull;
+  }
+
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
   size_t events_processed_ = 0;
+  uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV offset basis.
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Random rng_;
 };

@@ -209,4 +209,22 @@ size_t ObjectManager::DropTabletEntries(TableId table, KeyHash start_hash, KeyHa
 
 size_t ObjectManager::RunCleaner(size_t max_segments) { return cleaner_.CleanOnce(max_segments); }
 
+void ObjectManager::AuditInvariants(AuditReport* report) const {
+  log_.AuditInvariants(report);
+  hash_table_.AuditInvariants(report, &log_);
+  tablets_.AuditInvariants(report);
+  hash_table_.ForEach([&](KeyHash hash, LogRef ref) {
+    LogEntryView entry;
+    if (!log_.Read(ref, &entry)) {
+      return;  // Already reported by the hash-table audit.
+    }
+    if (entry.version() > version_horizon_) {
+      report->Fail("objects: hash %llx carries version %llu above horizon %llu",
+                   static_cast<unsigned long long>(hash),
+                   static_cast<unsigned long long>(entry.version()),
+                   static_cast<unsigned long long>(version_horizon_));
+    }
+  });
+}
+
 }  // namespace rocksteady

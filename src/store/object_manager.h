@@ -96,6 +96,12 @@ class ObjectManager {
 
   uint64_t object_count() const { return hash_table_.size(); }
 
+  // Composite audit: log, hash table (against this log), tablet map, plus
+  // the versioning rule the replay safety argument rests on — no referenced
+  // entry may carry a version above the master's horizon (otherwise a
+  // migrated-in record could beat a local write it should lose to).
+  void AuditInvariants(AuditReport* report) const;
+
  private:
   Result<ObjectView> ViewAt(LogRef ref, TableId table) const;
 

@@ -32,6 +32,29 @@ Status TabletManager::Split(TableId table, KeyHash split_hash) {
   return Status::kOk;
 }
 
+void TabletManager::AuditInvariants(AuditReport* report) const {
+  for (size_t i = 0; i < tablets_.size(); i++) {
+    const Tablet& a = tablets_[i];
+    if (a.start_hash > a.end_hash) {
+      report->Fail("tablets: inverted range [%llx, %llx] for table %llu",
+                   static_cast<unsigned long long>(a.start_hash),
+                   static_cast<unsigned long long>(a.end_hash),
+                   static_cast<unsigned long long>(a.table_id));
+    }
+    for (size_t j = i + 1; j < tablets_.size(); j++) {
+      const Tablet& b = tablets_[j];
+      if (a.table_id == b.table_id && a.start_hash <= b.end_hash && b.start_hash <= a.end_hash) {
+        report->Fail("tablets: table %llu ranges [%llx, %llx] and [%llx, %llx] overlap",
+                     static_cast<unsigned long long>(a.table_id),
+                     static_cast<unsigned long long>(a.start_hash),
+                     static_cast<unsigned long long>(a.end_hash),
+                     static_cast<unsigned long long>(b.start_hash),
+                     static_cast<unsigned long long>(b.end_hash));
+      }
+    }
+  }
+}
+
 bool TabletManager::Remove(TableId table, KeyHash start_hash, KeyHash end_hash) {
   auto it = std::find_if(tablets_.begin(), tablets_.end(), [&](const Tablet& t) {
     return t.table_id == table && t.start_hash == start_hash && t.end_hash == end_hash;

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/audit.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 
@@ -65,6 +66,10 @@ class TabletManager {
 
   std::vector<Tablet>& tablets() { return tablets_; }
   const std::vector<Tablet>& tablets() const { return tablets_; }
+
+  // Invariants: every tablet's range is well-formed and no two tablets of
+  // the same table overlap — each key hash has at most one local owner.
+  void AuditInvariants(AuditReport* report) const;
 
  private:
   std::vector<Tablet> tablets_;

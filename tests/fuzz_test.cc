@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/cluster/cluster.h"
+#include "src/common/audit.h"
 #include "src/migration/rocksteady_target.h"
 
 namespace rocksteady {
@@ -64,9 +65,11 @@ class FuzzEpisode {
         // Let some operations complete; keeps interleavings interesting
         // without unbounded outstanding state.
         cluster_.sim().RunUntil(cluster_.sim().now() + 50 * kMicrosecond);
+        AuditAll("mid-episode");
       }
     }
     cluster_.sim().Run();
+    AuditAll("after operations drained");
 
     if (with_crash) {
       // Crash a random *backup-only* participant or the migration source is
@@ -80,11 +83,27 @@ class FuzzEpisode {
       ASSERT_TRUE(recovered);
     }
 
+    AuditAll("before convergence check");
     VerifyConverged();
   }
 
  private:
   std::string KeyFor(uint64_t id) const { return Cluster::MakeKey(id, 30); }
+
+  // Invariant audit of every master's store plus the coordinator's map;
+  // the fuzzer's random interleavings are exactly where a broken invariant
+  // would first show up.
+  void AuditAll(const char* when) {
+    AuditReport report;
+    cluster_.coordinator().AuditInvariants(&report);
+    for (size_t i = 0; i < cluster_.num_masters(); i++) {
+      if (cluster_.master(i).crashed()) {
+        continue;  // A crashed master's store is intentionally stale.
+      }
+      cluster_.master(i).objects().AuditInvariants(&report);
+    }
+    ASSERT_TRUE(report.ok()) << when << ":\n" << report.Summary();
+  }
 
   void DoWrite(Random& rng) {
     const uint64_t id = rng.Uniform(500);

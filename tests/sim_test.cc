@@ -69,6 +69,78 @@ TEST(SimulatorTest, DeterministicRngPerSeed) {
   EXPECT_EQ(a.rng().Next(), b.rng().Next());
 }
 
+#if ROCKSTEADY_DCHECK_ENABLED
+
+TEST(SimulatorDeathTest, SchedulingInThePastIsFatal) {
+  Simulator sim;
+  sim.At(100, [] {});
+  sim.RunUntil(100);
+  EXPECT_DEATH(sim.At(50, [] {}), "t >= now_");
+}
+
+TEST(SimulatorDeathTest, RunUntilPastIsFatal) {
+  Simulator sim;
+  sim.RunUntil(100);
+  EXPECT_DEATH(sim.RunUntil(50), "t >= now_");
+}
+
+#else  // !ROCKSTEADY_DCHECK_ENABLED
+
+TEST(SimulatorTest, SchedulingInThePastClampsToNow) {
+  // Release builds clamp instead of aborting: the event runs at now(), and
+  // critically it runs *after* work already queued for the current tick —
+  // it must not jump the FIFO order.
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(100, [&] {
+    sim.At(100, [&] { order.push_back(1); });
+    sim.At(40, [&] { order.push_back(2); });  // Past: clamped to 100.
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, RunUntilPastIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10, [&] { fired++; });
+  sim.RunUntil(100);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(sim.RunUntil(50), 0u);  // Clock never rewinds.
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(fired, 1);
+}
+
+#endif  // ROCKSTEADY_DCHECK_ENABLED
+
+TEST(SimulatorTest, TraceHashMatchesForIdenticalRuns) {
+  auto run = [] {
+    Simulator sim(7);
+    for (int i = 0; i < 50; i++) {
+      sim.After(sim.rng().Uniform(1'000), [&sim] {
+        if (sim.rng().Uniform(4) == 0) {
+          sim.After(10, [] {});
+        }
+      });
+    }
+    sim.Run();
+    return sim.trace_hash();
+  };
+  const uint64_t first = run();
+  EXPECT_EQ(first, run());
+}
+
+TEST(SimulatorTest, TraceHashDetectsDivergence) {
+  Simulator a;
+  Simulator b;
+  a.At(10, [] {});
+  b.At(11, [] {});  // Same structure, different timing.
+  a.Run();
+  b.Run();
+  EXPECT_NE(a.trace_hash(), b.trace_hash());
+}
+
 // ---------------------------------------------------------------- CoreSet.
 
 TEST(CoreSetTest, DispatchSerializes) {

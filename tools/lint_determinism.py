@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Determinism linter for the Rocksteady simulation codebase.
+
+The whole platform promise is that a run is a pure function of its seed:
+tests compare event-trace hashes across runs, and experiments must be
+reproducible. This lint fails the build if src/ picks up idioms that break
+that promise:
+
+  * wall-clock time (time(), gettimeofday, clock_gettime, std::chrono clocks)
+  * non-seeded / libc randomness (rand, srand, random_device, mt19937, ...)
+  * threads (the simulator is single-threaded by design)
+  * pointer-KEYED containers (std::map<T*, ...> / std::unordered_set<T*>):
+    iteration order depends on allocation addresses, so any behavior derived
+    from it varies run to run.
+
+A line may opt out with a trailing `lint:allow-nondeterminism` comment and a
+reason, e.g. logging a timestamp that never feeds back into simulation state.
+
+Usage: lint_determinism.py <dir-or-file>...   (exit 0 clean, 1 violations)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS = "lint:allow-nondeterminism"
+
+# (name, regex, message). Patterns are matched per line after comment
+# stripping, so words in prose don't trip them.
+RULES = [
+    ("wall-clock",
+     re.compile(r"\b(?:gettimeofday|clock_gettime|timespec_get)\s*\("),
+     "wall-clock syscall; simulated time must come from Simulator::now()"),
+    ("wall-clock",
+     re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0|&)"),
+     "time(); simulated time must come from Simulator::now()"),
+    ("wall-clock",
+     re.compile(r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"),
+     "std::chrono clock; simulated time must come from Simulator::now()"),
+    ("libc-random",
+     re.compile(r"(?<![\w:])s?rand\s*\("),
+     "rand()/srand(); use the seeded rocksteady::Random"),
+    ("libc-random",
+     re.compile(r"(?<![\w:])random\s*\(\s*\)"),
+     "random(); use the seeded rocksteady::Random"),
+    ("std-random",
+     re.compile(r"std::random_device"),
+     "std::random_device is nondeterministic; use the seeded rocksteady::Random"),
+    ("std-random",
+     re.compile(r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)"),
+     "std <random> engine; use the seeded rocksteady::Random"),
+    ("threads",
+     re.compile(r"std::(?:thread|jthread|async|mutex|condition_variable|atomic)\b"),
+     "threading primitive; the simulation kernel is single-threaded"),
+    ("threads",
+     re.compile(r"\bpthread_\w+\s*\("),
+     "pthreads; the simulation kernel is single-threaded"),
+    # Pointer KEYS only: iteration order of std::map<T*, ...> (comparator on
+    # the address) and of unordered containers hashed on addresses varies run
+    # to run. Pointer VALUES (std::map<uint32_t, Segment*>) are fine.
+    ("pointer-keyed-container",
+     re.compile(r"std::(?:unordered_)?(?:map|multimap)\s*<[^,<>]*\*\s*,"),
+     "pointer-keyed map; iteration order depends on allocation addresses"),
+    ("pointer-keyed-container",
+     re.compile(r"std::(?:unordered_)?(?:set|multiset)\s*<[^,<>]*\*\s*[,>]"),
+     "pointer set; iteration order depends on allocation addresses"),
+]
+
+LINE_COMMENT = re.compile(r"//.*$")
+STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noncode(line: str, in_block_comment: bool):
+    """Removes strings and comments so prose can't trigger rules.
+
+    Returns (code, still_in_block_comment). Good enough for lint purposes;
+    not a full lexer.
+    """
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            in_block_comment = True
+            i += 2
+            continue
+        if line[i] == '"':
+            match = STRING.match(line, i)
+            if match:
+                i = match.end()
+                continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def lint_file(path: Path):
+    violations = []
+    in_block = False
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        violations.append((0, "io", f"cannot read: {e}"))
+        return violations
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if SUPPRESS in raw:
+            _, in_block = strip_noncode(raw, in_block)
+            continue
+        code, in_block = strip_noncode(raw, in_block)
+        if not code.strip():
+            continue
+        for name, pattern, message in RULES:
+            if pattern.search(code):
+                violations.append((lineno, name, message))
+    return violations
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        root = Path(arg)
+        if root.is_dir():
+            for ext in ("*.cc", "*.h", "*.cpp", "*.hpp"):
+                files.extend(sorted(root.rglob(ext)))
+        else:
+            files.append(root)
+    total = 0
+    for path in files:
+        for lineno, name, message in lint_file(path):
+            print(f"{path}:{lineno}: [{name}] {message}", file=sys.stderr)
+            total += 1
+    if total:
+        print(
+            f"lint_determinism: {total} violation(s). Suppress a line with a "
+            f"'{SUPPRESS}' comment and a reason.",
+            file=sys.stderr)
+        return 1
+    print(f"lint_determinism: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
