@@ -71,6 +71,22 @@ inline void SpreadTableAcross(Cluster& cluster, TableId table, int n) {
   }
 }
 
+// Prints the fabric's loss accounting after a run. All zeros on a healthy
+// fabric; injected_* move only when a FaultInjector is installed, and the
+// down-node counters move only when crashes were simulated — printing them
+// makes a lossy or crashy run visibly so in every experiment summary.
+inline void PrintNetworkFaultCounters(Cluster& cluster) {
+  const Network& net = cluster.net();
+  std::printf(
+      "network faults: injected drops %llu, dups %llu, delays %llu; "
+      "dropped to/from down nodes %llu/%llu\n",
+      static_cast<unsigned long long>(net.injected_drops()),
+      static_cast<unsigned long long>(net.injected_duplicates()),
+      static_cast<unsigned long long>(net.injected_delays()),
+      static_cast<unsigned long long>(net.dropped_to_down_node()),
+      static_cast<unsigned long long>(net.dropped_from_down_node()));
+}
+
 // Closed-loop multiget driver (Figure 3): issues back-to-back multigets of
 // `keys_per_get` keys drawn from `spread` consecutive servers' key pools.
 class MultiGetLoop {

@@ -127,6 +127,7 @@ void RunMode(const char* name, MigrationMode mode) {
   std::printf("client retry-later retries: %llu, failed (timed-out) ops: %llu\n",
               static_cast<unsigned long long>(retry_later),
               static_cast<unsigned long long>(failed));
+  PrintNetworkFaultCounters(cluster);
 }
 
 }  // namespace

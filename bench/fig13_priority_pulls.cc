@@ -78,6 +78,7 @@ void RunVariant(const char* name, bool sync_priority_pulls) {
                 src_dispatch.ActiveCores(i), tgt_dispatch.ActiveCores(i),
                 src_worker.ActiveCores(i), tgt_worker.ActiveCores(i));
   }
+  PrintNetworkFaultCounters(cluster);
 }
 
 }  // namespace

@@ -25,6 +25,9 @@ cmake --build "${ROOT}/build-asan" -j "${JOBS}"
 step "test: ASan+UBSan"
 ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}"
 
+step "chaos suite: lossy fabric + crash-restarts, 20 seeds, replayed bit-identically"
+"${ROOT}/build-asan/tests/chaos_test"
+
 step "build: debug audit (Debug, -Werror, ROCKSTEADY_AUDIT=ON)"
 cmake -B "${ROOT}/build-audit" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=Debug \

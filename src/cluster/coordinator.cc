@@ -28,6 +28,8 @@ Coordinator::Coordinator(Simulator* sim, RpcSystem* rpc, const CostModel* costs)
                                        request.new_owner);
     c.reply(std::move(response));
   });
+  endpoint_->Register(Opcode::kMigrationHeartbeat,
+                      [this](RpcContext c) { HandleMigrationHeartbeat(std::move(c)); });
   recovery_ = std::make_unique<RecoveryManager>(this);
 }
 
@@ -143,6 +145,18 @@ const std::vector<IndexletConfig>* Coordinator::GetIndexConfig(TableId table,
 }
 
 void Coordinator::RegisterDependency(const MigrationDependency& dependency) {
+  const LeaseKey key{dependency.source, dependency.target, dependency.table};
+  leases_[key] = sim_->now();
+  for (auto& existing : dependencies_) {
+    if (existing.source == dependency.source && existing.target == dependency.target &&
+        existing.table == dependency.table) {
+      // A re-driven registration (the target retried a timed-out RPC whose
+      // response was lost): refresh in place — a duplicate row would break
+      // the uniqueness invariant.
+      existing = dependency;
+      return;
+    }
+  }
   dependencies_.push_back(dependency);
   LOG_INFO("coordinator: dependency registered source=%u target=%u table=%llu seg=%u off=%u",
            dependency.source, dependency.target,
@@ -152,6 +166,7 @@ void Coordinator::RegisterDependency(const MigrationDependency& dependency) {
 }
 
 void Coordinator::DropDependency(ServerId source, ServerId target, TableId table) {
+  leases_.erase(LeaseKey{source, target, table});
   std::erase_if(dependencies_, [&](const MigrationDependency& d) {
     return d.source == source && d.target == target && d.table == table;
   });
@@ -235,6 +250,142 @@ void Coordinator::HandleCrash(ServerId crashed, std::function<void()> done) {
   recovery_->RecoverServer(crashed, std::move(done));
 }
 
+void Coordinator::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  cores_->Halt();
+  rpc_->net()->SetNodeDown(node(), true);
+  LOG_INFO("coordinator crashed at t=%.6f s", static_cast<double>(sim_->now()) / 1e9);
+}
+
+void Coordinator::Restart() {
+  if (!crashed_) {
+    return;
+  }
+  crashed_ = false;
+  cores_->Restart();
+  rpc_->net()->SetNodeDown(node(), false);
+  // The quorum-replicated metadata (tablet map, dependencies, indexes)
+  // survives the outage. Leases restart fresh: the outage ate the
+  // heartbeats, and expiring every in-flight migration for it would abort
+  // healthy work.
+  for (auto& [key, last_heartbeat] : leases_) {
+    last_heartbeat = sim_->now();
+  }
+  LOG_INFO("coordinator restarted at t=%.6f s", static_cast<double>(sim_->now()) / 1e9);
+}
+
+void Coordinator::StartFailureDetector() {
+  if (failure_detector_running_) {
+    return;
+  }
+  failure_detector_running_ = true;
+  DetectorSweep();
+}
+
+void Coordinator::DetectorSweep() {
+  if (!failure_detector_running_) {
+    return;
+  }
+  // The sweep timer lives on the simulator, not the coordinator's cores, so
+  // it survives a coordinator crash and resumes probing after Restart().
+  sim_->After(costs_->ping_interval_ns, [this] { DetectorSweep(); });
+  if (crashed_) {
+    return;
+  }
+  for (size_t i = 0; i < masters_.size(); i++) {
+    const ServerId id = static_cast<ServerId>(i + 1);
+    if (recovering_.contains(id)) {
+      continue;
+    }
+    rpc_->Call(
+        node(), NodeOf(id), std::make_unique<PingRequest>(),
+        [this, id](Status status, std::unique_ptr<RpcResponse>) {
+          if (status != Status::kOk) {
+            DeclareDead(id);
+          }
+        },
+        costs_->ping_timeout_ns);
+  }
+  CheckLeases();
+}
+
+void Coordinator::DeclareDead(ServerId id) {
+  if (crashed_ || recovering_.contains(id)) {
+    return;
+  }
+  MasterServer* server = master(id);
+  if (!server->crashed()) {
+    // The probe died to loss, not to a crash (or the server already came
+    // back). A real detector needs several misses or a quorum; the sim can
+    // simply consult ground truth and let the next sweep re-check.
+    return;
+  }
+  crashes_detected_++;
+  recovering_.insert(id);
+  LOG_INFO("coordinator: detected crash of server %u at t=%.6f s", id,
+           static_cast<double>(sim_->now()) / 1e9);
+  HandleCrash(id, [this, id] {
+    recovering_.erase(id);
+    if (on_recovery_complete) {
+      on_recovery_complete(id);
+    }
+  });
+}
+
+void Coordinator::CheckLeases() {
+  const Tick now = sim_->now();
+  // Work on a copy: every expiry path below mutates dependencies_/leases_.
+  std::vector<MigrationDependency> expired;
+  for (const auto& dependency : dependencies_) {
+    if (recovering_.contains(dependency.source) || recovering_.contains(dependency.target)) {
+      continue;  // Recovery already owns this dependency's fate.
+    }
+    const auto it = leases_.find(LeaseKey{dependency.source, dependency.target, dependency.table});
+    const Tick last = it != leases_.end() ? it->second : Tick{0};
+    if (now - last > costs_->migration_lease_ns) {
+      expired.push_back(dependency);
+    }
+  }
+  for (const auto& dependency : expired) {
+    // A crashed endpoint outranks "stalled": route through full lineage
+    // recovery rather than a plain abort.
+    if (master(dependency.target)->crashed()) {
+      DeclareDead(dependency.target);
+      continue;
+    }
+    if (master(dependency.source)->crashed()) {
+      DeclareDead(dependency.source);
+      continue;
+    }
+    // Both ends alive. If the target already owns the range and serves it
+    // normally, the migration committed but the DropDependency RPC never
+    // landed — the dependency row is stale metadata, not a wedge.
+    MasterServer* target = master(dependency.target);
+    const Tablet* tablet = target->objects().tablets().Find(dependency.table,
+                                                            dependency.start_hash);
+    const bool committed = tablet != nullptr && tablet->state == TabletState::kNormal &&
+                           OwnerOf(dependency.table, dependency.start_hash) == dependency.target;
+    if (committed) {
+      stale_dependencies_dropped_++;
+      LOG_INFO("coordinator: dropping stale dependency source=%u target=%u table=%llu",
+               dependency.source, dependency.target,
+               static_cast<unsigned long long>(dependency.table));
+      DropDependency(dependency.source, dependency.target, dependency.table);
+      continue;
+    }
+    // Genuinely wedged mid-flight with no heartbeats: abort it back to the
+    // source through the §3.4 lineage path so the range serves again.
+    stalled_migrations_aborted_++;
+    LOG_INFO("coordinator: aborting stalled migration source=%u target=%u table=%llu",
+             dependency.source, dependency.target,
+             static_cast<unsigned long long>(dependency.table));
+    recovery_->AbortMigrationToSource(dependency, nullptr);
+  }
+}
+
 void Coordinator::HandleGetTableConfig(RpcContext context) {
   auto& request = context.As<GetTableConfigRequest>();
   auto response = std::make_unique<GetTableConfigResponse>();
@@ -256,6 +407,12 @@ void Coordinator::HandleRegisterDependency(RpcContext context) {
 void Coordinator::HandleDropDependency(RpcContext context) {
   auto& request = context.As<DropDependencyRequest>();
   DropDependency(request.source, request.target, request.table);
+  context.reply(std::make_unique<StatusResponse>());
+}
+
+void Coordinator::HandleMigrationHeartbeat(RpcContext context) {
+  auto& request = context.As<MigrationHeartbeatRequest>();
+  leases_[LeaseKey{request.source, request.target, request.table}] = sim_->now();
   context.reply(std::make_unique<StatusResponse>());
 }
 

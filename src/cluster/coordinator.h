@@ -14,9 +14,12 @@
 #define ROCKSTEADY_SRC_CLUSTER_COORDINATOR_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/rpc/rpc_system.h"
@@ -108,6 +111,35 @@ class Coordinator {
   // when ownership is consistent again.
   void HandleCrash(ServerId crashed, std::function<void()> done);
 
+  // --- Coordinator crash/restart. ---
+  // §2: the coordinator is quorum-replicated, so a crash costs availability
+  // only — the tablet map, dependencies, and index layout all survive.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+
+  // --- Failure detection + migration leases. ---
+  // Starts a periodic kPing sweep over every master (a timed-out probe of a
+  // genuinely crashed server triggers HandleCrash exactly once) plus the
+  // migration lease watchdog: a dependency whose target has not heartbeated
+  // within migration_lease_ns is re-driven through the lineage paths —
+  // crashed endpoint -> full recovery; both alive but wedged -> abort back
+  // to the source; already committed -> drop the stale dependency.
+  // Opt-in: the sweep keeps a timer alive, so tests that want the event
+  // queue to drain call StopFailureDetector() first.
+  void StartFailureDetector();
+  void StopFailureDetector() { failure_detector_running_ = false; }
+  bool failure_detector_running() const { return failure_detector_running_; }
+
+  // Fired after a detector-triggered recovery finishes; the chaos harness
+  // uses it to schedule the crashed server's restart *after* re-homing (a
+  // restarted-but-unrecovered master must not rejoin as an owner).
+  std::function<void(ServerId)> on_recovery_complete;
+
+  uint64_t crashes_detected() const { return crashes_detected_; }
+  uint64_t stalled_migrations_aborted() const { return stalled_migrations_aborted_; }
+  uint64_t stale_dependencies_dropped() const { return stale_dependencies_dropped_; }
+
   // Hook installed by the migration library: called on the target master
   // when its inbound migration must abort (source crashed). Takes (target
   // master, table).
@@ -121,9 +153,15 @@ class Coordinator {
   void AuditInvariants(AuditReport* report) const;
 
  private:
+  using LeaseKey = std::tuple<ServerId, ServerId, TableId>;  // (source, target, table).
+
   void HandleGetTableConfig(RpcContext context);
   void HandleRegisterDependency(RpcContext context);
   void HandleDropDependency(RpcContext context);
+  void HandleMigrationHeartbeat(RpcContext context);
+  void DetectorSweep();
+  void DeclareDead(ServerId id);
+  void CheckLeases();
 
   Simulator* sim_;
   RpcSystem* rpc_;
@@ -136,6 +174,13 @@ class Coordinator {
   // (table, index_id) -> indexlet layout.
   std::vector<std::tuple<TableId, uint8_t, std::vector<IndexletConfig>>> indexes_;
   std::unique_ptr<RecoveryManager> recovery_;
+  bool crashed_ = false;
+  bool failure_detector_running_ = false;
+  std::set<ServerId> recovering_;  // Recovery in flight; don't re-declare.
+  std::map<LeaseKey, Tick> leases_;  // Last heartbeat per dependency.
+  uint64_t crashes_detected_ = 0;
+  uint64_t stalled_migrations_aborted_ = 0;
+  uint64_t stale_dependencies_dropped_ = 0;
 };
 
 }  // namespace rocksteady

@@ -34,6 +34,10 @@ void MasterServer::RegisterHandlers() {
                       [this](RpcContext c) { HandleBackupWrite(std::move(c)); });
   endpoint_->Register(Opcode::kGetRecoveryData,
                       [this](RpcContext c) { HandleGetRecoveryData(std::move(c)); });
+  // Failure-detector probe: answered straight off the dispatch core — a
+  // halted server simply never replies and the probe times out.
+  endpoint_->Register(Opcode::kPing,
+                      [](RpcContext c) { c.reply(std::make_unique<StatusResponse>()); });
 }
 
 Status MasterServer::CheckReadable(TableId table, KeyHash hash, Tick* retry_after) {
@@ -384,6 +388,25 @@ void MasterServer::Crash() {
   crashed_ = true;
   cores_->Halt();
   rpc().net()->SetNodeDown(node(), true);
+}
+
+void MasterServer::Restart() {
+  if (!crashed_) {
+    return;
+  }
+  // A restarted process comes back with an empty DRAM log and hash table:
+  // whatever it owned has been (or is being) re-homed by recovery, so it
+  // rejoins as a fresh, tablet-less member and must not serve stale data to
+  // clients with stale tablet maps. Its BackupService frames model disk and
+  // survive, so other masters' logs are still recoverable from here.
+  const std::vector<Tablet> owned = objects_.tablets().tablets();
+  for (const auto& tablet : owned) {
+    objects_.DropTabletEntries(tablet.table_id, tablet.start_hash, tablet.end_hash);
+    objects_.tablets().Remove(tablet.table_id, tablet.start_hash, tablet.end_hash);
+  }
+  crashed_ = false;
+  cores_->Restart();
+  rpc().net()->SetNodeDown(node(), false);
 }
 
 }  // namespace rocksteady

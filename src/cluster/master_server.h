@@ -95,6 +95,9 @@ class MasterServer {
   // Coordinator::HandleCrash.
   void Crash();
   bool crashed() const { return crashed_; }
+  // Rejoins after a Crash() as a fresh, empty master: in-memory state is
+  // discarded (recovery re-homes it), backup frames survive like disk.
+  void Restart();
 
   // Replicates the serialized entry at `ref` of the main log and invokes
   // `done` when durable. Shared by the write path and recovery replay.

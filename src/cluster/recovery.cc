@@ -23,6 +23,13 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
 
   // --- Lineage case 1: the crashed server was a migration target. ---
   if (auto dep = coordinator_->FindDependencyByTarget(crashed); dep.has_value()) {
+    // Abort the crashed target's manager first: its cores are halted but its
+    // heap state stays coherent until Restart(), so the side logs drop
+    // cleanly and any still-scheduled continuations see aborted_ and die
+    // instead of running against a restarted, empty master.
+    if (coordinator_->abort_inbound_migration) {
+      coordinator_->abort_inbound_migration(coordinator_->master(crashed), dep->table);
+    }
     // Ownership returns to the source, whose copy is complete and immutable;
     // it only needs the target's log tail (writes serviced post-transfer).
     coordinator_->UpdateOwnership(dep->table, dep->start_hash, dep->end_hash, dep->source);
@@ -124,6 +131,40 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
       }
     });
   }
+}
+
+void RecoveryManager::AbortMigrationToSource(const MigrationDependency& dependency,
+                                             std::function<void()> done) {
+  MasterServer* target = coordinator_->master(dependency.target);
+  if (coordinator_->abort_inbound_migration) {
+    // Tells the target's manager to drop its side logs and hooks cleanly.
+    coordinator_->abort_inbound_migration(target, dependency.table);
+  }
+  // The manager's Abort() removes the target's tablet; make sure it is gone
+  // even when no manager is installed (e.g. the registration landed but the
+  // target never got the ack and never built one).
+  target->objects().tablets().Remove(dependency.table, dependency.start_hash,
+                                     dependency.end_hash);
+  coordinator_->UpdateOwnership(dependency.table, dependency.start_hash, dependency.end_hash,
+                                dependency.source);
+  MasterServer* source = coordinator_->master(dependency.source);
+  if (Tablet* tablet = source->objects().tablets().Find(dependency.table,
+                                                        dependency.start_hash)) {
+    tablet->state = TabletState::kNormal;
+  }
+  coordinator_->DropDependency(dependency.source, dependency.target, dependency.table);
+  // The source's copy is complete and immutable; it only needs the target's
+  // durable log tail (writes serviced post-transfer), fetched from backups.
+  Plan tail;
+  tail.recovery_master = source;
+  tail.ranges.push_back({dependency.table, dependency.start_hash, dependency.end_hash});
+  tail.data_of = dependency.target;
+  tail.min_segment = dependency.target_log_segment;
+  tail.min_offset = dependency.target_log_offset;
+  if (!done) {
+    done = [] {};
+  }
+  ExecutePlan(tail, std::move(done));
 }
 
 void RecoveryManager::ExecutePlan(const Plan& plan, std::function<void()> done) {

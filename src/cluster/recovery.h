@@ -41,6 +41,13 @@ class RecoveryManager {
   // when every affected tablet is owned, replayed, and serving again.
   void RecoverServer(ServerId crashed, std::function<void()> done);
 
+  // Aborts an in-flight migration whose endpoints are both alive (a wedged
+  // target, detected by lease expiry): ownership returns to the source per
+  // the §3.4 lineage rule, the target drops its partial side-log state, and
+  // the source replays the target's log tail — the writes the target
+  // serviced after ownership transfer. `done` may be null.
+  void AbortMigrationToSource(const MigrationDependency& dependency, std::function<void()> done);
+
  private:
   struct RangeToRecover {
     TableId table = 0;

@@ -22,10 +22,11 @@ void ReplicaManager::Send(uint32_t segment_id, uint32_t offset, std::vector<uint
   Tick& pipeline = bulk ? bulk_pipeline_free_at_ : pipeline_free_at_;
   pipeline = std::max(sim->now(), pipeline) + pipeline_cost;
   const Tick issue_at = pipeline;
-  // Fan out to every backup; complete when all ack. A failed/timed-out
-  // backup fails the replication (the simulated experiments never lose
-  // backups mid-write; recovery tests crash masters, not their backups'
-  // write path).
+  // Fan out to every backup; complete when all ack. Backup writes are
+  // idempotent (same bytes at the same offset), so each leg retries through
+  // the transport's at-least-once machinery and then — to ride out a backup
+  // crash-restart window — re-issues the whole RPC a bounded number of
+  // times before reporting the error up.
   struct FanOut {
     size_t remaining;
     Status worst = Status::kOk;
@@ -37,26 +38,54 @@ void ReplicaManager::Send(uint32_t segment_id, uint32_t offset, std::vector<uint
   auto shared_data = std::make_shared<std::vector<uint8_t>>(std::move(data));
   sim->At(issue_at, [this, segment_id, offset, seal, bulk, state, shared_data] {
     for (const NodeId backup : backups_) {
-      auto request = std::make_unique<BackupWriteRequest>();
-      request->master = owner_id_;
-      request->segment_id = segment_id;
-      request->offset = offset;
-      request->data = *shared_data;  // Each backup gets its own copy.
-      request->seal = seal;
-      request->bulk = bulk;
-      rpc_->Call(owner_node_, backup, std::move(request),
-                 [state](Status status, std::unique_ptr<RpcResponse> response) {
-                   if (status != Status::kOk) {
-                     state->worst = status;
-                   } else if (response->status != Status::kOk) {
-                     state->worst = response->status;
-                   }
-                   if (--state->remaining == 0 && state->done) {
-                     state->done(state->worst);
-                   }
-                 });
+      SendToBackup(backup, segment_id, offset, shared_data, seal, bulk, /*attempt=*/1,
+                   [state](Status status) {
+                     if (status != Status::kOk) {
+                       state->worst = status;
+                     }
+                     if (--state->remaining == 0 && state->done) {
+                       state->done(state->worst);
+                     }
+                   });
     }
   });
+}
+
+void ReplicaManager::SendToBackup(NodeId backup, uint32_t segment_id, uint32_t offset,
+                                  std::shared_ptr<std::vector<uint8_t>> data, bool seal, bool bulk,
+                                  int attempt, std::function<void(Status)> done) {
+  auto request = std::make_unique<BackupWriteRequest>();
+  request->master = owner_id_;
+  request->segment_id = segment_id;
+  request->offset = offset;
+  request->data = *data;  // Each backup (and each attempt) gets its own copy.
+  request->seal = seal;
+  request->bulk = bulk;
+  Simulator* sim = rpc_->sim();
+  rpc_->Call(
+      owner_node_, backup, std::move(request),
+      [this, backup, segment_id, offset, data, seal, bulk, attempt, sim,
+       done = std::move(done)](Status status, std::unique_ptr<RpcResponse> response) mutable {
+        if (status == Status::kOk) {
+          done(response->status);
+          return;
+        }
+        if (attempt >= kMaxBackupWriteAttempts) {
+          done(status);
+          return;
+        }
+        // The backup may be mid-crash-restart; its frame store survives, so
+        // re-issuing the same idempotent write is always safe.
+        const Tick backoff = std::min<Tick>(rpc_->costs()->retry_backoff_min_ns << attempt,
+                                            rpc_->costs()->wrong_server_backoff_max_ns) +
+                             sim->rng().Uniform(rpc_->costs()->retry_backoff_min_ns);
+        sim->After(backoff, [this, backup, segment_id, offset, data, seal, bulk, attempt,
+                             done = std::move(done)]() mutable {
+          SendToBackup(backup, segment_id, offset, std::move(data), seal, bulk, attempt + 1,
+                       std::move(done));
+        });
+      },
+      rpc_->costs()->rpc_timeout_ns);
 }
 
 void ReplicaManager::Replicate(uint32_t segment_id, uint32_t offset, const uint8_t* data,

@@ -14,6 +14,7 @@
 #define ROCKSTEADY_SRC_CLUSTER_REPLICA_MANAGER_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/types.h"
@@ -49,11 +50,21 @@ class ReplicaManager {
   // Bulk transfers are split into chunks of this size.
   static constexpr size_t kBulkChunkBytes = 64 * 1024;
 
+  // How many times one backup leg is re-issued (each with the transport's
+  // own retransmissions inside) before the failure is reported upward.
+  // Bounds the wait at roughly kMaxBackupWriteAttempts * rpc_timeout_ns —
+  // long enough to ride out a chaos crash-restart window, short enough
+  // that a permanently dead backup cannot wedge the simulation.
+  static constexpr int kMaxBackupWriteAttempts = 8;
+
   uint64_t bytes_replicated() const { return bytes_replicated_; }
 
  private:
   void Send(uint32_t segment_id, uint32_t offset, std::vector<uint8_t> data, bool seal, bool bulk,
             std::function<void(Status)> done);
+  void SendToBackup(NodeId backup, uint32_t segment_id, uint32_t offset,
+                    std::shared_ptr<std::vector<uint8_t>> data, bool seal, bool bulk, int attempt,
+                    std::function<void(Status)> done);
 
   RpcSystem* rpc_;
   ServerId owner_id_;

@@ -39,17 +39,27 @@ void PriorityPullManager::IssueBatch() {
   target_->rpc().Call(
       target_->node(), source_node_, std::move(request),
       [this, requested](Status status, std::unique_ptr<RpcResponse> response) {
-        if (shutdown_) {
+        if (shutdown_ || target_->crashed()) {
           return;
         }
         in_flight_ = false;
         if (status != Status::kOk) {
-          // Source unreachable (crash): re-queue; recovery will abort us.
+          // Source unreachable: re-queue the hashes (clients are waiting on
+          // them) and re-drive after a pause, a bounded number of times — a
+          // genuine source crash aborts us via Shutdown() instead.
           for (const KeyHash hash : *requested) {
             pending_.push_back(hash);
           }
+          if (++consecutive_failures_ <= kMaxConsecutiveFailures) {
+            target_->sim().After(target_->costs().recovering_retry_hint_ns, [this] {
+              if (!shutdown_ && !target_->crashed()) {
+                IssueBatch();
+              }
+            });
+          }
           return;
         }
+        consecutive_failures_ = 0;
         auto shared =
             std::make_shared<PriorityPullResponse>(static_cast<PriorityPullResponse&&>(*response));
         for (const KeyHash hash : shared->not_found) {

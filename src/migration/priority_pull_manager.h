@@ -55,6 +55,10 @@ class PriorityPullManager {
   uint64_t not_found_count() const { return not_found_count_; }
   uint64_t sync_pulls() const { return sync_pulls_; }
 
+  // A failed batch is re-driven this many times back-to-back before the
+  // manager goes quiet and waits for the next miss (or an abort) to poke it.
+  static constexpr int kMaxConsecutiveFailures = 16;
+
  private:
   void IssueBatch();
 
@@ -65,6 +69,7 @@ class PriorityPullManager {
   SideLog* side_log_ = nullptr;
   bool in_flight_ = false;
   bool shutdown_ = false;
+  int consecutive_failures_ = 0;
   std::deque<KeyHash> pending_;
   std::unordered_set<KeyHash> scheduled_;  // Pending or in flight (dedup).
   std::unordered_set<KeyHash> known_absent_;

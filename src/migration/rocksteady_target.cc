@@ -1,5 +1,6 @@
 #include "src/migration/rocksteady_target.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include <bit>
@@ -50,27 +51,85 @@ void RocksteadyMigrationManager::ManagerTick(std::function<void()> fn) {
   target_->cores().EnqueueDispatch(target_->costs().dispatch_manager_ns, std::move(fn));
 }
 
-void RocksteadyMigrationManager::Start() {
-  stats_.start_time = target_->sim().now();
-  auto prepare = std::make_unique<PrepareMigrationRequest>();
-  prepare->table = table_;
-  prepare->start_hash = start_hash_;
-  prepare->end_hash = end_hash_;
-  prepare->target = target_->id();
-  prepare->freeze = options_.mode != MigrationMode::kSourceOwns;
+void RocksteadyMigrationManager::ControlCall(
+    NodeId to, std::function<std::unique_ptr<RpcRequest>()> make_request,
+    std::function<void(Status, std::unique_ptr<RpcResponse>)> cb, int attempt) {
+  // Build the request before the Call: the callback lambda below moves
+  // make_request, and argument evaluation order is unspecified.
+  std::unique_ptr<RpcRequest> request = make_request();
   target_->rpc().Call(
-      target_->node(), source_node_, std::move(prepare),
-      [this](Status status, std::unique_ptr<RpcResponse> response) {
-        if (aborted_) {
+      target_->node(), to, std::move(request),
+      [this, to, make_request = std::move(make_request), cb = std::move(cb), attempt](
+          Status status, std::unique_ptr<RpcResponse> response) mutable {
+        if (aborted_ || target_->crashed()) {
           return;
         }
+        if (status == Status::kOk || attempt >= kMaxControlAttempts) {
+          cb(status, std::move(response));
+          return;
+        }
+        // The peer may be mid-crash-restart; re-issue after a backoff. The
+        // server side dedups, so a late duplicate cannot double-apply.
+        const Tick backoff = std::min<Tick>(target_->costs().retry_backoff_min_ns << attempt,
+                                            target_->costs().wrong_server_backoff_max_ns) +
+                             target_->sim().rng().Uniform(target_->costs().retry_backoff_min_ns);
+        target_->sim().After(backoff, [this, to, make_request = std::move(make_request),
+                                       cb = std::move(cb), attempt]() mutable {
+          if (aborted_ || target_->crashed()) {
+            return;
+          }
+          ControlCall(to, std::move(make_request), std::move(cb), attempt + 1);
+        });
+      },
+      target_->costs().migration_rpc_timeout_ns);
+}
+
+void RocksteadyMigrationManager::HeartbeatLoop() {
+  if (finished_ || aborted_ || target_->crashed()) {
+    return;
+  }
+  auto heartbeat = std::make_unique<MigrationHeartbeatRequest>();
+  heartbeat->source = source_;
+  heartbeat->target = target_->id();
+  heartbeat->table = table_;
+  target_->rpc().Call(target_->node(), target_->coordinator().node(), std::move(heartbeat),
+                      [](Status, std::unique_ptr<RpcResponse>) {},
+                      target_->costs().rpc_timeout_ns);
+  target_->sim().After(target_->costs().migration_heartbeat_interval_ns,
+                       [this] { HeartbeatLoop(); });
+}
+
+void RocksteadyMigrationManager::Start() {
+  stats_.start_time = target_->sim().now();
+  auto make_prepare = [this]() -> std::unique_ptr<RpcRequest> {
+    auto prepare = std::make_unique<PrepareMigrationRequest>();
+    prepare->table = table_;
+    prepare->start_hash = start_hash_;
+    prepare->end_hash = end_hash_;
+    prepare->target = target_->id();
+    prepare->freeze = options_.mode != MigrationMode::kSourceOwns;
+    return prepare;
+  };
+  ControlCall(
+      source_node_, std::move(make_prepare),
+      [this](Status status, std::unique_ptr<RpcResponse> response) {
         if (status != Status::kOk || response->status != Status::kOk) {
+          // The re-drive budget is spent, or the source authoritatively no
+          // longer holds the tablet (recovery re-homed it while we were
+          // asking). Nothing global changed yet, so the migration just
+          // never starts.
           LOG_ERROR("migration: PrepareMigration failed (%d)", static_cast<int>(status));
+          finished_ = true;
+          phase_ = Phase::kDone;
+          stats_.end_time = target_->sim().now();
+          if (done_) {
+            done_(stats_);
+          }
           return;
         }
         OnPrepared(static_cast<PrepareMigrationResponse&>(*response));
       },
-      target_->costs().migration_rpc_timeout_ns);
+      /*attempt=*/1);
 }
 
 void RocksteadyMigrationManager::OnPrepared(const PrepareMigrationResponse& response) {
@@ -100,31 +159,53 @@ void RocksteadyMigrationManager::OnPrepared(const PrepareMigrationResponse& resp
   target_->set_migration_hooks(this);
 
   // §3.4: register the source's dependency on our log tail at the
-  // coordinator, together with the ownership change (one contact).
+  // coordinator, together with the ownership change (one contact). Both
+  // RPCs are idempotent at the coordinator, so they re-drive through a
+  // coordinator crash-restart window.
   const auto head = target_->objects().log().HeadPosition();
-  auto reg = std::make_unique<RegisterDependencyRequest>();
-  reg->source = source_;
-  reg->target = target_->id();
-  reg->table = table_;
-  reg->start_hash = start_hash_;
-  reg->end_hash = end_hash_;
-  reg->target_log_segment = head.first;
-  reg->target_log_offset = head.second;
-  target_->rpc().Call(
-      target_->node(), target_->coordinator().node(), std::move(reg),
-      [this](Status, std::unique_ptr<RpcResponse>) {
-        auto own = std::make_unique<UpdateOwnershipRequest>();
-        own->table = table_;
-        own->start_hash = start_hash_;
-        own->end_hash = end_hash_;
-        own->new_owner = target_->id();
-        target_->rpc().Call(target_->node(), target_->coordinator().node(), std::move(own),
-                            [this](Status, std::unique_ptr<RpcResponse>) {
-                              if (!aborted_) {
-                                StartRound(0);
-                              }
-                            });
-      });
+  auto make_register = [this, head]() -> std::unique_ptr<RpcRequest> {
+    auto reg = std::make_unique<RegisterDependencyRequest>();
+    reg->source = source_;
+    reg->target = target_->id();
+    reg->table = table_;
+    reg->start_hash = start_hash_;
+    reg->end_hash = end_hash_;
+    reg->target_log_segment = head.first;
+    reg->target_log_offset = head.second;
+    return reg;
+  };
+  ControlCall(
+      target_->coordinator().node(), std::move(make_register),
+      [this](Status status, std::unique_ptr<RpcResponse>) {
+        if (status != Status::kOk) {
+          // Coordinator unreachable beyond the re-drive budget: unwind the
+          // local ownership state rather than serve a range the coordinator
+          // never learned we own.
+          Abort();
+          return;
+        }
+        HeartbeatLoop();
+        auto make_own = [this]() -> std::unique_ptr<RpcRequest> {
+          auto own = std::make_unique<UpdateOwnershipRequest>();
+          own->table = table_;
+          own->start_hash = start_hash_;
+          own->end_hash = end_hash_;
+          own->new_owner = target_->id();
+          return own;
+        };
+        ControlCall(target_->coordinator().node(), std::move(make_own),
+                    [this](Status status, std::unique_ptr<RpcResponse>) {
+                      if (status != Status::kOk) {
+                        // Dependency registered but ownership never moved;
+                        // the lease watchdog will clear the stale row.
+                        Abort();
+                        return;
+                      }
+                      StartRound(0);
+                    },
+                    /*attempt=*/1);
+      },
+      /*attempt=*/1);
 }
 
 void RocksteadyMigrationManager::SetUpPartitions(uint64_t num_buckets) {
@@ -152,11 +233,13 @@ void RocksteadyMigrationManager::SetUpPartitions(uint64_t num_buckets) {
 }
 
 void RocksteadyMigrationManager::StartRound(Version min_version) {
+  phase_ = Phase::kPulling;
   round_min_version_ = min_version;
   stats_.rounds++;
   for (auto& partition : partitions_) {
     partition.cursor = partition.bucket_begin;
     partition.source_exhausted = false;
+    partition.pull_retries = 0;
   }
   PumpPulls();
 }
@@ -194,14 +277,31 @@ void RocksteadyMigrationManager::IssuePull(size_t partition_index) {
     target_->rpc().Call(
         target_->node(), source_node_, std::move(request),
         [this, partition_index](Status status, std::unique_ptr<RpcResponse> response) {
-          if (aborted_) {
+          if (aborted_ || target_->crashed()) {
             return;
           }
           if (status != Status::kOk) {
-            // Source unreachable; the coordinator's recovery will abort us.
-            partitions_[partition_index].pull_in_flight = false;
+            // Source unreachable. Re-drive a bounded number of times — a
+            // brief outage or a lost response must not strand the
+            // partition — then stall and let the coordinator's recovery or
+            // lease watchdog decide the migration's fate.
+            Partition& partition = partitions_[partition_index];
+            partition.pull_in_flight = false;
+            if (++partition.pull_retries <= kMaxPullRetries) {
+              target_->sim().After(target_->costs().recovering_retry_hint_ns,
+                                   [this, partition_index] {
+                                     if (aborted_ || target_->crashed()) {
+                                       return;
+                                     }
+                                     Partition& retry = partitions_[partition_index];
+                                     if (!retry.pull_in_flight && !retry.source_exhausted) {
+                                       IssuePull(partition_index);
+                                     }
+                                   });
+            }
             return;
           }
+          partitions_[partition_index].pull_retries = 0;
           OnPullResponse(partition_index,
                          std::unique_ptr<PullResponse>(
                              static_cast<PullResponse*>(response.release())));
@@ -355,16 +455,19 @@ void RocksteadyMigrationManager::OnRoundComplete() {
       // Round 1 done: freeze the source, then pull the delta (records
       // written during round 1 have version > round_start_horizon_).
       frozen_ = true;
-      auto prepare = std::make_unique<PrepareMigrationRequest>();
-      prepare->table = table_;
-      prepare->start_hash = start_hash_;
-      prepare->end_hash = end_hash_;
-      prepare->target = target_->id();
-      prepare->freeze = true;
-      target_->rpc().Call(
-          target_->node(), source_node_, std::move(prepare),
+      auto make_freeze = [this]() -> std::unique_ptr<RpcRequest> {
+        auto prepare = std::make_unique<PrepareMigrationRequest>();
+        prepare->table = table_;
+        prepare->start_hash = start_hash_;
+        prepare->end_hash = end_hash_;
+        prepare->target = target_->id();
+        prepare->freeze = true;
+        return prepare;
+      };
+      ControlCall(
+          source_node_, std::move(make_freeze),
           [this](Status status, std::unique_ptr<RpcResponse> response) {
-            if (aborted_ || status != Status::kOk) {
+            if (status != Status::kOk) {
               return;
             }
             const Version frozen_horizon =
@@ -373,20 +476,24 @@ void RocksteadyMigrationManager::OnRoundComplete() {
             round_start_horizon_ = frozen_horizon;
             StartRound(delta_from);
           },
-          target_->costs().migration_rpc_timeout_ns);
+          /*attempt=*/1);
       return;
     }
     // Delta round done: switch ownership and go live.
     target_->objects().RaiseVersionHorizon(round_start_horizon_);
     target_->objects().tablets().Add(
         Tablet{table_, start_hash_, end_hash_, TabletState::kNormal});
-    auto own = std::make_unique<UpdateOwnershipRequest>();
-    own->table = table_;
-    own->start_hash = start_hash_;
-    own->end_hash = end_hash_;
-    own->new_owner = target_->id();
-    target_->rpc().Call(target_->node(), target_->coordinator().node(), std::move(own),
-                        [this](Status, std::unique_ptr<RpcResponse>) { CommitAndComplete(); });
+    auto make_own = [this]() -> std::unique_ptr<RpcRequest> {
+      auto own = std::make_unique<UpdateOwnershipRequest>();
+      own->table = table_;
+      own->start_hash = start_hash_;
+      own->end_hash = end_hash_;
+      own->new_owner = target_->id();
+      return own;
+    };
+    ControlCall(target_->coordinator().node(), std::move(make_own),
+                [this](Status, std::unique_ptr<RpcResponse>) { CommitAndComplete(); },
+                /*attempt=*/1);
     return;
   }
 
@@ -402,6 +509,7 @@ void RocksteadyMigrationManager::FinishLazyReplication() {
     return;
   }
   finished_ = true;  // Guard against re-entry from late OnRoundComplete calls.
+  phase_ = Phase::kReplicating;
   // §3.1.3 / §3.4: "At the end of migration, each side log's segments are
   // lazily replicated, and then the side log is committed into the main
   // log." The replication runs entirely in the background: bounded 64 KB
@@ -450,6 +558,7 @@ void RocksteadyMigrationManager::FinishLazyReplication() {
 
 void RocksteadyMigrationManager::CommitAndComplete() {
   finished_ = true;
+  phase_ = Phase::kDone;
   for (auto& side_log : side_logs_) {
     side_log->Commit();
   }
@@ -464,22 +573,30 @@ void RocksteadyMigrationManager::CommitAndComplete() {
   if (target_->migration_hooks() == this) {
     target_->set_migration_hooks(nullptr);
   }
-  // Tell the coordinator the lineage dependency is gone...
+  // Tell the coordinator the lineage dependency is gone... (re-driven; if
+  // every attempt dies, the lease watchdog spots the committed migration
+  // and drops the stale row itself).
   if (options_.mode != MigrationMode::kSourceOwns) {
-    auto drop = std::make_unique<DropDependencyRequest>();
-    drop->source = source_;
-    drop->target = target_->id();
-    drop->table = table_;
-    target_->rpc().Call(target_->node(), target_->coordinator().node(), std::move(drop),
-                        [](Status, std::unique_ptr<RpcResponse>) {});
+    auto make_drop = [this]() -> std::unique_ptr<RpcRequest> {
+      auto drop = std::make_unique<DropDependencyRequest>();
+      drop->source = source_;
+      drop->target = target_->id();
+      drop->table = table_;
+      return drop;
+    };
+    ControlCall(target_->coordinator().node(), std::move(make_drop),
+                [](Status, std::unique_ptr<RpcResponse>) {}, /*attempt=*/1);
   }
-  // ...and tell the source it can free its copy.
-  auto release = std::make_unique<ReleaseTabletRequest>();
-  release->table = table_;
-  release->start_hash = start_hash_;
-  release->end_hash = end_hash_;
-  target_->rpc().Call(target_->node(), source_node_, std::move(release),
-                      [](Status, std::unique_ptr<RpcResponse>) {});
+  // ...and tell the source it can free its copy (idempotent at the source).
+  auto make_release = [this]() -> std::unique_ptr<RpcRequest> {
+    auto release = std::make_unique<ReleaseTabletRequest>();
+    release->table = table_;
+    release->start_hash = start_hash_;
+    release->end_hash = end_hash_;
+    return release;
+  };
+  ControlCall(source_node_, std::move(make_release),
+              [](Status, std::unique_ptr<RpcResponse>) {}, /*attempt=*/1);
 
   stats_.end_time = target_->sim().now();
   // Phase boundary: migration complete. The tablet is normal, the side logs
@@ -500,6 +617,7 @@ void RocksteadyMigrationManager::Abort() {
     return;
   }
   aborted_ = true;
+  phase_ = Phase::kAborted;
   if (priority_pulls_ != nullptr) {
     priority_pulls_->Shutdown();
   }

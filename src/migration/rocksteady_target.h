@@ -93,6 +93,13 @@ class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
 
   const MigrationStats& stats() const { return stats_; }
   bool finished() const { return finished_; }
+  bool aborted() const { return aborted_; }
+
+  // Coarse progress marker for tests that inject a fault at a specific
+  // point in the protocol (e.g. "source crash after ownership transfer,
+  // before re-replication completes").
+  enum class Phase { kStarting, kPulling, kReplicating, kDone, kAborted };
+  Phase phase() const { return phase_; }
 
   // Invariants: partitions are ordered and disjoint with each pull cursor
   // inside its partition's bucket range (the pulled-hash-bucket frontier
@@ -116,12 +123,34 @@ class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
     bool pull_in_flight = false;
     bool source_exhausted = false;
     size_t replay_backlog = 0;  // Completed pulls not yet replayed.
+    int pull_retries = 0;       // Consecutive failed pulls (reset on success).
 
     bool Done() const { return source_exhausted && !pull_in_flight && replay_backlog == 0; }
   };
 
+  // A failed Pull is re-driven this many times (each attempt already
+  // retransmits inside the transport) before the partition stalls and the
+  // coordinator's recovery / lease watchdog decides the migration's fate.
+  static constexpr int kMaxPullRetries = 16;
+
+  // A control-plane RPC (Prepare, dependency registration, ownership,
+  // drop/release) is re-issued this many times across crash-restart windows.
+  static constexpr int kMaxControlAttempts = 10;
+
   // Runs `fn` as a migration-manager continuation on the dispatch core.
   void ManagerTick(std::function<void()> fn);
+
+  // Issues a control-plane RPC with bounded re-drive: the transport's
+  // at-least-once machinery retransmits within each attempt, and the whole
+  // (idempotent) call is re-issued with backoff across attempts. `cb` gets
+  // the first delivered response, or the last failure once the attempt
+  // budget is spent. The request is rebuilt per attempt via `make_request`.
+  void ControlCall(NodeId to, std::function<std::unique_ptr<RpcRequest>()> make_request,
+                   std::function<void(Status, std::unique_ptr<RpcResponse>)> cb, int attempt);
+
+  // Renews the coordinator's migration lease every
+  // migration_heartbeat_interval_ns until the migration finishes or aborts.
+  void HeartbeatLoop();
 
   void OnPrepared(const PrepareMigrationResponse& response);
   void SetUpPartitions(uint64_t num_buckets);
@@ -152,6 +181,7 @@ class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
   bool frozen_ = false;  // Pre-copy: source has been frozen.
   bool finished_ = false;
   bool aborted_ = false;
+  Phase phase_ = Phase::kStarting;
 };
 
 // Installs kMigrateTablet + all source-side handlers on `master`. Any

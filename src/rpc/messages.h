@@ -36,6 +36,8 @@ enum class Opcode : uint8_t {
   kRegisterDependency,
   kDropDependency,
   kUpdateOwnership,
+  kPing,                // Coordinator -> server: failure detector probe.
+  kMigrationHeartbeat,  // Target manager -> coordinator: lease renewal.
   // Rocksteady migration.
   kMigrateTablet,     // Client -> target: start migration.
   kPrepareMigration,  // Target -> source: mark tablet immutable, get horizon.
@@ -59,12 +61,22 @@ struct RpcRequest {
 struct RpcResponse {
   virtual ~RpcResponse() = default;
   virtual size_t WireSize() const { return kRpcHeaderBytes; }
+  // Deep copy, used by the transport's duplicate-suppression cache to replay
+  // a completed call's response to a retransmitted request. Pure virtual so
+  // a new response type cannot silently slice when cached.
+  virtual std::unique_ptr<RpcResponse> Clone() const = 0;
 
   Status status = Status::kOk;
 };
 
+// Every concrete response type declares itself copy-cloneable with this.
+#define ROCKSTEADY_CLONEABLE_RESPONSE(Type) \
+  std::unique_ptr<RpcResponse> Clone() const override { return std::make_unique<Type>(*this); }
+
 // Convenience base: empty response carrying only a status.
-struct StatusResponse : RpcResponse {};
+struct StatusResponse : RpcResponse {
+  ROCKSTEADY_CLONEABLE_RESPONSE(StatusResponse)
+};
 
 // ------------------------------------------------------------- Data path.
 
@@ -85,6 +97,7 @@ struct ReadResponse : RpcResponse {
   Tick retry_after = 0;
 
   size_t WireSize() const override { return kRpcHeaderBytes + value.size(); }
+  ROCKSTEADY_CLONEABLE_RESPONSE(ReadResponse)
 };
 
 struct WriteRequest : RpcRequest {
@@ -103,6 +116,8 @@ struct WriteRequest : RpcRequest {
 
 struct WriteResponse : RpcResponse {
   Version version = 0;
+
+  ROCKSTEADY_CLONEABLE_RESPONSE(WriteResponse)
 };
 
 struct RemoveRequest : RpcRequest {
@@ -116,6 +131,8 @@ struct RemoveRequest : RpcRequest {
 
 struct RemoveResponse : RpcResponse {
   Version version = 0;
+
+  ROCKSTEADY_CLONEABLE_RESPONSE(RemoveResponse)
 };
 
 struct MultiGetRequest : RpcRequest {
@@ -145,6 +162,7 @@ struct MultiGetResponse : RpcResponse {
     }
     return size;
   }
+  ROCKSTEADY_CLONEABLE_RESPONSE(MultiGetResponse)
 };
 
 struct MultiGetHashRequest : RpcRequest {
@@ -171,6 +189,7 @@ struct IndexLookupResponse : RpcResponse {
   std::vector<KeyHash> hashes;  // Indexes store primary key hashes (Fig. 2).
 
   size_t WireSize() const override { return kRpcHeaderBytes + hashes.size() * 8; }
+  ROCKSTEADY_CLONEABLE_RESPONSE(IndexLookupResponse)
 };
 
 struct IndexInsertRequest : RpcRequest {
@@ -225,6 +244,7 @@ struct GetRecoveryDataResponse : RpcResponse {
     }
     return size;
   }
+  ROCKSTEADY_CLONEABLE_RESPONSE(GetRecoveryDataResponse)
 };
 
 // ------------------------------------------------------------ Coordinator.
@@ -248,6 +268,7 @@ struct GetTableConfigResponse : RpcResponse {
   std::vector<TabletConfigEntry> tablets;
 
   size_t WireSize() const override { return kRpcHeaderBytes + tablets.size() * 28; }
+  ROCKSTEADY_CLONEABLE_RESPONSE(GetTableConfigResponse)
 };
 
 struct RegisterDependencyRequest : RpcRequest {
@@ -286,6 +307,22 @@ struct UpdateOwnershipRequest : RpcRequest {
   size_t WireSize() const override { return kRpcHeaderBytes + 28; }
 };
 
+struct PingRequest : RpcRequest {
+  Opcode op() const override { return Opcode::kPing; }
+  size_t WireSize() const override { return kRpcHeaderBytes; }
+};
+
+struct MigrationHeartbeatRequest : RpcRequest {
+  // Identifies the migration by its dependency edge; the coordinator renews
+  // the lease it tracks for this (source, target, table) tuple.
+  ServerId source = 0;
+  ServerId target = 0;
+  TableId table = 0;
+
+  Opcode op() const override { return Opcode::kMigrationHeartbeat; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 16; }
+};
+
 // ------------------------------------------------- Rocksteady migration.
 
 struct MigrateTabletRequest : RpcRequest {
@@ -320,6 +357,8 @@ struct PrepareMigrationResponse : RpcResponse {
   // The source's hash-table geometry, so the target can partition the
   // source's bucket space for parallel Pulls (§3.1.1).
   uint64_t num_hash_buckets = 0;
+
+  ROCKSTEADY_CLONEABLE_RESPONSE(PrepareMigrationResponse)
 };
 
 struct PullRequest : RpcRequest {
@@ -348,6 +387,7 @@ struct PullResponse : RpcResponse {
   bool done = false;  // Partition exhausted.
 
   size_t WireSize() const override { return kRpcHeaderBytes + records.size() + 16; }
+  ROCKSTEADY_CLONEABLE_RESPONSE(PullResponse)
 };
 
 struct PriorityPullRequest : RpcRequest {
@@ -368,6 +408,7 @@ struct PriorityPullResponse : RpcResponse {
   size_t WireSize() const override {
     return kRpcHeaderBytes + records.size() + not_found.size() * 8;
   }
+  ROCKSTEADY_CLONEABLE_RESPONSE(PriorityPullResponse)
 };
 
 // ---------------------------------------------------- Baseline migration.

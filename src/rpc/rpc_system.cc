@@ -1,5 +1,6 @@
 #include "src/rpc/rpc_system.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -17,67 +18,110 @@ RpcEndpoint* RpcSystem::CreateEndpoint(CoreSet* cores) {
 void RpcSystem::Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request,
                      ResponseCallback cb, Tick timeout) {
   const uint64_t call_id = next_call_id_++;
-  pending_[call_id] = PendingCall{from, std::move(cb)};
-
-  const size_t wire = request->WireSize();
-  // std::function requires copyable callables; stash the request in a
-  // shared_ptr for the trip across the fabric.
-  auto boxed = std::make_shared<std::unique_ptr<RpcRequest>>(std::move(request));
-  net_->Send(from, to, wire, [this, from, to, call_id, boxed] {
-    RpcEndpoint* endpoint = Endpoint(to);
-    if (endpoint == nullptr) {
-      return;
-    }
-    endpoint->Deliver(from, std::move(*boxed), call_id);
-  });
+  PendingCall pending;
+  pending.caller = from;
+  pending.server = to;
+  pending.request = std::move(request);
+  pending.cb = std::move(cb);
+  pending.deadline = timeout > 0 ? sim_->now() + timeout : 0;
+  pending_[call_id] = std::move(pending);
 
   if (timeout > 0) {
-    const Opcode op = (*boxed) != nullptr ? (*boxed)->op() : Opcode::kInvalid;
-    sim_->After(timeout, [this, call_id, op, from, to] {
+    const Opcode op = pending_[call_id].request->op();
+    sim_->At(pending_[call_id].deadline, [this, call_id, op, from, to] {
       auto it = pending_.find(call_id);
       if (it == pending_.end()) {
         return;  // Already completed.
       }
-      LOG_DEBUG("rpc timeout: op=%d %u->%u at t=%.6f s", static_cast<int>(op), from, to,
-                static_cast<double>(sim_->now()) / 1e9);
+      LOG_DEBUG("rpc timeout: op=%d %u->%u after %d attempts at t=%.6f s", static_cast<int>(op),
+                from, to, it->second.attempts, static_cast<double>(sim_->now()) / 1e9);
       ResponseCallback cb = std::move(it->second.cb);
       pending_.erase(it);
       cb(Status::kServerDown, nullptr);
     });
   }
+  SendAttempt(call_id);
 }
 
-void RpcEndpoint::Deliver(NodeId from, std::unique_ptr<RpcRequest> request, uint64_t call_id) {
-  auto it = handlers_.find(request->op());
-  if (it == handlers_.end()) {
-    LOG_ERROR("node %u: no handler for opcode %d", node_, static_cast<int>(request->op()));
+void RpcSystem::SendAttempt(uint64_t call_id) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) {
+    return;  // Completed or deadlined while the retransmit timer was armed.
+  }
+  PendingCall& pending = it->second;
+  pending.attempts++;
+  if (pending.attempts > 1) {
+    retransmissions_++;
+  }
+  const NodeId from = pending.caller;
+  const NodeId to = pending.server;
+  std::shared_ptr<RpcRequest> request = pending.request;
+  net_->Send(from, to, request->WireSize(), [this, from, to, call_id, request] {
+    RpcEndpoint* endpoint = Endpoint(to);
+    if (endpoint == nullptr) {
+      return;
+    }
+    endpoint->Deliver(from, request, call_id);
+  });
+
+  if (pending.deadline == 0) {
+    return;  // Single attempt; the caller opted out of retransmission.
+  }
+  // Arm the next retransmission: capped exponential backoff + seeded jitter.
+  // Nothing is scheduled at or past the deadline, so a dead server costs
+  // exactly the deadline, never a tail of orphan timer events.
+  const int shift = std::min(pending.attempts - 1, 20);
+  const Tick backoff = std::min(costs_->rpc_retransmit_base_ns << shift,
+                                costs_->rpc_retransmit_cap_ns);
+  const Tick jitter =
+      costs_->rpc_retransmit_jitter_ns > 0
+          ? sim_->rng().Uniform(static_cast<uint64_t>(costs_->rpc_retransmit_jitter_ns) + 1)
+          : 0;
+  const Tick at = sim_->now() + backoff + jitter;
+  if (at >= pending.deadline) {
     return;
   }
-  const Handler& handler = it->second;
+  sim_->At(at, [this, call_id] { SendAttempt(call_id); });
+}
 
-  auto run = [this, from, call_id, &handler, request = std::move(request)]() mutable {
-    RpcContext context;
-    context.sim = system_->sim();
-    context.from = from;
-    context.request = std::move(request);
-    const NodeId server_node = node_;
-    RpcSystem* system = system_;
-    CoreSet* cores = cores_;
-    context.reply = [system, server_node, from, call_id,
-                     cores](std::unique_ptr<RpcResponse> response) {
-      auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(response));
+void RpcEndpoint::Deliver(NodeId from, std::shared_ptr<RpcRequest> request, uint64_t call_id) {
+  PruneDedup();
+  if (auto it = dedup_.find(call_id); it != dedup_.end()) {
+    DedupEntry& entry = it->second;
+    if (entry.done) {
+      // Retransmission of a completed call: replay the cached response
+      // through the normal dispatch-tx path. The original execution already
+      // happened exactly once; only the answer is resent.
+      responses_replayed_++;
+      std::unique_ptr<RpcResponse> replay = entry.response->Clone();
+      auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(replay));
+      RpcSystem* system = system_;
+      const NodeId server_node = node_;
       auto transmit = [system, server_node, call_id, boxed] {
-        system->CompleteCall(call_id, server_node, std::move(*boxed));
+        if (*boxed != nullptr) {
+          system->TransmitResponse(call_id, server_node, std::move(*boxed));
+        }
       };
-      if (cores != nullptr) {
-        // The worker hands the response to the dispatch core, which posts it
-        // to the transport.
-        cores->EnqueueDispatch(system->costs()->dispatch_tx_ns, std::move(transmit));
+      if (cores_ != nullptr) {
+        cores_->EnqueueDispatch(system_->costs()->dispatch_tx_ns, std::move(transmit));
       } else {
         transmit();
       }
-    };
-    handler(std::move(context));
+      return;
+    }
+    if (entry.epoch == CurrentEpoch()) {
+      // The handler is still executing this call; drop the duplicate — the
+      // response will go out (and be cached) when it finishes.
+      duplicates_suppressed_++;
+      return;
+    }
+    // The server crashed mid-execution and restarted: the old execution died
+    // with its epoch, so run the call again.
+    dedup_.erase(it);
+  }
+
+  auto run = [this, from, call_id, request]() mutable {
+    Execute(from, std::move(request), call_id);
   };
 
   if (cores_ != nullptr) {
@@ -91,22 +135,110 @@ void RpcEndpoint::Deliver(NodeId from, std::unique_ptr<RpcRequest> request, uint
   }
 }
 
-void RpcSystem::CompleteCall(uint64_t call_id, NodeId server_node,
-                             std::unique_ptr<RpcResponse> response) {
+void RpcEndpoint::Execute(NodeId from, std::shared_ptr<RpcRequest> request, uint64_t call_id) {
+  auto handler_it = handlers_.find(request->op());
+  if (handler_it == handlers_.end()) {
+    LOG_ERROR("node %u: no handler for opcode %d", node_, static_cast<int>(request->op()));
+    return;
+  }
+  // Re-check dedup at execution time: two copies of one request can both
+  // clear the delivery-time check (neither had an entry yet) and sit in the
+  // dispatch queue together; only the first may run the handler.
+  if (auto it = dedup_.find(call_id); it != dedup_.end()) {
+    if (it->second.done) {
+      responses_replayed_++;
+      system_->TransmitResponse(call_id, node_, it->second.response->Clone());
+      return;
+    }
+    if (it->second.epoch == CurrentEpoch()) {
+      duplicates_suppressed_++;
+      return;
+    }
+  }
+  // The dedup entry is created here — when execution truly starts — not at
+  // delivery: queued dispatch work can be wiped by Halt(), and an entry
+  // created then would swallow post-restart retransmissions forever.
+  DedupEntry& entry = dedup_[call_id];
+  entry.epoch = CurrentEpoch();
+  entry.done = false;
+
+  const Handler& handler = handler_it->second;
+  RpcContext context;
+  context.sim = system_->sim();
+  context.from = from;
+  context.request = std::move(request);
+  const NodeId server_node = node_;
+  RpcSystem* system = system_;
+  CoreSet* cores = cores_;
+  RpcEndpoint* self = this;
+  context.reply = [self, system, server_node, from, call_id,
+                   cores](std::unique_ptr<RpcResponse> response) {
+    // Cache a clone for duplicate-request replay, then transmit.
+    if (auto it = self->dedup_.find(call_id); it != self->dedup_.end()) {
+      it->second.done = true;
+      it->second.response = response->Clone();
+      it->second.completed_at = system->sim()->now();
+      self->dedup_fifo_.emplace_back(it->second.completed_at, call_id);
+    }
+    auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(response));
+    auto transmit = [system, server_node, call_id, boxed] {
+      if (*boxed != nullptr) {
+        system->TransmitResponse(call_id, server_node, std::move(*boxed));
+      }
+    };
+    if (cores != nullptr) {
+      // The worker hands the response to the dispatch core, which posts it
+      // to the transport.
+      cores->EnqueueDispatch(system->costs()->dispatch_tx_ns, std::move(transmit));
+    } else {
+      transmit();
+    }
+  };
+  handler(std::move(context));
+}
+
+void RpcEndpoint::PruneDedup() {
+  const Tick now = system_->sim()->now();
+  const Tick retention = system_->costs()->rpc_dedup_retention_ns;
+  while (!dedup_fifo_.empty() && dedup_fifo_.front().first + retention < now) {
+    const uint64_t call_id = dedup_fifo_.front().second;
+    dedup_fifo_.pop_front();
+    if (auto it = dedup_.find(call_id);
+        it != dedup_.end() && it->second.done) {
+      dedup_.erase(it);
+    }
+  }
+}
+
+uint64_t RpcEndpoint::CurrentEpoch() const { return cores_ != nullptr ? cores_->epoch() : 0; }
+
+void RpcSystem::TransmitResponse(uint64_t call_id, NodeId server_node,
+                                 std::unique_ptr<RpcResponse> response) {
   auto it = pending_.find(call_id);
   if (it == pending_.end()) {
-    return;  // Timed out earlier.
+    return;  // Caller gave up (deadline) or already got an earlier copy.
   }
   const NodeId caller = it->second.caller;
   auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(response));
   const size_t wire = (*boxed)->WireSize();
-  ResponseCallback cb = std::move(it->second.cb);
-  pending_.erase(it);
 
-  auto shared_cb = std::make_shared<ResponseCallback>(std::move(cb));
-  net_->Send(server_node, caller, wire, [this, caller, boxed, shared_cb] {
+  // The pending entry survives until the response actually reaches the
+  // caller: if the fabric eats this response, a later retransmission (or a
+  // server-side replay of the cached response) still has a home to land in.
+  net_->Send(server_node, caller, wire, [this, caller, call_id, boxed] {
     RpcEndpoint* endpoint = Endpoint(caller);
-    auto deliver = [boxed, shared_cb] { (*shared_cb)(Status::kOk, std::move(*boxed)); };
+    auto deliver = [this, call_id, boxed] {
+      auto pending_it = pending_.find(call_id);
+      if (pending_it == pending_.end()) {
+        return;  // A duplicate response; the first copy won.
+      }
+      if (*boxed == nullptr) {
+        return;  // This network-duplicated copy lost the move race.
+      }
+      ResponseCallback cb = std::move(pending_it->second.cb);
+      pending_.erase(pending_it);
+      cb(Status::kOk, std::move(*boxed));
+    };
     if (endpoint != nullptr && endpoint->cores() != nullptr) {
       // Responses are polled off the NIC by the caller's dispatch core too.
       endpoint->cores()->EnqueueDispatch(costs_->dispatch_per_rpc_ns, std::move(deliver));

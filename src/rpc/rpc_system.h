@@ -1,4 +1,4 @@
-// RPC over the simulated fabric.
+// RPC over the simulated fabric, with at-least-once delivery.
 //
 // Mirrors RAMCloud's transport/dispatch integration (§3.1): an inbound RPC
 // is polled off the NIC by the destination's dispatch core (charged
@@ -7,15 +7,24 @@
 // (dispatch_tx_ns). Nodes without a CoreSet (client machines, which the
 // paper never bottlenecks) deliver straight to the continuation.
 //
-// Calls may carry a timeout; if the response has not arrived (e.g. the peer
-// crashed and the fabric dropped the message), the callback fires with
-// Status::kServerDown and a null response.
+// Fault tolerance: the fabric may drop, duplicate, or delay any message
+// (see FaultInjector), so the transport provides at-least-once semantics.
+// A call with a timeout retransmits its request — same call_id — with
+// capped exponential backoff plus seeded jitter until a response arrives or
+// the overall deadline expires (then the callback fires with
+// Status::kServerDown and a null response). The server side suppresses
+// duplicate executions per call_id: a retransmission of a completed call
+// replays the cached (cloned) response; one that races a still-executing
+// handler is dropped. A call with timeout zero is sent exactly once and
+// waits forever — the pre-fault-injection behavior.
 #ifndef ROCKSTEADY_SRC_RPC_RPC_SYSTEM_H_
 #define ROCKSTEADY_SRC_RPC_RPC_SYSTEM_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/rpc/messages.h"
@@ -27,13 +36,16 @@ namespace rocksteady {
 
 class RpcSystem;
 
-// Server-side context for one in-flight RPC.
+// Server-side context for one in-flight RPC. The request is shared with the
+// transport (retransmissions deliver the same object), but duplicate
+// suppression guarantees the handler runs at most once per call_id, so
+// handlers may freely move data out of it.
 struct RpcContext {
   Simulator* sim = nullptr;
   NodeId from = 0;
-  std::unique_ptr<RpcRequest> request;
+  std::shared_ptr<RpcRequest> request;
 
-  // Sends the response (exactly once).
+  // Sends the response (exactly once per execution).
   std::function<void(std::unique_ptr<RpcResponse>)> reply;
 
   template <typename T>
@@ -57,15 +69,36 @@ class RpcEndpoint {
   CoreSet* cores() const { return cores_; }
   RpcSystem* system() const { return system_; }
 
+  uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  uint64_t responses_replayed() const { return responses_replayed_; }
+
  private:
   friend class RpcSystem;
 
-  void Deliver(NodeId from, std::unique_ptr<RpcRequest> request, uint64_t call_id);
+  // Per-call_id duplicate suppression. An entry is created when the handler
+  // actually starts executing (not at delivery: the dispatch queue may be
+  // wiped by a crash first) and stamped with the CoreSet epoch so that an
+  // execution cut short by Halt() is re-run, not treated as in flight.
+  struct DedupEntry {
+    uint64_t epoch = 0;
+    bool done = false;
+    std::unique_ptr<RpcResponse> response;  // Cached clone once done.
+    Tick completed_at = 0;
+  };
+
+  void Deliver(NodeId from, std::shared_ptr<RpcRequest> request, uint64_t call_id);
+  void Execute(NodeId from, std::shared_ptr<RpcRequest> request, uint64_t call_id);
+  void PruneDedup();
+  uint64_t CurrentEpoch() const;
 
   RpcSystem* system_;
   NodeId node_;
   CoreSet* cores_;  // Null for unmodeled-CPU nodes (clients).
   std::unordered_map<Opcode, Handler> handlers_;
+  std::unordered_map<uint64_t, DedupEntry> dedup_;
+  std::deque<std::pair<Tick, uint64_t>> dedup_fifo_;  // (completed_at, call_id).
+  uint64_t duplicates_suppressed_ = 0;
+  uint64_t responses_replayed_ = 0;
 };
 
 class RpcSystem {
@@ -81,8 +114,10 @@ class RpcSystem {
   // Creates an endpoint on a fresh network node.
   RpcEndpoint* CreateEndpoint(CoreSet* cores);
 
-  // Issues an RPC. `timeout` of zero means no timeout. The callback receives
-  // kOk plus the response, or an error status with a null response.
+  // Issues an RPC. `timeout` of zero means one attempt and no deadline.
+  // With a timeout, the request is retransmitted (same call_id) on a capped
+  // exponential backoff until the deadline; then the callback receives
+  // kServerDown with a null response.
   void Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request, ResponseCallback cb,
             Tick timeout = 0);
 
@@ -95,17 +130,28 @@ class RpcSystem {
   const CostModel* costs() const { return costs_; }
 
   uint64_t calls_issued() const { return next_call_id_; }
+  uint64_t retransmissions() const { return retransmissions_; }
 
  private:
   friend class RpcEndpoint;
 
   struct PendingCall {
     NodeId caller = 0;
+    NodeId server = 0;
+    std::shared_ptr<RpcRequest> request;
     ResponseCallback cb;
+    Tick deadline = 0;  // 0 = wait forever, no retransmission.
+    int attempts = 0;
   };
 
-  // Invoked by the server side to route a response back.
-  void CompleteCall(uint64_t call_id, NodeId server_node, std::unique_ptr<RpcResponse> response);
+  // Transmits one attempt of a pending call and, when a deadline is set,
+  // arms the next retransmission.
+  void SendAttempt(uint64_t call_id);
+  // Server side: routes a response (fresh or replayed) back to the caller.
+  // The pending entry is erased only when the response reaches the caller,
+  // so a lost response leaves the retransmission path armed.
+  void TransmitResponse(uint64_t call_id, NodeId server_node,
+                        std::unique_ptr<RpcResponse> response);
 
   Simulator* sim_;
   Network* net_;
@@ -113,6 +159,7 @@ class RpcSystem {
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
   std::unordered_map<uint64_t, PendingCall> pending_;
   uint64_t next_call_id_ = 0;
+  uint64_t retransmissions_ = 0;
 };
 
 }  // namespace rocksteady

@@ -14,6 +14,7 @@ void CoreSet::EnqueueDispatch(Tick cost, std::function<void()> fn) {
   if (halted_) {
     return;
   }
+  cost = Slow(cost);
   const Tick start = std::max(sim_->now(), dispatch_free_at_);
   dispatch_free_at_ = start + cost;
   if (dispatch_util_ != nullptr) {
@@ -58,7 +59,7 @@ void CoreSet::StartWorker(AnyTask task) {
     // fires; busy time is charged at release.
     const Tick start = sim_->now();
     auto finish = [this, epoch, start](Tick extra_cost) {
-      sim_->After(extra_cost, [this, epoch, start] {
+      sim_->After(Slow(extra_cost), [this, epoch, start] {
         if (epoch != epoch_) {
           return;
         }
@@ -76,7 +77,7 @@ void CoreSet::StartWorker(AnyTask task) {
 
   // Timed task: real state mutation happens now; the worker is then busy for
   // the returned service time.
-  const Tick cost = task.work();
+  const Tick cost = Slow(task.work());
   if (worker_util_ != nullptr) {
     worker_util_->AddBusy(sim_->now(), cost);
   }

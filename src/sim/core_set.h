@@ -93,6 +93,16 @@ class CoreSet {
   void Restart();
   bool halted() const { return halted_; }
 
+  // Bumped on every Halt(); lets layers above stamp in-flight work and
+  // discard completions that straddle a crash.
+  uint64_t epoch() const { return epoch_; }
+
+  // Straggler injection: every dispatch and worker cost is multiplied by
+  // `factor` (>= 1.0) until reset to 1.0. Models a core that slows down
+  // (thermal throttling, noisy neighbor) without stopping.
+  void SetSlowdown(double factor) { slowdown_ = factor < 1.0 ? 1.0 : factor; }
+  double slowdown() const { return slowdown_; }
+
  private:
   // Internal unified task: either a timed task (work/done) or a held task.
   struct AnyTask {
@@ -106,11 +116,15 @@ class CoreSet {
   void StartWorker(AnyTask task);
   void WorkerFinished(std::function<void()> done, uint64_t epoch);
   void PumpQueues();
+  Tick Slow(Tick cost) const {
+    return slowdown_ == 1.0 ? cost : static_cast<Tick>(static_cast<double>(cost) * slowdown_);
+  }
 
   Simulator* sim_;
   int num_workers_;
   int idle_workers_;
   bool halted_ = false;
+  double slowdown_ = 1.0;
   // Bumped on Halt(); in-flight completions from an older epoch are stale
   // and must not return their worker to the pool.
   uint64_t epoch_ = 0;

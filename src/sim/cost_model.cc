@@ -45,6 +45,14 @@ void CostModel::Dilate(double factor) {
   scale_tick(wrong_server_backoff_max_ns);
   scale_tick(priority_pull_turnaround_ns);
   scale_tick(no_priority_pull_retry_ns);
+  scale_tick(rpc_retransmit_base_ns);
+  scale_tick(rpc_retransmit_cap_ns);
+  scale_tick(rpc_retransmit_jitter_ns);
+  scale_tick(rpc_dedup_retention_ns);
+  scale_tick(migration_heartbeat_interval_ns);
+  scale_tick(migration_lease_ns);
+  scale_tick(ping_interval_ns);
+  scale_tick(ping_timeout_ns);
 }
 
 }  // namespace rocksteady

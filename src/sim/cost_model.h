@@ -130,6 +130,27 @@ struct CostModel {
   // retries would melt the target's dispatch core for nothing.
   Tick no_priority_pull_retry_ns = 1'000'000;
 
+  // --- At-least-once RPC transport (fault-injection hardening). ---
+  // Per-attempt retransmission timer: an unacked attempt is retransmitted
+  // with the *same* call_id after base * 2^attempt (capped) plus seeded
+  // jitter; the caller-visible timeout above is the overall deadline.
+  Tick rpc_retransmit_base_ns = 100'000;
+  Tick rpc_retransmit_cap_ns = 2'000'000;
+  // Max jitter added to each retransmission delay (uniform, seeded).
+  Tick rpc_retransmit_jitter_ns = 20'000;
+  // How long a server remembers completed call_ids for duplicate
+  // suppression. Must exceed the longest client retransmission interval.
+  Tick rpc_dedup_retention_ns = 100 * kMillisecond;
+  // Migration-manager heartbeat to the coordinator, and the lease the
+  // coordinator grants: miss a whole lease and the migration is considered
+  // stalled (crashed target) and is re-driven through recovery.
+  Tick migration_heartbeat_interval_ns = 2 * kMillisecond;
+  Tick migration_lease_ns = 50 * kMillisecond;
+  // Coordinator ping-based failure detector (chaos runs): period between
+  // ping sweeps and the per-ping timeout that declares a server dead.
+  Tick ping_interval_ns = 10 * kMillisecond;
+  Tick ping_timeout_ns = 5 * kMillisecond;
+
   // Scales every simulated time cost by `factor` (and bandwidth down by
   // it). Pure unit scaling: utilizations, queueing shapes, and relative
   // results are unchanged, but experiments need `factor`x fewer simulated

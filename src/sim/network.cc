@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace rocksteady {
@@ -9,6 +10,7 @@ namespace rocksteady {
 void Network::Send(NodeId from, NodeId to, size_t wire_bytes, std::function<void()> on_delivery) {
   assert(from < egress_free_at_.size() && to < egress_free_at_.size());
   if (node_down_[from]) {
+    dropped_from_down_node_++;
     return;
   }
   const Tick serialization = costs_->Serialization(wire_bytes) + costs_->net_per_message_ns;
@@ -18,13 +20,48 @@ void Network::Send(NodeId from, NodeId to, size_t wire_bytes, std::function<void
   track[from] = depart;
   total_bytes_sent_ += wire_bytes;
   total_messages_++;
-  const Tick arrive = depart + costs_->net_propagation_ns;
-  sim_->At(arrive, [this, to, fn = std::move(on_delivery)] {
-    if (node_down_[to]) {
-      return;  // Dropped on the floor; RPC timeouts handle the rest.
+
+  // In-flight faults: the sender has paid for serialization either way; the
+  // injector decides how many copies (0 = lost) arrive and with what extra
+  // delay. Loss is modeled on the wire, not at the NIC.
+  FaultInjector::Decision decision;
+  if (fault_injector_ != nullptr) {
+    decision = fault_injector_->OnMessage(from, to);
+    if (decision.copies == 0) {
+      injected_drops_++;
+      return;
     }
-    fn();
-  });
+    if (decision.copies > 1) {
+      injected_duplicates_ += static_cast<uint64_t>(decision.copies - 1);
+    }
+  }
+
+  const Tick arrive = depart + costs_->net_propagation_ns;
+  if (decision.copies == 1 && decision.extra_delay_ns[0] == 0) {
+    sim_->At(arrive, [this, to, fn = std::move(on_delivery)] {
+      if (node_down_[to]) {
+        dropped_to_down_node_++;
+        return;  // Dropped on the floor; RPC timeouts handle the rest.
+      }
+      fn();
+    });
+    return;
+  }
+  // Duplicated and/or delayed copies share one delivery closure.
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(on_delivery));
+  for (int copy = 0; copy < decision.copies; copy++) {
+    const Tick extra = decision.extra_delay_ns[static_cast<size_t>(copy)];
+    if (extra > 0) {
+      injected_delays_++;
+    }
+    sim_->At(arrive + extra, [this, to, shared_fn] {
+      if (node_down_[to]) {
+        dropped_to_down_node_++;
+        return;
+      }
+      (*shared_fn)();
+    });
+  }
 }
 
 }  // namespace rocksteady

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/sim/cost_model.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulator.h"
 
 namespace rocksteady {
@@ -57,8 +58,23 @@ class Network {
   void SetNodeDown(NodeId node, bool down) { node_down_[node] = down; }
   bool IsNodeDown(NodeId node) const { return node_down_[node]; }
 
+  // Installs (or removes, with nullptr) a fault injector consulted on every
+  // Send. Not owned; must outlive the network while installed.
+  void SetFaultInjector(FaultInjector* injector) { fault_injector_ = injector; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
   uint64_t total_bytes_sent() const { return total_bytes_sent_; }
   uint64_t total_messages() const { return total_messages_; }
+
+  // Loss accounting: nothing vanishes silently. Down-node drops are the
+  // crash model doing its job; injected_* only move when an injector is
+  // installed. Experiment summaries print these so a lossy run is visibly
+  // lossy.
+  uint64_t dropped_from_down_node() const { return dropped_from_down_node_; }
+  uint64_t dropped_to_down_node() const { return dropped_to_down_node_; }
+  uint64_t injected_drops() const { return injected_drops_; }
+  uint64_t injected_duplicates() const { return injected_duplicates_; }
+  uint64_t injected_delays() const { return injected_delays_; }
 
  private:
   Simulator* sim_;
@@ -66,8 +82,14 @@ class Network {
   std::vector<Tick> egress_free_at_;       // Small-message track.
   std::vector<Tick> egress_bulk_free_at_;  // Bulk track (>= threshold).
   std::vector<bool> node_down_;
+  FaultInjector* fault_injector_ = nullptr;
   uint64_t total_bytes_sent_ = 0;
   uint64_t total_messages_ = 0;
+  uint64_t dropped_from_down_node_ = 0;
+  uint64_t dropped_to_down_node_ = 0;
+  uint64_t injected_drops_ = 0;
+  uint64_t injected_duplicates_ = 0;
+  uint64_t injected_delays_ = 0;
 };
 
 }  // namespace rocksteady

@@ -170,6 +170,94 @@ TEST(RecoveryTest, SourceCrashMidMigrationRecoversEverything) {
             static_cast<int>(f.num_records));
 }
 
+// §3.4 corner: the target dies while a PriorityPull batch is outstanding —
+// clients are parked on records that will now never arrive from this target.
+// Recovery must fall back to the source and the parked reads must retry
+// their way to the correct values.
+TEST(RecoveryTest, TargetCrashDuringPriorityPullBatch) {
+  RecoveryFixture f;
+  bool migration_done = false;
+  StartRocksteadyMigration(&f.cluster, kTable, kMid, ~0ull, 0, 1, RocksteadyOptions{},
+                           [&](const MigrationStats&) { migration_done = true; });
+  // Let ownership transfer, then read migrated-range keys the target cannot
+  // have yet: each miss batches into a PriorityPull.
+  f.cluster.sim().RunUntil(f.cluster.sim().now() + 50 * kMicrosecond);
+  int reads_issued = 0;
+  int reads_ok = 0;
+  for (uint64_t i = 0; i < f.num_records && reads_issued < 8; i++) {
+    const std::string key = Cluster::MakeKey(i, 30);
+    if (HashKey(key) >= kMid) {
+      f.cluster.client(0).Read(kTable, key, [&](Status s, const std::string& v) {
+        reads_ok += (s == Status::kOk && v == std::string(100, 'v'));
+      });
+      reads_issued++;
+    }
+  }
+  // A few microseconds in, the batch is in flight / being replayed.
+  f.cluster.sim().RunUntil(f.cluster.sim().now() + 10 * kMicrosecond);
+  ASSERT_FALSE(migration_done) << "crash must hit mid-migration";
+
+  f.CrashAndRecover(1);
+
+  // Ownership fell back to the source and the parked reads completed there.
+  EXPECT_EQ(f.cluster.coordinator().OwnerOf(kTable, kMid), f.cluster.master(0).id());
+  EXPECT_TRUE(f.cluster.coordinator().dependencies().empty());
+  EXPECT_EQ(reads_ok, reads_issued);
+  EXPECT_EQ(f.CountCorrect({}, std::string(100, 'v')), static_cast<int>(f.num_records));
+}
+
+// §3.4 corner: the source dies *after* every record has been pulled but
+// while the target is still lazily re-replicating its side logs — the window
+// where the migrated data exists only in the target's DRAM plus the
+// source's (pre-migration) backup replicas.
+TEST(RecoveryTest, SourceCrashDuringLazyRereplication) {
+  RecoveryFixture f;
+  bool migration_done = false;
+  auto* manager =
+      StartRocksteadyMigration(&f.cluster, kTable, kMid, ~0ull, 0, 1, RocksteadyOptions{},
+                               [&](const MigrationStats&) { migration_done = true; });
+  // Step until the pulls finish and the replication epilogue begins.
+  const Tick limit = f.cluster.sim().now() + 50 * kMillisecond;
+  while (!migration_done &&
+         manager->phase() != RocksteadyMigrationManager::Phase::kReplicating &&
+         f.cluster.sim().now() < limit) {
+    f.cluster.sim().RunUntil(f.cluster.sim().now() + 2 * kMicrosecond);
+  }
+  ASSERT_EQ(static_cast<int>(manager->phase()),
+            static_cast<int>(RocksteadyMigrationManager::Phase::kReplicating))
+      << "crash must hit the re-replication window";
+
+  f.CrashAndRecover(0);
+
+  // The migrating range stays off the crashed source and every record is
+  // readable: the pulled data survives in the target, the rest re-homes
+  // from the source's backups.
+  EXPECT_NE(f.cluster.coordinator().OwnerOf(kTable, kMid), f.cluster.master(0).id());
+  EXPECT_TRUE(f.cluster.coordinator().dependencies().empty());
+  EXPECT_EQ(f.CountCorrect({}, std::string(100, 'v')), static_cast<int>(f.num_records));
+}
+
+// §3.4 corner: the (quorum-replicated) coordinator crash-restarts in the
+// middle of a migration. Registration / ownership / drop RPCs are idempotent
+// and re-driven, so the migration must ride through and complete.
+TEST(RecoveryTest, CoordinatorRestartMidMigration) {
+  RecoveryFixture f;
+  bool migration_done = false;
+  StartRocksteadyMigration(&f.cluster, kTable, kMid, ~0ull, 0, 1, RocksteadyOptions{},
+                           [&](const MigrationStats&) { migration_done = true; });
+  f.cluster.sim().RunUntil(f.cluster.sim().now() + 100 * kMicrosecond);
+  ASSERT_FALSE(migration_done);
+  f.cluster.coordinator().Crash();
+  f.cluster.sim().At(f.cluster.sim().now() + 5 * kMillisecond,
+                     [&] { f.cluster.coordinator().Restart(); });
+  f.cluster.sim().Run();
+
+  EXPECT_TRUE(migration_done);
+  EXPECT_EQ(f.cluster.coordinator().OwnerOf(kTable, kMid), f.cluster.master(1).id());
+  EXPECT_TRUE(f.cluster.coordinator().dependencies().empty());
+  EXPECT_EQ(f.CountCorrect({}, std::string(100, 'v')), static_cast<int>(f.num_records));
+}
+
 TEST(RecoveryTest, ReadsDuringRecoveryEventuallySucceed) {
   RecoveryFixture f(500);
   f.cluster.master(0).Crash();

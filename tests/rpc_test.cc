@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/rpc/rpc_system.h"
+#include "src/sim/fault_injector.h"
 
 namespace rocksteady {
 namespace {
@@ -141,6 +142,86 @@ TEST(RpcTest, HaltedServerNeverReplies) {
              /*timeout=*/kMillisecond);
   f.sim.Run();
   EXPECT_EQ(got, Status::kServerDown);
+}
+
+TEST(RpcTest, RetransmitDeliversThroughRequestDrop) {
+  Fixture f;
+  FaultInjector injector({.seed = 3});
+  f.net.SetFaultInjector(&injector);
+  CoreSet server_cores(&f.sim, 1);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  server->Register(Opcode::kRead, [](RpcContext context) {
+    context.reply(std::make_unique<ReadResponse>());
+  });
+  injector.DropNext(client->node(), server->node(), 1);  // Lose the request.
+  Status got = Status::kServerDown;
+  f.rpc.Call(client->node(), server->node(), std::make_unique<ReadRequest>(),
+             [&](Status status, std::unique_ptr<RpcResponse>) { got = status; },
+             /*timeout=*/kMillisecond);
+  f.sim.Run();
+  EXPECT_EQ(got, Status::kOk);
+  EXPECT_GE(f.rpc.retransmissions(), 1u);
+  EXPECT_EQ(f.net.injected_drops(), 1u);
+}
+
+TEST(RpcTest, DuplicateRequestExecutesHandlerOnce) {
+  Fixture f;
+  FaultInjector injector({.seed = 3});
+  f.net.SetFaultInjector(&injector);
+  CoreSet server_cores(&f.sim, 1);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  int executions = 0;
+  server->Register(Opcode::kWrite, [&](RpcContext context) {
+    executions++;
+    context.reply(std::make_unique<WriteResponse>());
+  });
+  injector.DuplicateNext(client->node(), server->node(), 1);
+  int callbacks = 0;
+  f.rpc.Call(client->node(), server->node(), std::make_unique<WriteRequest>(),
+             [&](Status status, std::unique_ptr<RpcResponse>) {
+               EXPECT_EQ(status, Status::kOk);
+               callbacks++;
+             },
+             /*timeout=*/kMillisecond);
+  f.sim.Run();
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_GE(server->duplicates_suppressed() + server->responses_replayed(), 1u);
+  EXPECT_EQ(f.net.injected_duplicates(), 1u);
+}
+
+// Regression (the classic at-least-once hazard): the server applies a write,
+// but the *response* is lost. The client retransmits; the server must replay
+// its cached response instead of applying the write a second time.
+TEST(RpcTest, LostResponseDoesNotDoubleApplyWrite) {
+  Fixture f;
+  FaultInjector injector({.seed = 3});
+  f.net.SetFaultInjector(&injector);
+  CoreSet server_cores(&f.sim, 1);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  int applied = 0;
+  server->Register(Opcode::kWrite, [&](RpcContext context) {
+    applied++;
+    context.reply(std::make_unique<WriteResponse>());
+  });
+  injector.DropNext(server->node(), client->node(), 1);  // Lose the response.
+  Status got = Status::kServerDown;
+  int callbacks = 0;
+  f.rpc.Call(client->node(), server->node(), std::make_unique<WriteRequest>(),
+             [&](Status status, std::unique_ptr<RpcResponse>) {
+               got = status;
+               callbacks++;
+             },
+             /*timeout=*/kMillisecond);
+  f.sim.Run();
+  EXPECT_EQ(applied, 1);  // Executed exactly once despite the retransmission.
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(got, Status::kOk);
+  EXPECT_GE(server->responses_replayed(), 1u);
+  EXPECT_GE(f.rpc.retransmissions(), 1u);
 }
 
 TEST(RpcTest, ServerToServerCallsChargeBothDispatches) {

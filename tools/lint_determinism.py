@@ -49,6 +49,22 @@ RULES = [
     ("std-random",
      re.compile(r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)"),
      "std <random> engine; use the seeded rocksteady::Random"),
+    # Unseeded probability draws: drawing from a default-constructed Random
+    # (its fallback seed is not derived from the run seed) or reaching past
+    # rocksteady::Random to libc/std distribution machinery. Declarations
+    # like `Random rng_;` (seeded later in an init list) and the
+    # `explicit Random(uint64_t seed = 1)` constructor itself are fine and
+    # must not match.
+    ("unseeded-draw",
+     re.compile(r"\b[a-z]?rand48\s*\("),
+     "rand48-family draw; use the seeded rocksteady::Random"),
+    ("unseeded-draw",
+     re.compile(r"std::\w+_distribution\b"),
+     "std <random> distribution; draw through the seeded rocksteady::Random"),
+    ("unseeded-draw",
+     re.compile(r"\bRandom\s*(?:\(\s*\)|\{\s*\})\s*\."),
+     "draw from a default-constructed Random; plumb the run seed "
+     "(e.g. Simulator::rng() or a Config seed) instead"),
     ("threads",
      re.compile(r"std::(?:thread|jthread|async|mutex|condition_variable|atomic)\b"),
      "threading primitive; the simulation kernel is single-threaded"),
