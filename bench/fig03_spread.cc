@@ -39,7 +39,7 @@ SpreadResult RunSpread(int spread) {
   std::vector<std::vector<std::string>> pools(kServers);
   for (uint64_t i = 0; i < kRecords; i++) {
     std::string key = Cluster::MakeKey(i, 30);
-    const ServerId owner = cluster.coordinator().OwnerOf(kTable, HashKey(key));
+    const ServerId owner = cluster.coordinator().OwnerOf(kTable, HashKey(kTable, key));
     pools[owner - 1].push_back(std::move(key));
   }
 

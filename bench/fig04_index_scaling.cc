@@ -73,7 +73,7 @@ Point RunPoint(Layout layout, double scans_per_second) {
   const std::string value(100, 'v');
   for (uint64_t i = 0; i < kRecords; i++) {
     const std::string key = Cluster::MakeKey(i, 30);
-    const KeyHash hash = HashKey(key);
+    const KeyHash hash = HashKey(kTable, key);
     const ServerId owner = cluster.coordinator().OwnerOf(kTable, hash);
     cluster.coordinator().master(owner)->objects().Write(kTable, key, hash, value);
     const std::string secondary = IndexScanActor::SecondaryKey(i);

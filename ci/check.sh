@@ -26,7 +26,16 @@ step "test: ASan+UBSan"
 ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}"
 
 step "chaos suite: lossy fabric + crash-restarts, 20 seeds, replayed bit-identically"
-"${ROOT}/build-asan/tests/chaos_test"
+"${ROOT}/build-asan/tests/chaos_test" --gtest_filter='Seeds/ChaosTest.*'
+
+step "overload chaos: bursty load past saturation + migration, pacing on/off, 20 seeds"
+"${ROOT}/build-asan/tests/chaos_test" --gtest_filter='Seeds/OverloadChaosTest.*'
+
+step "overload protection: admission control, load shedding, memory budget"
+"${ROOT}/build-asan/tests/overload_test"
+
+step "rpc dedup cache stays bounded"
+"${ROOT}/build-asan/tests/rpc_test" --gtest_filter='*Dedup*'
 
 step "build: debug audit (Debug, -Werror, ROCKSTEADY_AUDIT=ON)"
 cmake -B "${ROOT}/build-audit" -S "${ROOT}" \

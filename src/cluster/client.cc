@@ -112,7 +112,7 @@ void RamCloudClient::RunWithRetries(TableId table,
 }
 
 void RamCloudClient::Read(TableId table, std::string key, ReadCallback done) {
-  const KeyHash hash = HashKey(key);
+  const KeyHash hash = HashKey(table, key);
   auto value = std::make_shared<std::string>();
   auto go = [this, table, key = std::move(key), hash,
              value](std::function<void(Status, Tick)> report) {
@@ -147,7 +147,7 @@ void RamCloudClient::Read(TableId table, std::string key, ReadCallback done) {
 
 void RamCloudClient::Write(TableId table, std::string key, std::string value, DoneCallback done,
                            std::string secondary_key) {
-  const KeyHash hash = HashKey(key);
+  const KeyHash hash = HashKey(table, key);
   auto go = [this, table, key = std::move(key), hash, value = std::move(value),
              secondary_key = std::move(secondary_key)](std::function<void(Status, Tick)> report) {
     NodeId owner;
@@ -172,7 +172,7 @@ void RamCloudClient::Write(TableId table, std::string key, std::string value, Do
 }
 
 void RamCloudClient::Remove(TableId table, std::string key, DoneCallback done) {
-  const KeyHash hash = HashKey(key);
+  const KeyHash hash = HashKey(table, key);
   auto go = [this, table, key = std::move(key), hash](std::function<void(Status, Tick)> report) {
     NodeId owner;
     if (!CachedOwner(table, hash, &owner)) {
@@ -199,7 +199,7 @@ void RamCloudClient::MultiGet(TableId table, std::vector<std::string> keys, Done
     // measures: spread N means N parallel RPCs for the same 7 keys).
     std::map<NodeId, std::unique_ptr<MultiGetRequest>> groups;
     for (const auto& key : keys) {
-      const KeyHash hash = HashKey(key);
+      const KeyHash hash = HashKey(table, key);
       NodeId owner;
       if (!CachedOwner(table, hash, &owner)) {
         report(Status::kWrongServer, 0);

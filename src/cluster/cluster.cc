@@ -47,7 +47,7 @@ void Cluster::LoadTable(TableId table, uint64_t num_records, size_t key_length,
   const std::string value(value_length, 'v');
   for (uint64_t i = 0; i < num_records; i++) {
     const std::string key = MakeKey(i, key_length);
-    const KeyHash hash = HashKey(key);
+    const KeyHash hash = HashKey(table, key);
     const ServerId owner = coordinator_->OwnerOf(table, hash);
     assert(owner != kInvalidServerId);
     coordinator_->master(owner)->objects().Write(table, key, hash, value);

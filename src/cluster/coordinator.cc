@@ -30,6 +30,8 @@ Coordinator::Coordinator(Simulator* sim, RpcSystem* rpc, const CostModel* costs)
   });
   endpoint_->Register(Opcode::kMigrationHeartbeat,
                       [this](RpcContext c) { HandleMigrationHeartbeat(std::move(c)); });
+  endpoint_->Register(Opcode::kAbortMigration,
+                      [this](RpcContext c) { HandleAbortMigration(std::move(c)); });
   recovery_ = std::make_unique<RecoveryManager>(this);
 }
 
@@ -408,6 +410,34 @@ void Coordinator::HandleDropDependency(RpcContext context) {
   auto& request = context.As<DropDependencyRequest>();
   DropDependency(request.source, request.target, request.table);
   context.reply(std::make_unique<StatusResponse>());
+}
+
+void Coordinator::HandleAbortMigration(RpcContext context) {
+  // A migration target asks to abort its own in-flight migration (e.g. the
+  // tablet cannot fit its memory budget). Drive the same §3.4 lineage abort
+  // as the lease watchdog: ownership returns to the source and the target's
+  // log tail is replayed there, so no acked write is lost. Idempotent: once
+  // the dependency row is gone (already aborted, or never registered) the
+  // request is a no-op acked kOk — a re-driven duplicate must not fail.
+  auto& request = context.As<AbortMigrationRequest>();
+  const auto match = [&](const MigrationDependency& d) {
+    return d.source == request.source && d.target == request.target && d.table == request.table;
+  };
+  const auto it = std::find_if(dependencies_.begin(), dependencies_.end(), match);
+  if (it == dependencies_.end() || recovering_.contains(request.source) ||
+      recovering_.contains(request.target)) {
+    // Gone, or crash recovery already owns this dependency's fate.
+    context.reply(std::make_unique<StatusResponse>());
+    return;
+  }
+  const MigrationDependency dependency = *it;
+  budget_aborts_++;
+  LOG_INFO("coordinator: abort requested by target for source=%u target=%u table=%llu",
+           dependency.source, dependency.target,
+           static_cast<unsigned long long>(dependency.table));
+  auto shared = std::make_shared<RpcContext>(std::move(context));
+  recovery_->AbortMigrationToSource(
+      dependency, [shared] { shared->reply(std::make_unique<StatusResponse>()); });
 }
 
 void Coordinator::HandleMigrationHeartbeat(RpcContext context) {

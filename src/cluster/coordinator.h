@@ -139,6 +139,7 @@ class Coordinator {
   uint64_t crashes_detected() const { return crashes_detected_; }
   uint64_t stalled_migrations_aborted() const { return stalled_migrations_aborted_; }
   uint64_t stale_dependencies_dropped() const { return stale_dependencies_dropped_; }
+  uint64_t budget_aborts() const { return budget_aborts_; }
 
   // Hook installed by the migration library: called on the target master
   // when its inbound migration must abort (source crashed). Takes (target
@@ -159,6 +160,7 @@ class Coordinator {
   void HandleRegisterDependency(RpcContext context);
   void HandleDropDependency(RpcContext context);
   void HandleMigrationHeartbeat(RpcContext context);
+  void HandleAbortMigration(RpcContext context);
   void DetectorSweep();
   void DeclareDead(ServerId id);
   void CheckLeases();
@@ -181,6 +183,7 @@ class Coordinator {
   uint64_t crashes_detected_ = 0;
   uint64_t stalled_migrations_aborted_ = 0;
   uint64_t stale_dependencies_dropped_ = 0;
+  uint64_t budget_aborts_ = 0;  // Target-requested aborts (memory budget).
 };
 
 }  // namespace rocksteady

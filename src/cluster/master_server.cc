@@ -11,8 +11,12 @@ MasterServer::MasterServer(Coordinator* coordinator, const CostModel* costs,
     : coordinator_(coordinator),
       costs_(costs),
       config_(config),
-      objects_(ObjectManagerOptions{config.hash_table_log2_buckets, config.segment_size}) {
+      objects_(ObjectManagerOptions{config.hash_table_log2_buckets, config.segment_size}),
+      client_latency_(costs->latency_window_ns, costs->latency_window_buckets) {
   cores_ = std::make_unique<CoreSet>(&coordinator_->sim(), config.num_workers);
+  cores_->SetQueueBound(Priority::kClient, config.client_queue_hard_limit);
+  cores_->SetQueueBound(Priority::kReplication, config.replication_queue_bound);
+  cores_->SetQueueBound(Priority::kMigration, config.migration_queue_bound);
   endpoint_ = coordinator_->rpc().CreateEndpoint(cores_.get());
   id_ = coordinator_->RegisterMaster(this);
   replicas_ = std::make_unique<ReplicaManager>(&coordinator_->rpc(), id_, endpoint_->node());
@@ -64,7 +68,17 @@ Status MasterServer::CheckReadable(TableId table, KeyHash hash, Tick* retry_afte
   return Status::kOk;
 }
 
+void MasterServer::FillLoadHeader(SourceLoadHeader* load) {
+  load->valid = true;
+  load->client_queue_depth = static_cast<uint32_t>(cores_->QueuedTasks(Priority::kClient));
+  load->dispatch_backlog_ns = cores_->DispatchBacklog();
+  load->recent_p999_ns = RecentClientP999();
+}
+
 void MasterServer::HandleRead(RpcContext context) {
+  if (ShedIfOverloaded<ReadResponse>(&context)) {
+    return;
+  }
   auto& request = context.As<ReadRequest>();
 
   // Synchronous-PriorityPull mode (§4.4 comparison): the hook takes over
@@ -79,6 +93,7 @@ void MasterServer::HandleRead(RpcContext context) {
     }
   }
 
+  const Tick arrival = sim().now();
   auto shared = std::make_shared<RpcContext>(std::move(context));
   auto response = std::make_shared<ReadResponse>();
   cores_->EnqueueWorker(
@@ -102,10 +117,17 @@ void MasterServer::HandleRead(RpcContext context) {
          }
          return costs_->ReadCost(bytes);
        },
-       [shared, response] { shared->reply(std::make_unique<ReadResponse>(*response)); }});
+       [this, shared, response, arrival] {
+         RecordClientLatency(arrival);
+         shared->reply(std::make_unique<ReadResponse>(*response));
+       }});
 }
 
 void MasterServer::HandleWrite(RpcContext context) {
+  if (ShedIfOverloaded<WriteResponse>(&context)) {
+    return;
+  }
+  const Tick arrival = sim().now();
   auto shared = std::make_shared<RpcContext>(std::move(context));
   auto response = std::make_shared<WriteResponse>();
   auto ref = std::make_shared<LogRef>();
@@ -131,9 +153,10 @@ void MasterServer::HandleWrite(RpcContext context) {
          // Worker cost covers the append plus posting replication RPCs.
          return costs_->WriteCost(req.value.size()) + costs_->ReplicationSrcCost(entry_length);
        },
-       [this, shared, response, ref] {
+       [this, shared, response, ref, arrival] {
          auto& req = shared->As<WriteRequest>();
          if (response->status != Status::kOk) {
+           RecordClientLatency(arrival);
            shared->reply(std::make_unique<WriteResponse>(*response));
            return;
          }
@@ -158,8 +181,9 @@ void MasterServer::HandleWrite(RpcContext context) {
            }
          }
          // Durable write: ack only after replication (§2: ~15 us writes).
-         ReplicateEntry(*ref, [shared, response](Status status) {
+         ReplicateEntry(*ref, [this, shared, response, arrival](Status status) {
            response->status = status;
+           RecordClientLatency(arrival);
            shared->reply(std::make_unique<WriteResponse>(*response));
          });
        }});
@@ -176,6 +200,10 @@ void MasterServer::ReplicateEntry(LogRef ref, std::function<void(Status)> done) 
 }
 
 void MasterServer::HandleRemove(RpcContext context) {
+  if (ShedIfOverloaded<RemoveResponse>(&context)) {
+    return;
+  }
+  const Tick arrival = sim().now();
   auto shared = std::make_shared<RpcContext>(std::move(context));
   auto response = std::make_shared<RemoveResponse>();
   auto ref = std::make_shared<LogRef>();
@@ -201,21 +229,27 @@ void MasterServer::HandleRemove(RpcContext context) {
          }
          return costs_->WriteCost(0);
        },
-       [this, shared, response, ref] {
+       [this, shared, response, ref, arrival] {
          if (response->status != Status::kOk) {
+           RecordClientLatency(arrival);
            shared->reply(std::make_unique<RemoveResponse>(*response));
            return;
          }
          // The tombstone must be durable before the delete is acked, or
          // recovery would resurrect the object from the backups.
-         ReplicateEntry(*ref, [shared, response](Status status) {
+         ReplicateEntry(*ref, [this, shared, response, arrival](Status status) {
            response->status = status;
+           RecordClientLatency(arrival);
            shared->reply(std::make_unique<RemoveResponse>(*response));
          });
        }});
 }
 
 void MasterServer::HandleMultiGet(RpcContext context) {
+  if (ShedIfOverloaded<MultiGetResponse>(&context)) {
+    return;
+  }
+  const Tick arrival = sim().now();
   auto shared = std::make_shared<RpcContext>(std::move(context));
   auto response = std::make_shared<MultiGetResponse>();
   cores_->EnqueueWorker(
@@ -249,10 +283,17 @@ void MasterServer::HandleMultiGet(RpcContext context) {
          return costs_->ReadCost(bytes) +
                 costs_->multiget_per_key_ns * static_cast<Tick>(n > 0 ? n - 1 : 0);
        },
-       [shared, response] { shared->reply(std::make_unique<MultiGetResponse>(*response)); }});
+       [this, shared, response, arrival] {
+         RecordClientLatency(arrival);
+         shared->reply(std::make_unique<MultiGetResponse>(*response));
+       }});
 }
 
 void MasterServer::HandleMultiGetHash(RpcContext context) {
+  if (ShedIfOverloaded<MultiGetHashResponse>(&context)) {
+    return;
+  }
+  const Tick arrival = sim().now();
   auto shared = std::make_shared<RpcContext>(std::move(context));
   auto response = std::make_shared<MultiGetHashResponse>();
   cores_->EnqueueWorker(
@@ -286,7 +327,8 @@ void MasterServer::HandleMultiGetHash(RpcContext context) {
          return costs_->ReadCost(bytes) +
                 costs_->multiget_per_key_ns * static_cast<Tick>(n > 0 ? n - 1 : 0);
        },
-       [shared, response] {
+       [this, shared, response, arrival] {
+         RecordClientLatency(arrival);
          shared->reply(std::make_unique<MultiGetHashResponse>(*response));
        }});
 }
@@ -348,6 +390,16 @@ void MasterServer::HandleIndexInsert(RpcContext context) {
 
 void MasterServer::HandleBackupWrite(RpcContext context) {
   const bool bulk = context.As<BackupWriteRequest>().bulk;
+  // Admission control: past the queue bound, reject instead of queueing —
+  // the ReplicaManager re-issues with seeded backoff (backup writes are
+  // idempotent), so durability is preserved while the backlog drains.
+  if (cores_->QueueFull(bulk ? Priority::kMigration : Priority::kReplication)) {
+    replication_rejects_++;
+    auto response = std::make_unique<StatusResponse>();
+    response->status = Status::kRetryLater;
+    context.reply(std::move(response));
+    return;
+  }
   auto shared = std::make_shared<RpcContext>(std::move(context));
   cores_->EnqueueWorker(
       {bulk ? Priority::kMigration : Priority::kReplication,

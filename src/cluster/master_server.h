@@ -17,6 +17,7 @@
 #include "src/cluster/backup_service.h"
 #include "src/cluster/coordinator.h"
 #include "src/cluster/replica_manager.h"
+#include "src/common/timeseries.h"
 #include "src/index/indexlet.h"
 #include "src/rpc/rpc_system.h"
 #include "src/store/object_manager.h"
@@ -30,6 +31,27 @@ struct MasterConfig {
   int hash_table_log2_buckets = 20;
   size_t segment_size = kDefaultSegmentSize;
   int replication_factor = 3;
+
+  // --- Overload protection (admission control / load shedding). ---
+  // Per-priority worker-queue bounds (0 = unbounded). Past its bound,
+  // low-priority work is rejected with kRetryLater — migration pulls and
+  // bulk re-replication back off through the senders' seeded-jitter retry
+  // machinery instead of piling up. Client requests are shed only past the
+  // (much larger) hard limit; by then the server is hopelessly behind and
+  // queueing more would only inflate every queued request's latency.
+  size_t migration_queue_bound = 64;
+  size_t replication_queue_bound = 256;
+  size_t client_queue_hard_limit = 1024;
+
+  // --- Memory budget. ---
+  // Bytes of log memory (full segment capacities, *including* uncommitted
+  // side-log segments) this master may hold; 0 = unlimited. A migration
+  // target pauses pulls at the high watermark, runs emergency cleaning, and
+  // resumes below the low watermark; if cleaning cannot get under budget the
+  // migration aborts gracefully along the §3.4 lineage paths.
+  uint64_t memory_budget_bytes = 0;
+  double memory_high_watermark = 0.90;
+  double memory_low_watermark = 0.75;
 };
 
 class MasterServer {
@@ -107,6 +129,28 @@ class MasterServer {
   uint64_t reads_served() const { return reads_served_; }
   uint64_t writes_served() const { return writes_served_; }
 
+  // --- Overload protection. ---
+  // Shed/reject counters (bench summaries report these).
+  uint64_t client_sheds() const { return client_sheds_; }
+  uint64_t replication_rejects() const { return replication_rejects_; }
+  uint64_t migration_pull_rejects() const { return migration_pull_rejects_; }
+  void CountMigrationPullReject() { migration_pull_rejects_++; }
+
+  // Recent windowed p99.9 client service latency — the tail-latency signal
+  // piggybacked on pull replies for adaptive pacing.
+  Tick RecentClientP999() {
+    return static_cast<Tick>(client_latency_.RecentPercentile(sim().now(), 0.999));
+  }
+  // Fills the piggybacked source-load header on a pull reply.
+  void FillLoadHeader(SourceLoadHeader* load);
+
+  // Log memory held (full segment capacities, incl. uncommitted side-log
+  // segments) — what the memory budget is charged against.
+  uint64_t memory_in_use() const { return objects_.log().allocated_bytes(); }
+  // Runtime-adjustable (an operator resizing a master's allotment); the
+  // migration manager re-reads it at every watermark check.
+  void set_memory_budget(uint64_t bytes) { config_.memory_budget_bytes = bytes; }
+
  private:
   void RegisterHandlers();
   void HandleRead(RpcContext context);
@@ -118,6 +162,24 @@ class MasterServer {
   void HandleIndexInsert(RpcContext context);
   void HandleBackupWrite(RpcContext context);
   void HandleGetRecoveryData(RpcContext context);
+
+  // Load shedding: past the client hard limit, replies kRetryLater (with a
+  // backoff hint) instead of queueing. Returns true if the request was shed.
+  template <typename Response>
+  bool ShedIfOverloaded(RpcContext* context) {
+    if (!cores_->QueueFull(Priority::kClient)) {
+      return false;
+    }
+    client_sheds_++;
+    auto response = std::make_unique<Response>();
+    response->status = Status::kRetryLater;
+    context->reply(std::move(response));
+    return true;
+  }
+  // Records one client-visible op completion into the latency window.
+  void RecordClientLatency(Tick arrival) {
+    client_latency_.Record(sim().now(), sim().now() - arrival);
+  }
 
   // Shared read-path policy: checks tablet state for (table, hash).
   // Returns kOk to proceed locally, or the status to reply with
@@ -140,6 +202,10 @@ class MasterServer {
   bool crashed_ = false;
   uint64_t reads_served_ = 0;
   uint64_t writes_served_ = 0;
+  SlidingLatencyTracker client_latency_;
+  uint64_t client_sheds_ = 0;
+  uint64_t replication_rejects_ = 0;
+  uint64_t migration_pull_rejects_ = 0;
 };
 
 }  // namespace rocksteady

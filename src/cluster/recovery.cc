@@ -154,17 +154,67 @@ void RecoveryManager::AbortMigrationToSource(const MigrationDependency& dependen
   }
   coordinator_->DropDependency(dependency.source, dependency.target, dependency.table);
   // The source's copy is complete and immutable; it only needs the target's
-  // durable log tail (writes serviced post-transfer), fetched from backups.
-  Plan tail;
-  tail.recovery_master = source;
-  tail.ranges.push_back({dependency.table, dependency.start_hash, dependency.end_hash});
-  tail.data_of = dependency.target;
-  tail.min_segment = dependency.target_log_segment;
-  tail.min_offset = dependency.target_log_offset;
+  // log tail (writes serviced post-transfer).
   if (!done) {
     done = [] {};
   }
-  ExecutePlan(tail, std::move(done));
+  if (target->crashed()) {
+    // Target unreachable: fetch its durable tail from the backups.
+    Plan tail;
+    tail.recovery_master = source;
+    tail.ranges.push_back({dependency.table, dependency.start_hash, dependency.end_hash});
+    tail.data_of = dependency.target;
+    tail.min_segment = dependency.target_log_segment;
+    tail.min_offset = dependency.target_log_offset;
+    ExecutePlan(tail, std::move(done));
+    return;
+  }
+  // Live target: read the tail straight from its in-memory log. The backups
+  // may be missing a write whose replication is still in flight even though
+  // the target will ack it once that replication completes — but every write
+  // the target could ever ack is appended to its log before the ack, and the
+  // tablet removal above stops new appends, so the log itself is the
+  // complete set. Entries the cleaner relocated from below the dependency
+  // offset may reappear above it; the source's version comparison drops
+  // those as already-known.
+  auto tail_bytes = std::make_shared<std::vector<uint8_t>>();
+  auto tail_entries = std::make_shared<size_t>(0);
+  target->objects().log().ForEachEntry([&](LogRef ref, const LogEntryView& entry) {
+    if (ref.segment_id() < dependency.target_log_segment ||
+        (ref.segment_id() == dependency.target_log_segment &&
+         ref.offset() < dependency.target_log_offset)) {
+      return;
+    }
+    if (entry.type() != LogEntryType::kObject && entry.type() != LogEntryType::kTombstone) {
+      return;
+    }
+    if (entry.table_id() != dependency.table || entry.key_hash() < dependency.start_hash ||
+        entry.key_hash() > dependency.end_hash) {
+      return;
+    }
+    const uint8_t* data = nullptr;
+    size_t length = 0;
+    if (target->objects().log().RawEntry(ref, &data, &length)) {
+      tail_bytes->insert(tail_bytes->end(), data, data + length);
+      (*tail_entries)++;
+    }
+  });
+  auto finish = std::make_shared<std::function<void()>>(std::move(done));
+  source->cores().EnqueueWorker(
+      {Priority::kReplication,
+       [this, source, tail_bytes, tail_entries] {
+         size_t offset = 0;
+         while (offset < tail_bytes->size()) {
+           LogEntryView entry;
+           if (!ReadEntry(tail_bytes->data() + offset, tail_bytes->size() - offset, &entry)) {
+             break;
+           }
+           source->objects().Replay(entry, nullptr);
+           offset += entry.header.TotalLength();
+         }
+         return source->costs().ReplayCost(*tail_entries, tail_bytes->size());
+       },
+       [finish] { (*finish)(); }});
 }
 
 void RecoveryManager::ExecutePlan(const Plan& plan, std::function<void()> done) {

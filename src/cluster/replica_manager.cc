@@ -66,9 +66,14 @@ void ReplicaManager::SendToBackup(NodeId backup, uint32_t segment_id, uint32_t o
       owner_node_, backup, std::move(request),
       [this, backup, segment_id, offset, data, seal, bulk, attempt, sim,
        done = std::move(done)](Status status, std::unique_ptr<RpcResponse> response) mutable {
-        if (status == Status::kOk) {
+        if (status == Status::kOk && response->status != Status::kRetryLater) {
           done(response->status);
           return;
+        }
+        // Transport failure, or the backup's admission control shed the
+        // write (kRetryLater): both re-issue below with seeded backoff.
+        if (status == Status::kOk) {
+          status = response->status;
         }
         if (attempt >= kMaxBackupWriteAttempts) {
           done(status);

@@ -23,6 +23,15 @@ uint64_t Murmur3_64(const void* data, size_t length, uint64_t seed);
 
 inline KeyHash HashKey(std::string_view key) { return Murmur3_64(key.data(), key.size(), 0); }
 
+// Primary-key hash for a record of `table`. The master's hash table is keyed
+// by hash alone (across every table it hosts), so the table id must be mixed
+// in — otherwise the same key string in two co-located tables collides and
+// the higher-versioned record silently shadows the other. Matches RAMCloud,
+// which hashes (tableId, key) together. Table 0 degenerates to HashKey(key).
+inline KeyHash HashKey(TableId table, std::string_view key) {
+  return Murmur3_64(key.data(), key.size(), table);
+}
+
 // Fast 64->64 bit mix (SplitMix64 finalizer). Used for bucket index
 // scrambling and synthetic key generation.
 constexpr uint64_t Mix64(uint64_t x) {

@@ -50,6 +50,57 @@ void UtilizationTimeline::AddBusy(Tick start, Tick duration) {
   }
 }
 
+SlidingLatencyTracker::SlidingLatencyTracker(Tick bucket_span, size_t num_buckets)
+    : bucket_span_(bucket_span) {
+  assert(bucket_span > 0);
+  assert(num_buckets > 0);
+  buckets_.resize(num_buckets);
+}
+
+void SlidingLatencyTracker::Advance(Tick now) {
+  const uint64_t target = static_cast<uint64_t>(now / bucket_span_);
+  if (target <= current_) {
+    return;
+  }
+  if (target - current_ >= buckets_.size()) {
+    // Quiet period longer than the whole ring: everything is stale.
+    for (auto& bucket : buckets_) {
+      bucket.Reset();
+    }
+  } else {
+    for (uint64_t i = current_ + 1; i <= target; ++i) {
+      buckets_[i % buckets_.size()].Reset();
+    }
+  }
+  current_ = target;
+}
+
+void SlidingLatencyTracker::Record(Tick now, Tick latency) {
+  Advance(now);
+  buckets_[current_ % buckets_.size()].Record(latency);
+}
+
+uint64_t SlidingLatencyTracker::RecentPercentile(Tick now, double q) {
+  Advance(now);
+  Histogram merged;
+  for (const auto& bucket : buckets_) {
+    merged.Merge(bucket);
+  }
+  if (merged.count() == 0) {
+    return 0;
+  }
+  return merged.Percentile(q);
+}
+
+uint64_t SlidingLatencyTracker::RecentCount(Tick now) {
+  Advance(now);
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.count();
+  }
+  return total;
+}
+
 CounterTimeline::CounterTimeline(Tick window, size_t max_windows) : window_(window) {
   assert(window > 0);
   counts_.resize(max_windows, 0);

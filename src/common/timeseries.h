@@ -62,6 +62,36 @@ class UtilizationTimeline {
   std::vector<uint64_t> busy_;
 };
 
+// Sliding-window latency tracker for overload signals. Unlike
+// LatencyTimeline (which keeps every window of a run for plotting), this
+// keeps only the last `num_buckets` sub-windows of `bucket_span` simulated
+// time each, recycled in place, and answers "recent p99.9" over them —
+// constant memory regardless of run length. The source piggybacks this
+// signal on pull replies so the migration target can pace itself (§4.2's
+// "adaptively... based on load").
+class SlidingLatencyTracker {
+ public:
+  SlidingLatencyTracker(Tick bucket_span, size_t num_buckets);
+
+  void Record(Tick now, Tick latency);
+
+  // Percentile over samples from roughly the last bucket_span * num_buckets
+  // of simulated time. Returns 0 when no recent samples exist.
+  uint64_t RecentPercentile(Tick now, double q);
+  uint64_t RecentCount(Tick now);
+
+  Tick span() const { return bucket_span_ * static_cast<Tick>(buckets_.size()); }
+
+ private:
+  // Rotates the ring forward so every slot holds a window overlapping
+  // [now - span, now]; skipped-over slots are reset.
+  void Advance(Tick now);
+
+  Tick bucket_span_;
+  std::vector<Histogram> buckets_;
+  uint64_t current_ = 0;  // Absolute index (now / bucket_span_) of the newest slot.
+};
+
 // Per-window scalar accumulation (e.g. bytes migrated per window).
 class CounterTimeline {
  public:

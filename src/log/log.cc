@@ -181,6 +181,17 @@ uint64_t Log::total_bytes() const {
   return total;
 }
 
+uint64_t Log::allocated_bytes() const {
+  // Sum over the registry (main + uncommitted side segments). Iteration
+  // order of the unordered map is unspecified, but a sum is
+  // order-independent, so this stays deterministic.
+  uint64_t total = 0;
+  for (const auto& [id, segment] : registry_) {
+    total += segment->capacity();
+  }
+  return total;
+}
+
 void Log::AuditInvariants(AuditReport* report) const {
   uint32_t previous_id = 0;
   for (size_t i = 0; i < segments_.size(); i++) {

@@ -113,6 +113,11 @@ class Log {
   size_t segment_size() const { return segment_size_; }
   uint64_t live_bytes() const;
   uint64_t total_bytes() const;
+  // Memory actually held: full segment capacity of every live segment,
+  // *including* uncommitted side-log segments (unlike live/total_bytes,
+  // which cover only the main log). This is what a memory budget is charged
+  // against — a migration target's side logs occupy DRAM before commit.
+  uint64_t allocated_bytes() const;
 
   // Observer invoked with (ref, entry) after every append to the main log
   // (not side logs); the ReplicaManager hooks this to replicate new data.

@@ -75,4 +75,33 @@ size_t LogCleaner::CleanOnce(size_t max_segments) {
   return cleaned;
 }
 
+std::optional<uint32_t> LogCleaner::SelectEmergencyVictim() const {
+  uint64_t best_dead = 0;
+  std::optional<uint32_t> best;
+  for (const auto& segment : log_->segments()) {
+    if (!segment->sealed()) {
+      continue;  // Never clean the head.
+    }
+    const uint64_t dead = segment->capacity() - segment->live_bytes();
+    if (dead > best_dead) {
+      best_dead = dead;
+      best = segment->id();
+    }
+  }
+  return best;
+}
+
+size_t LogCleaner::EmergencyClean(size_t max_segments) {
+  size_t cleaned = 0;
+  for (size_t i = 0; i < max_segments; i++) {
+    const auto victim = SelectEmergencyVictim();
+    if (!victim.has_value() || !CleanSegment(*victim)) {
+      break;
+    }
+    cleaned++;
+    emergency_cleans_++;
+  }
+  return cleaned;
+}
+
 }  // namespace rocksteady

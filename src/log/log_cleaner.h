@@ -35,9 +35,22 @@ class LogCleaner {
   // Cleans up to `max_segments` victims. Returns segments actually cleaned.
   size_t CleanOnce(size_t max_segments = 1);
 
+  // Memory-pressure path: picks the sealed segment with the most dead bytes
+  // — the goal is reclaiming memory *now*, not amortizing cleaning
+  // bandwidth, so the cost-benefit age term is irrelevant. Side-log segments
+  // adopted at a migration commit sit in the main segment list (sealed), so
+  // they are eligible victims like any other. Segments with no dead bytes
+  // are never picked: relocating a fully-live segment frees nothing.
+  std::optional<uint32_t> SelectEmergencyVictim() const;
+  // Cleans up to `max_segments` emergency victims; returns segments cleaned
+  // (0 when no segment has any dead bytes — cleaning is futile and the
+  // caller must shed load or abort instead).
+  size_t EmergencyClean(size_t max_segments = 1);
+
   uint64_t bytes_relocated() const { return bytes_relocated_; }
   uint64_t entries_relocated() const { return entries_relocated_; }
   uint64_t segments_cleaned() const { return segments_cleaned_; }
+  uint64_t emergency_cleans() const { return emergency_cleans_; }
 
  private:
   bool CleanSegment(uint32_t segment_id);
@@ -47,6 +60,7 @@ class LogCleaner {
   uint64_t bytes_relocated_ = 0;
   uint64_t entries_relocated_ = 0;
   uint64_t segments_cleaned_ = 0;
+  uint64_t emergency_cleans_ = 0;
 };
 
 }  // namespace rocksteady

@@ -70,6 +70,11 @@ class PriorityPullManager {
   bool in_flight_ = false;
   bool shutdown_ = false;
   int consecutive_failures_ = 0;
+  // All three are bounded by the migrating tablet's distinct key hashes and
+  // die with the manager at commit/abort: pending_ is deduped through
+  // scheduled_ and drained max_batch entries per batch, scheduled_ entries
+  // are erased when their record replays (or proves absent), and
+  // known_absent_ only ever holds hashes the source answered "not found".
   std::deque<KeyHash> pending_;
   std::unordered_set<KeyHash> scheduled_;  // Pending or in flight (dedup).
   std::unordered_set<KeyHash> known_absent_;

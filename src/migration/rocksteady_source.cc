@@ -41,6 +41,19 @@ void HandlePrepareMigration(MasterServer* master, RpcContext context) {
 }
 
 void HandlePull(MasterServer* master, RpcContext context) {
+  // Admission control: past the migration-queue bound, reject at dispatch
+  // with kRetryLater and a retry hint — the target's pacing controller backs
+  // off instead of the pull piling onto an already-saturated source. The
+  // load header still goes out so the target sees *why*.
+  if (master->cores().QueueFull(Priority::kMigration)) {
+    master->CountMigrationPullReject();
+    auto rejected = std::make_unique<PullResponse>();
+    rejected->status = Status::kRetryLater;
+    rejected->retry_after = master->sim().now() + master->costs().overload_retry_hint_ns;
+    master->FillLoadHeader(&rejected->load);
+    context.reply(std::move(rejected));
+    return;
+  }
   auto shared = std::make_shared<RpcContext>(std::move(context));
   auto response = std::make_shared<PullResponse>();
   master->cores().EnqueueWorker(
@@ -79,13 +92,15 @@ void HandlePull(MasterServer* master, RpcContext context) {
          response->done = cursor >= req.bucket_end;
          return master->costs().PullCost(records, bytes);
        },
-       [shared, response] {
+       [master, shared, response] {
          auto out = std::make_unique<PullResponse>();
          out->status = response->status;
          out->records = std::move(response->records);
          out->record_count = response->record_count;
          out->next_cursor = response->next_cursor;
          out->done = response->done;
+         // Piggyback the source-load signals the pacing controller reads.
+         master->FillLoadHeader(&out->load);
          shared->reply(std::move(out));
        }});
 }
@@ -120,12 +135,13 @@ void HandlePriorityPull(MasterServer* master, RpcContext context) {
          return master->costs().PriorityPullCost(req.hashes.size()) +
                 static_cast<Tick>(master->costs().pull_per_byte_ns * static_cast<double>(bytes));
        },
-       [shared, response] {
+       [master, shared, response] {
          auto out = std::make_unique<PriorityPullResponse>();
          out->status = response->status;
          out->records = std::move(response->records);
          out->record_count = response->record_count;
          out->not_found = std::move(response->not_found);
+         master->FillLoadHeader(&out->load);
          shared->reply(std::move(out));
        }});
 }

@@ -85,7 +85,10 @@ void RocksteadyMigrationManager::ControlCall(
 }
 
 void RocksteadyMigrationManager::HeartbeatLoop() {
-  if (finished_ || aborted_ || target_->crashed()) {
+  // Once a budget abort has been requested, stop renewing the lease: if the
+  // coordinator is unreachable the lease watchdog becomes the abort path of
+  // last resort, and keeping the lease alive would wedge the migration.
+  if (finished_ || aborted_ || abort_requested_ || target_->crashed()) {
     return;
   }
   auto heartbeat = std::make_unique<MigrationHeartbeatRequest>();
@@ -230,6 +233,12 @@ void RocksteadyMigrationManager::SetUpPartitions(uint64_t num_buckets) {
   }
   // One extra side log for PriorityPull replay.
   side_logs_.push_back(std::make_unique<SideLog>(&target_->objects().log()));
+  // Pacing starts at full aggressiveness (window = every partition, full
+  // byte budget): with no overload signal the schedule is identical to the
+  // unpaced protocol, which is what makes adaptive pacing safe to default on.
+  pacing_window_ = partitions_.size();
+  pacing_budget_ = options_.pull_budget_bytes;
+  next_partition_ = 0;
 }
 
 void RocksteadyMigrationManager::StartRound(Version min_version) {
@@ -245,15 +254,79 @@ void RocksteadyMigrationManager::StartRound(Version min_version) {
 }
 
 void RocksteadyMigrationManager::PumpPulls() {
-  if (aborted_ || !options_.background_pulls) {
+  if (aborted_ || abort_requested_ || !options_.background_pulls) {
     return;
   }
-  for (size_t i = 0; i < partitions_.size(); i++) {
+  if (memory_paused_) {
+    return;  // The emergency-clean loop re-pumps once below the low watermark.
+  }
+  if (CheckMemoryBudget()) {
+    return;  // Just entered the pause.
+  }
+  // Issue pulls round-robin from a rotating cursor so a shrunken pacing
+  // window still serves every partition fairly instead of starving the
+  // high-numbered ones.
+  //
+  // Under a memory budget, additionally cap concurrency by the headroom
+  // left below the high watermark: each in-flight pull can allocate at most
+  // one fresh side-log segment, so never keeping more pulls outstanding
+  // than whole segments of headroom bounds the overshoot past the
+  // watermark to roughly one segment.
+  size_t window = pacing_window_;
+  const uint64_t budget = target_->config().memory_budget_bytes;
+  if (budget != 0) {
+    const uint64_t high = static_cast<uint64_t>(
+        static_cast<double>(budget) * target_->config().memory_high_watermark);
+    const uint64_t in_use = target_->memory_in_use();
+    const uint64_t headroom = high > in_use ? high - in_use : 0;
+    window = std::min<size_t>(
+        window,
+        std::max<size_t>(1, headroom / target_->objects().log().segment_size()));
+  }
+  const size_t n = partitions_.size();
+  const size_t base = next_partition_;
+  size_t in_flight = InFlightPulls();
+  for (size_t step = 0; step < n && in_flight < window; step++) {
+    const size_t i = (base + step) % n;
     Partition& partition = partitions_[i];
     if (!partition.pull_in_flight && !partition.source_exhausted &&
         partition.replay_backlog < options_.max_replay_backlog) {
       IssuePull(i);
+      in_flight++;
+      next_partition_ = (i + 1) % n;
     }
+  }
+}
+
+size_t RocksteadyMigrationManager::InFlightPulls() const {
+  size_t count = 0;
+  for (const auto& partition : partitions_) {
+    count += partition.pull_in_flight ? 1 : 0;
+  }
+  return count;
+}
+
+void RocksteadyMigrationManager::OnLoadSignal(const SourceLoadHeader& load, bool rejected) {
+  if (!options_.adaptive_pacing || partitions_.empty()) {
+    return;
+  }
+  const bool overloaded =
+      rejected || (load.valid &&
+                   (load.client_queue_depth >= options_.pacing_queue_threshold ||
+                    load.dispatch_backlog_ns >= options_.pacing_backlog_threshold_ns ||
+                    load.recent_p999_ns >= options_.pacing_p999_threshold_ns));
+  if (overloaded) {
+    // Multiplicative decrease: halve concurrency and per-pull bytes.
+    pacing_window_ = std::max<size_t>(1, pacing_window_ / 2);
+    pacing_budget_ = std::max(options_.min_pull_budget_bytes, pacing_budget_ / 2);
+    stats_.pacing_backoffs++;
+  } else {
+    // Additive increase back toward full aggressiveness.
+    if (pacing_window_ < partitions_.size()) {
+      pacing_window_++;
+    }
+    pacing_budget_ = std::min(options_.pull_budget_bytes,
+                              pacing_budget_ + options_.pull_budget_increment_bytes);
   }
 }
 
@@ -272,7 +345,7 @@ void RocksteadyMigrationManager::IssuePull(size_t partition_index) {
     request->bucket_begin = partition.bucket_begin;
     request->bucket_end = partition.bucket_end;
     request->cursor = partition.cursor;
-    request->budget_bytes = options_.pull_budget_bytes;
+    request->budget_bytes = pacing_budget_;
     request->min_version = round_min_version_;
     target_->rpc().Call(
         target_->node(), source_node_, std::move(request),
@@ -314,6 +387,40 @@ void RocksteadyMigrationManager::OnPullResponse(size_t partition_index,
                                                 std::unique_ptr<PullResponse> response) {
   Partition& partition = partitions_[partition_index];
   partition.pull_in_flight = false;
+  if (response->status == Status::kRetryLater) {
+    // The source's admission control shed this pull at dispatch: the cursor
+    // did not move and no bytes came back. Treat it as the strongest
+    // congestion signal, then retry at the source's hint plus seeded jitter
+    // (through PumpPulls, so the shrunken window decides who goes first).
+    stats_.pull_rejections++;
+    OnLoadSignal(response->load, /*rejected=*/true);
+    const Tick resume_at = std::max(response->retry_after, target_->sim().now());
+    const Tick jitter = target_->sim().rng().Uniform(target_->costs().retry_backoff_min_ns);
+    target_->sim().At(resume_at + jitter, [this] {
+      if (aborted_ || target_->crashed()) {
+        return;
+      }
+      PumpPulls();
+    });
+    return;
+  }
+  if (response->status != Status::kOk) {
+    // The source delivered an error (e.g. it lost the tablet to recovery
+    // mid-pull). Bounded re-drive, same as a transport failure.
+    if (++partition.pull_retries <= kMaxPullRetries) {
+      target_->sim().After(target_->costs().recovering_retry_hint_ns, [this, partition_index] {
+        if (aborted_ || target_->crashed()) {
+          return;
+        }
+        Partition& retry = partitions_[partition_index];
+        if (!retry.pull_in_flight && !retry.source_exhausted) {
+          PumpPulls();
+        }
+      });
+    }
+    return;
+  }
+  OnLoadSignal(response->load, /*rejected=*/false);
   // §3.1.1: the frontier over the source's hash buckets is monotonic — a
   // Pull response can only advance this partition's cursor, never rewind it
   // (a rewind would re-migrate records and shadow newer versions).
@@ -390,7 +497,145 @@ void RocksteadyMigrationManager::OnPullResponse(size_t partition_index,
   OnRoundComplete();
 }
 
+bool RocksteadyMigrationManager::CheckMemoryBudget() {
+  const uint64_t budget = target_->config().memory_budget_bytes;
+  if (budget == 0) {
+    return false;
+  }
+  const uint64_t in_use = target_->memory_in_use();
+  const auto high = static_cast<uint64_t>(target_->config().memory_high_watermark *
+                                          static_cast<double>(budget));
+  if (in_use < high) {
+    return false;
+  }
+  EnterMemoryPause();
+  return true;
+}
+
+void RocksteadyMigrationManager::EnterMemoryPause() {
+  if (memory_paused_ || aborted_ || finished_) {
+    return;
+  }
+  memory_paused_ = true;
+  futile_cleans_ = 0;
+  pause_min_in_use_ = target_->memory_in_use();
+  stats_.memory_pauses++;
+  LOG_INFO("migration: target %u over memory high watermark (%llu in use), pausing pulls",
+           target_->id(), static_cast<unsigned long long>(pause_min_in_use_));
+  ScheduleEmergencyClean();
+}
+
+void RocksteadyMigrationManager::ScheduleEmergencyClean() {
+  // Emergency cleaning runs as migration-priority worker work charged its
+  // modeled cost, so it competes with replay for idle workers rather than
+  // happening for free.
+  auto cleaned = std::make_shared<size_t>(0);
+  target_->cores().EnqueueWorker(
+      {Priority::kMigration,
+       [this, cleaned] {
+         const uint64_t before = target_->objects().cleaner().bytes_relocated();
+         *cleaned = target_->objects().RunEmergencyCleaner(1);
+         const uint64_t relocated = target_->objects().cleaner().bytes_relocated() - before;
+         return target_->costs().CleanSegmentCost(static_cast<size_t>(relocated));
+       },
+       [this, cleaned] {
+         cleaned_last_ = *cleaned;
+         stats_.emergency_clean_segments += *cleaned;
+         OnEmergencyCleanDone();
+       }});
+}
+
+void RocksteadyMigrationManager::OnEmergencyCleanDone() {
+  if (aborted_ || finished_ || abort_requested_ || target_->crashed()) {
+    return;
+  }
+  const uint64_t budget = target_->config().memory_budget_bytes;
+  const uint64_t in_use = target_->memory_in_use();
+  const auto low = static_cast<uint64_t>(target_->config().memory_low_watermark *
+                                         static_cast<double>(budget));
+  if (in_use <= low) {
+    memory_paused_ = false;
+    LOG_INFO("migration: target %u back under low watermark (%llu in use), resuming pulls",
+             target_->id(), static_cast<unsigned long long>(in_use));
+    ManagerTick([this] { PumpPulls(); });
+    return;
+  }
+  // Still over the low watermark. "Progress" means a new in-use minimum for
+  // this pause — that covers both a pass that cleaned nothing and one that
+  // cleaned a segment yet freed no net memory (e.g. relocations re-filled
+  // the head as fast as victims were reclaimed).
+  if (in_use < pause_min_in_use_) {
+    pause_min_in_use_ = in_use;
+    futile_cleans_ = 0;
+  } else if (++futile_cleans_ >= kMaxFutileCleans) {
+    AbortOverBudget();
+    return;
+  }
+  ScheduleEmergencyClean();
+}
+
+void RocksteadyMigrationManager::DrainToBudget() {
+  const uint64_t budget = target_->config().memory_budget_bytes;
+  if (budget == 0 || target_->crashed() || target_->memory_in_use() <= budget) {
+    return;
+  }
+  const uint64_t before_in_use = target_->memory_in_use();
+  auto cleaned = std::make_shared<size_t>(0);
+  target_->cores().EnqueueWorker(
+      {Priority::kMigration,
+       [this, cleaned] {
+         const uint64_t before = target_->objects().cleaner().bytes_relocated();
+         *cleaned = target_->objects().RunEmergencyCleaner(1);
+         const uint64_t relocated = target_->objects().cleaner().bytes_relocated() - before;
+         return target_->costs().CleanSegmentCost(static_cast<size_t>(relocated));
+       },
+       [this, cleaned, before_in_use] {
+         stats_.emergency_clean_segments += *cleaned;
+         // Recurse only while memory actually shrinks: a fully-packed log
+         // relocates as many bytes as it frees, and looping on that would
+         // never terminate.
+         if (*cleaned > 0 && target_->memory_in_use() < before_in_use) {
+           DrainToBudget();
+         }
+       }});
+}
+
+void RocksteadyMigrationManager::AbortOverBudget() {
+  if (aborted_ || finished_ || abort_requested_) {
+    return;
+  }
+  abort_requested_ = true;
+  stats_.aborted_over_budget = true;
+  LOG_INFO("migration: tablet does not fit target %u's memory budget, aborting to source",
+           target_->id());
+  if (options_.mode == MigrationMode::kSourceOwns) {
+    // Pre-copy mode: the source never stopped owning or serving the tablet;
+    // dropping our partial copy is the whole abort.
+    Abort();
+    return;
+  }
+  // Ownership-transfer mode: ask the coordinator to drive the §3.4 lineage
+  // abort (ownership back to the source, our durable log tail replayed there
+  // from backups — acked writes survive). On success the coordinator's abort
+  // path re-enters this manager through the abort_inbound_migration hook. If
+  // the coordinator stays unreachable past the re-drive budget, the stopped
+  // heartbeats let the lease watchdog abort the migration instead.
+  auto make_abort = [this]() -> std::unique_ptr<RpcRequest> {
+    auto abort = std::make_unique<AbortMigrationRequest>();
+    abort->source = source_;
+    abort->target = target_->id();
+    abort->table = table_;
+    return abort;
+  };
+  ControlCall(target_->coordinator().node(), std::move(make_abort),
+              [](Status, std::unique_ptr<RpcResponse>) {}, /*attempt=*/1);
+}
+
 void RocksteadyMigrationManager::AuditInvariants(AuditReport* report) const {
+  if (!partitions_.empty() && (pacing_window_ < 1 || pacing_window_ > partitions_.size())) {
+    report->Fail("migration: pacing window %zu outside [1, %zu]", pacing_window_,
+                 partitions_.size());
+  }
   for (size_t i = 0; i < partitions_.size(); i++) {
     const Partition& partition = partitions_[i];
     if (partition.bucket_begin > partition.bucket_end) {
@@ -610,6 +855,9 @@ void RocksteadyMigrationManager::CommitAndComplete() {
   if (done_) {
     done_(stats_);
   }
+  // The adopted side segments' fragmented tails just became cleanable;
+  // consolidate until the target is back under its budget.
+  DrainToBudget();
 }
 
 void RocksteadyMigrationManager::Abort() {

@@ -52,6 +52,20 @@ struct RocksteadyOptions {
   // Max un-replayed pull responses per partition before pulls pause (the
   // "built-in flow control", §3.1.2).
   size_t max_replay_backlog = 2;
+
+  // --- Adaptive pull pacing (AIMD over the source-load header). ---
+  // The target reads the signals the source piggybacks on pull replies.
+  // When any signal crosses its threshold (or a pull is shed outright), the
+  // pacing window (concurrent pulls) and per-pull byte budget shrink
+  // multiplicatively; every healthy reply grows them back additively toward
+  // full aggressiveness. An unloaded source never trips a threshold, so
+  // pacing leaves a quiet migration's schedule untouched.
+  bool adaptive_pacing = true;
+  Tick pacing_p999_threshold_ns = 200'000;
+  uint32_t pacing_queue_threshold = 16;
+  Tick pacing_backlog_threshold_ns = 50'000;
+  uint32_t min_pull_budget_bytes = 4 * 1024;
+  uint32_t pull_budget_increment_bytes = 2 * 1024;
 };
 
 struct MigrationStats {
@@ -64,6 +78,12 @@ struct MigrationStats {
   uint64_t priority_pull_records = 0;
   uint64_t rereplicated_bytes = 0;
   uint64_t rounds = 0;  // Pre-copy mode: pull rounds (1 + deltas).
+  // Overload / memory-pressure bookkeeping.
+  uint64_t pacing_backoffs = 0;          // AIMD multiplicative decreases.
+  uint64_t pull_rejections = 0;          // Pulls shed by source admission control.
+  uint64_t memory_pauses = 0;            // High-watermark pull pauses.
+  uint64_t emergency_clean_segments = 0; // Segments reclaimed while paused.
+  bool aborted_over_budget = false;      // Tablet did not fit the budget.
   // When the last Pull completed (before end-of-migration replication /
   // commit); isolates transfer speed from the lazy-replication epilogue.
   Tick last_pull_time = 0;
@@ -94,6 +114,12 @@ class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
   const MigrationStats& stats() const { return stats_; }
   bool finished() const { return finished_; }
   bool aborted() const { return aborted_; }
+
+  // Overload-protection introspection (tests and bench summaries).
+  size_t pacing_window() const { return pacing_window_; }
+  uint32_t pacing_budget() const { return pacing_budget_; }
+  bool memory_paused() const { return memory_paused_; }
+  bool abort_requested() const { return abort_requested_; }
 
   // Coarse progress marker for tests that inject a fault at a specific
   // point in the protocol (e.g. "source crash after ownership transfer,
@@ -137,6 +163,10 @@ class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
   // drop/release) is re-issued this many times across crash-restart windows.
   static constexpr int kMaxControlAttempts = 10;
 
+  // Emergency-clean passes in a row with no net memory reduction before the
+  // manager concludes the tablet cannot fit the budget and aborts.
+  static constexpr int kMaxFutileCleans = 4;
+
   // Runs `fn` as a migration-manager continuation on the dispatch core.
   void ManagerTick(std::function<void()> fn);
 
@@ -162,6 +192,29 @@ class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
   void FinishLazyReplication();
   void CommitAndComplete();
 
+  // --- Adaptive pacing (AIMD). ---
+  size_t InFlightPulls() const;
+  // Feeds one source-load observation into the controller. `rejected` marks
+  // a pull shed by the source's admission control (always a backoff).
+  void OnLoadSignal(const SourceLoadHeader& load, bool rejected);
+
+  // --- Memory budget. ---
+  // True if pulls must not proceed: the high watermark was crossed and the
+  // manager entered the pause/emergency-clean loop.
+  bool CheckMemoryBudget();
+  void EnterMemoryPause();
+  void ScheduleEmergencyClean();
+  void OnEmergencyCleanDone();
+  // The tablet cannot fit even after cleaning: graceful abort along the
+  // §3.4 lineage paths via the coordinator (source keeps ownership, our
+  // durable log tail is replayed there — no acked write lost).
+  void AbortOverBudget();
+  // Post-commit sweep: committing adopts the side-log segments into the
+  // main log, which makes their fragmented tails cleanable for the first
+  // time; keeps emergency-cleaning one segment at a time until the target
+  // is back under its budget (or cleaning stops making progress).
+  void DrainToBudget();
+
   MasterServer* target_;
   TableId table_;
   KeyHash start_hash_;
@@ -182,6 +235,19 @@ class RocksteadyMigrationManager : public MasterServer::MigrationHooks {
   bool finished_ = false;
   bool aborted_ = false;
   Phase phase_ = Phase::kStarting;
+
+  // Adaptive-pacing state (set up with the partitions; at full
+  // aggressiveness these reproduce the unpaced schedule exactly).
+  size_t pacing_window_ = 0;    // Max concurrent pulls.
+  uint32_t pacing_budget_ = 0;  // Current per-pull byte budget.
+  size_t next_partition_ = 0;   // Round-robin fairness under a small window.
+
+  // Memory-budget state.
+  bool memory_paused_ = false;
+  bool abort_requested_ = false;
+  int futile_cleans_ = 0;
+  uint64_t pause_min_in_use_ = 0;  // Lowest in-use seen this pause (progress test).
+  size_t cleaned_last_ = 0;        // Segments reclaimed by the last clean pass.
 };
 
 // Installs kMigrateTablet + all source-side handlers on `master`. Any

@@ -38,6 +38,7 @@ enum class Opcode : uint8_t {
   kUpdateOwnership,
   kPing,                // Coordinator -> server: failure detector probe.
   kMigrationHeartbeat,  // Target manager -> coordinator: lease renewal.
+  kAbortMigration,      // Target manager -> coordinator: abort gracefully.
   // Rocksteady migration.
   kMigrateTablet,     // Client -> target: start migration.
   kPrepareMigration,  // Target -> source: mark tablet immutable, get horizon.
@@ -67,6 +68,17 @@ struct RpcResponse {
   virtual std::unique_ptr<RpcResponse> Clone() const = 0;
 
   Status status = Status::kOk;
+};
+
+// Source-load signals piggybacked on pull replies (adaptive pacing, §4.2):
+// the migration target reads these to modulate its in-flight pull count and
+// per-pull byte budget with an AIMD controller, backing off when client tail
+// latency at the source degrades and ramping up when headroom returns.
+struct SourceLoadHeader {
+  bool valid = false;                // Set by sources that fill the header.
+  uint32_t client_queue_depth = 0;   // Queued kClient-priority worker tasks.
+  Tick dispatch_backlog_ns = 0;      // How far behind the dispatch core is.
+  Tick recent_p999_ns = 0;           // Recent windowed p99.9 client latency.
 };
 
 // Every concrete response type declares itself copy-cloneable with this.
@@ -323,6 +335,21 @@ struct MigrationHeartbeatRequest : RpcRequest {
   size_t WireSize() const override { return kRpcHeaderBytes + 16; }
 };
 
+struct AbortMigrationRequest : RpcRequest {
+  // Target manager -> coordinator: the target cannot finish (e.g. the tablet
+  // does not fit its memory budget even after emergency cleaning) and asks
+  // for a graceful abort along the §3.4 lineage paths: ownership returns to
+  // the source and the target's durable log tail (which holds every acked
+  // write since the switch) is replayed there. Identified by the dependency
+  // edge, like the heartbeat.
+  ServerId source = 0;
+  ServerId target = 0;
+  TableId table = 0;
+
+  Opcode op() const override { return Opcode::kAbortMigration; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 16; }
+};
+
 // ------------------------------------------------- Rocksteady migration.
 
 struct MigrateTabletRequest : RpcRequest {
@@ -385,6 +412,11 @@ struct PullResponse : RpcResponse {
   uint32_t record_count = 0;
   uint64_t next_cursor = 0;
   bool done = false;  // Partition exhausted.
+  // Piggybacked source-load signals (adaptive pacing).
+  SourceLoadHeader load;
+  // For Status::kRetryLater (admission control shed the pull): absolute
+  // simulated time after which the target should re-issue.
+  Tick retry_after = 0;
 
   size_t WireSize() const override { return kRpcHeaderBytes + records.size() + 16; }
   ROCKSTEADY_CLONEABLE_RESPONSE(PullResponse)
@@ -404,6 +436,8 @@ struct PriorityPullResponse : RpcResponse {
   // Hashes with no record at the source: authoritatively absent (the
   // migrating tablet is immutable at the source).
   std::vector<KeyHash> not_found;
+  // Piggybacked source-load signals (adaptive pacing).
+  SourceLoadHeader load;
 
   size_t WireSize() const override {
     return kRpcHeaderBytes + records.size() + not_found.size() * 8;

@@ -161,6 +161,7 @@ void RpcEndpoint::Execute(NodeId from, std::shared_ptr<RpcRequest> request, uint
   DedupEntry& entry = dedup_[call_id];
   entry.epoch = CurrentEpoch();
   entry.done = false;
+  dedup_created_.emplace_back(system_->sim()->now(), call_id);
 
   const Handler& handler = handler_it->second;
   RpcContext context;
@@ -207,6 +208,27 @@ void RpcEndpoint::PruneDedup() {
         it != dedup_.end() && it->second.done) {
       dedup_.erase(it);
     }
+  }
+  // Entries that never completed — the execution was wiped by a crash, so no
+  // reply (and no dedup_fifo_ record) ever happened — would otherwise sit in
+  // dedup_ forever. Expire them from the creation-time fifo once past the
+  // retention horizon; an entry still executing in the *current* epoch is
+  // genuinely in flight and is re-armed for a later look instead.
+  while (!dedup_created_.empty() && dedup_created_.front().first + retention < now) {
+    const uint64_t call_id = dedup_created_.front().second;
+    dedup_created_.pop_front();
+    auto it = dedup_.find(call_id);
+    if (it == dedup_.end()) {
+      continue;  // Already expired via the completion fifo.
+    }
+    if (it->second.done) {
+      continue;  // The completion fifo owns its expiry.
+    }
+    if (it->second.epoch == CurrentEpoch()) {
+      dedup_created_.emplace_back(now, call_id);  // Still executing; re-check later.
+      continue;
+    }
+    dedup_.erase(it);  // Orphaned by a crash; the caller long since timed out.
   }
 }
 

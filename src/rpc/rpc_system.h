@@ -72,6 +72,10 @@ class RpcEndpoint {
   uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
   uint64_t responses_replayed() const { return responses_replayed_; }
 
+  // Current duplicate-suppression cache population (regression tests assert
+  // this stays bounded over long runs).
+  size_t dedup_size() const { return dedup_.size(); }
+
  private:
   friend class RpcSystem;
 
@@ -94,9 +98,18 @@ class RpcEndpoint {
   RpcSystem* system_;
   NodeId node_;
   CoreSet* cores_;  // Null for unmodeled-CPU nodes (clients).
+  // Bounded: handlers_ is filled once at server construction.
   std::unordered_map<Opcode, Handler> handlers_;
+  // Bounded: every entry is tracked by dedup_created_ from creation and by
+  // dedup_fifo_ from completion; PruneDedup expires both after the
+  // rpc_dedup_retention_ns horizon, so long chaos runs cannot grow this.
   std::unordered_map<uint64_t, DedupEntry> dedup_;
+  // Bounded: drained by PruneDedup past the retention horizon.
   std::deque<std::pair<Tick, uint64_t>> dedup_fifo_;  // (completed_at, call_id).
+  // Bounded: drained by PruneDedup past the retention horizon. Tracks every
+  // entry from creation so executions orphaned by a crash (never completed,
+  // stale epoch, hence never in dedup_fifo_) still expire.
+  std::deque<std::pair<Tick, uint64_t>> dedup_created_;  // (created_at, call_id).
   uint64_t duplicates_suppressed_ = 0;
   uint64_t responses_replayed_ = 0;
 };
@@ -157,6 +170,8 @@ class RpcSystem {
   Network* net_;
   const CostModel* costs_;
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
+  // Bounded by the callers' outstanding RPCs: an entry is erased when its
+  // response is delivered, its timeout fires, or its endpoint halts.
   std::unordered_map<uint64_t, PendingCall> pending_;
   uint64_t next_call_id_ = 0;
   uint64_t retransmissions_ = 0;

@@ -75,6 +75,23 @@ class CoreSet {
   int num_workers() const { return num_workers_; }
   size_t QueuedTasks(Priority p) const { return queues_[static_cast<size_t>(p)].size(); }
 
+  // Admission control: an optional per-priority queue bound (0 = unbounded).
+  // CoreSet never drops work itself — handlers consult QueueFull() before
+  // enqueueing and reject with Status::kRetryLater, so the sender's seeded
+  // backoff machinery paces retries instead of work vanishing silently.
+  void SetQueueBound(Priority p, size_t bound) { bounds_[static_cast<size_t>(p)] = bound; }
+  size_t QueueBound(Priority p) const { return bounds_[static_cast<size_t>(p)]; }
+  bool QueueFull(Priority p) const {
+    const size_t bound = bounds_[static_cast<size_t>(p)];
+    return bound != 0 && queues_[static_cast<size_t>(p)].size() >= bound;
+  }
+
+  // How far behind the dispatch core is right now (0 when idle): one of the
+  // source-load signals piggybacked on pull replies for adaptive pacing.
+  Tick DispatchBacklog() const {
+    return dispatch_free_at_ > sim_->now() ? dispatch_free_at_ - sim_->now() : 0;
+  }
+
   // Optional utilization recorders (Figure 11 / Figure 14 timelines).
   void set_dispatch_util(UtilizationTimeline* util) { dispatch_util_ = util; }
   void set_worker_util(UtilizationTimeline* util) { worker_util_ = util; }
@@ -131,6 +148,7 @@ class CoreSet {
 
   Tick dispatch_free_at_ = 0;
   std::array<std::deque<AnyTask>, kNumPriorities> queues_;
+  std::array<size_t, kNumPriorities> bounds_{};  // 0 = unbounded.
 
   UtilizationTimeline* dispatch_util_ = nullptr;
   UtilizationTimeline* worker_util_ = nullptr;

@@ -36,6 +36,10 @@ void CostModel::Dilate(double factor) {
   scale_rate(baseline_copy_per_byte_ns);
   scale_rate(baseline_tx_per_byte_ns);
   scale_rate(baseline_replay_per_byte_ns);
+  scale_tick(cleaner_base_ns);
+  scale_rate(cleaner_per_byte_ns);
+  scale_tick(overload_retry_hint_ns);
+  scale_tick(latency_window_ns);
   scale_tick(retry_backoff_min_ns);
   scale_tick(retry_backoff_max_ns);
   scale_tick(rpc_timeout_ns);

@@ -110,6 +110,22 @@ struct CostModel {
   // ("Skip Re-replication" plateau ~180 MB/s).
   double baseline_replay_per_byte_ns = 5.3;
 
+  // --- Log cleaner (emergency cleaning under memory pressure). ---
+  // Worker cost to clean one segment: fixed scan/selection overhead plus a
+  // per-relocated-byte copy cost (same order as replay, it is the same kind
+  // of log-append work).
+  Tick cleaner_base_ns = 2'000;
+  double cleaner_per_byte_ns = 0.6;
+
+  // --- Overload protection. ---
+  // Retry hint returned with a kRetryLater pull rejection: how long the
+  // target should wait before re-issuing the shed pull.
+  Tick overload_retry_hint_ns = 50'000;
+  // Windowing for each master's recent client-latency tracker (the p99.9
+  // signal piggybacked on pull replies): sub-window span and count.
+  Tick latency_window_ns = 500'000;
+  size_t latency_window_buckets = 4;
+
   // --- Client behaviour / protocol timing. ---
   // Paper §3: on kRetryLater the client retries "after randomly waiting a
   // few tens of microseconds".
@@ -186,6 +202,10 @@ struct CostModel {
   Tick BackupWriteCost(size_t bytes) const {
     return backup_write_base_ns +
            static_cast<Tick>(backup_write_per_byte_ns * static_cast<double>(bytes));
+  }
+  Tick CleanSegmentCost(size_t relocated_bytes) const {
+    return cleaner_base_ns +
+           static_cast<Tick>(cleaner_per_byte_ns * static_cast<double>(relocated_bytes));
   }
 };
 

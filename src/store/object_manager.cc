@@ -209,6 +209,10 @@ size_t ObjectManager::DropTabletEntries(TableId table, KeyHash start_hash, KeyHa
 
 size_t ObjectManager::RunCleaner(size_t max_segments) { return cleaner_.CleanOnce(max_segments); }
 
+size_t ObjectManager::RunEmergencyCleaner(size_t max_segments) {
+  return cleaner_.EmergencyClean(max_segments);
+}
+
 void ObjectManager::AuditInvariants(AuditReport* report) const {
   log_.AuditInvariants(report);
   hash_table_.AuditInvariants(report, &log_);

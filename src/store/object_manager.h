@@ -80,6 +80,11 @@ class ObjectManager {
   // --- Cleaner. ---
   // Runs up to `max_segments` cleaning passes; returns segments cleaned.
   size_t RunCleaner(size_t max_segments = 1);
+  // Memory-pressure cleaning: frees the most reclaimable segments first
+  // (see LogCleaner::EmergencyClean). Returns segments cleaned; 0 means
+  // cleaning cannot reclaim anything and the caller must back off or abort.
+  size_t RunEmergencyCleaner(size_t max_segments = 1);
+  const LogCleaner& cleaner() const { return cleaner_; }
 
   // --- Accessors. ---
   Log& log() { return log_; }

@@ -346,6 +346,44 @@ TEST(UtilizationTimelineTest, MultipleCoresAccumulate) {
   EXPECT_DOUBLE_EQ(util.ActiveCores(0), 2.5);
 }
 
+TEST(SlidingLatencyTrackerTest, EmptyReturnsZero) {
+  SlidingLatencyTracker tracker(100, 4);
+  EXPECT_EQ(tracker.RecentPercentile(0, 0.999), 0u);
+  EXPECT_EQ(tracker.RecentCount(123), 0u);
+}
+
+TEST(SlidingLatencyTrackerTest, PercentileOverRecentWindow) {
+  SlidingLatencyTracker tracker(100, 4);
+  for (uint64_t i = 1; i <= 100; i++) {
+    tracker.Record(50, static_cast<Tick>(i));
+  }
+  EXPECT_EQ(tracker.RecentCount(50), 100u);
+  // Small values are exact in the histogram, so the tail is sharp.
+  EXPECT_GE(tracker.RecentPercentile(50, 0.99), 95u);
+  EXPECT_LE(tracker.RecentPercentile(50, 0.50), 60u);
+}
+
+TEST(SlidingLatencyTrackerTest, OldSamplesAgeOut) {
+  SlidingLatencyTracker tracker(100, 4);
+  tracker.Record(0, 1'000'000);  // A horrible latency, long ago.
+  EXPECT_GE(tracker.RecentPercentile(0, 0.999), 1'000'000u / 2);
+  // Far past the whole window: the old sample must be gone, not still
+  // inflating the tail.
+  tracker.Record(10'000, 5);
+  EXPECT_EQ(tracker.RecentCount(10'000), 1u);
+  EXPECT_LT(tracker.RecentPercentile(10'000, 0.999), 1'000u);
+}
+
+TEST(SlidingLatencyTrackerTest, RotatesThroughAdjacentBuckets) {
+  SlidingLatencyTracker tracker(100, 2);  // 200-tick window.
+  tracker.Record(10, 7);
+  tracker.Record(110, 9);  // Next bucket; first still in window.
+  EXPECT_EQ(tracker.RecentCount(110), 2u);
+  // Two buckets later the first sample's slot has been recycled.
+  tracker.Record(310, 11);
+  EXPECT_LE(tracker.RecentCount(310), 2u);
+}
+
 TEST(CounterTimelineTest, RatesAndTotals) {
   CounterTimeline counter(kSecond, 3);
   counter.Add(0, 100);

@@ -134,7 +134,7 @@ TEST(RocksteadyMigrationTest, WritesDuringMigrationLandAtTarget) {
   std::vector<std::string> migrating_keys;
   for (uint64_t i = 0; i < f.num_records && migrating_keys.size() < 20; i++) {
     const std::string key = Cluster::MakeKey(i, 30);
-    if (HashKey(key) >= kMid) {
+    if (HashKey(kTable, key) >= kMid) {
       migrating_keys.push_back(key);
     }
   }
@@ -169,7 +169,7 @@ TEST(RocksteadyMigrationTest, PriorityPullServesEarlyReads) {
   std::string hot_key;
   for (uint64_t i = 0; i < f.num_records; i++) {
     hot_key = Cluster::MakeKey(i, 30);
-    if (HashKey(hot_key) >= kMid) {
+    if (HashKey(kTable, hot_key) >= kMid) {
       break;
     }
   }
@@ -206,7 +206,7 @@ TEST(RocksteadyMigrationTest, AbsentKeyDuringMigrationIsNotFound) {
   std::string absent;
   for (uint64_t i = 0; i < 100'000; i++) {
     absent = "never-written-" + std::to_string(i);
-    if (HashKey(absent) >= kMid) {
+    if (HashKey(kTable, absent) >= kMid) {
       break;
     }
   }
@@ -251,7 +251,7 @@ TEST(RocksteadyMigrationTest, SourceOwnsPreservesWritesDuringRoundOne) {
   std::string key;
   for (uint64_t i = 0; i < f.num_records; i++) {
     key = Cluster::MakeKey(i, 30);
-    if (HashKey(key) >= kMid) {
+    if (HashKey(kTable, key) >= kMid) {
       break;
     }
   }
@@ -280,7 +280,7 @@ TEST(RocksteadyMigrationTest, SyncPriorityPullsServeReads) {
   std::string key;
   for (uint64_t i = 0; i < f.num_records; i++) {
     key = Cluster::MakeKey(i, 30);
-    if (HashKey(key) >= kMid) {
+    if (HashKey(kTable, key) >= kMid) {
       break;
     }
   }
@@ -384,7 +384,7 @@ TEST(RocksteadyMigrationTest, DeleteOfUnarrivedKeyStaysDeleted) {
   std::string victim;
   for (uint64_t i = f.num_records; i-- > 0;) {
     victim = Cluster::MakeKey(i, 30);
-    if (HashKey(victim) >= kMid) {
+    if (HashKey(kTable, victim) >= kMid) {
       break;  // Likely to be pulled late (no ordering guarantee, but the
               // tombstone must protect it regardless).
     }
@@ -426,7 +426,7 @@ TEST(BaselineMigrationTest, OwnershipStaysAtSourceUntilEnd) {
   std::string key;
   for (uint64_t i = 0; i < f.num_records; i++) {
     key = Cluster::MakeKey(i, 30);
-    if (HashKey(key) >= kMid) {
+    if (HashKey(kTable, key) >= kMid) {
       break;
     }
   }
@@ -474,7 +474,7 @@ TEST(BaselineMigrationTest, CapturesWritesDuringScan) {
   std::string key;
   for (uint64_t i = 0; i < f.num_records; i++) {
     key = Cluster::MakeKey(i, 30);
-    if (HashKey(key) >= kMid) {
+    if (HashKey(kTable, key) >= kMid) {
       break;
     }
   }

@@ -120,7 +120,7 @@ TEST(RecoveryTest, TargetCrashMidMigrationFallsBackToSource) {
   int writes = 0;
   for (uint64_t i = 0; i < f.num_records && writes < 0 + 10; i++) {
     const std::string key = Cluster::MakeKey(i, 30);
-    if (HashKey(key) >= kMid) {
+    if (HashKey(kTable, key) >= kMid) {
       overrides[key] = "written-at-target";
       f.cluster.client(0).Write(kTable, key, overrides[key], [](Status) {});
       writes++;
@@ -151,7 +151,7 @@ TEST(RecoveryTest, SourceCrashMidMigrationRecoversEverything) {
   int writes = 0;
   for (uint64_t i = 0; i < f.num_records && writes < 10; i++) {
     const std::string key = Cluster::MakeKey(i, 30);
-    if (HashKey(key) >= kMid) {
+    if (HashKey(kTable, key) >= kMid) {
       overrides[key] = "target-write-before-source-crash";
       f.cluster.client(0).Write(kTable, key, overrides[key], [](Status) {});
       writes++;
@@ -186,7 +186,7 @@ TEST(RecoveryTest, TargetCrashDuringPriorityPullBatch) {
   int reads_ok = 0;
   for (uint64_t i = 0; i < f.num_records && reads_issued < 8; i++) {
     const std::string key = Cluster::MakeKey(i, 30);
-    if (HashKey(key) >= kMid) {
+    if (HashKey(kTable, key) >= kMid) {
       f.cluster.client(0).Read(kTable, key, [&](Status s, const std::string& v) {
         reads_ok += (s == Status::kOk && v == std::string(100, 'v'));
       });

@@ -243,5 +243,73 @@ TEST(RpcTest, ServerToServerCallsChargeBothDispatches) {
             f.costs.dispatch_per_rpc_ns + f.costs.dispatch_tx_ns);
 }
 
+// Regression: the dedup cache must stay bounded under sustained traffic.
+// Completed entries expire through the completion fifo once past the
+// retention horizon, so the cache holds at most one retention window's worth
+// of calls regardless of how long the workload runs.
+TEST(RpcTest, DedupCacheStaysBoundedUnderSustainedTraffic) {
+  Fixture f;
+  CoreSet server_cores(&f.sim, 1);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  server->Register(Opcode::kWrite, [](RpcContext context) {
+    context.reply(std::make_unique<WriteResponse>());
+  });
+  // One write per millisecond across ten retention horizons.
+  const Tick spacing = kMillisecond;
+  const int calls = static_cast<int>(10 * f.costs.rpc_dedup_retention_ns / spacing);
+  int completed = 0;
+  for (int i = 0; i < calls; i++) {
+    f.sim.At(static_cast<Tick>(i) * spacing, [&] {
+      f.rpc.Call(client->node(), server->node(), std::make_unique<WriteRequest>(),
+                 [&](Status status, std::unique_ptr<RpcResponse>) {
+                   EXPECT_EQ(status, Status::kOk);
+                   completed++;
+                 });
+    });
+  }
+  f.sim.Run();
+  EXPECT_EQ(completed, calls);
+  // At most one retention window of entries (plus the handful whose expiry
+  // the final prune had not reached yet), not all `calls` of them.
+  const size_t window = static_cast<size_t>(f.costs.rpc_dedup_retention_ns / spacing);
+  EXPECT_LE(server->dedup_size(), window + 8);
+  EXPECT_LT(server->dedup_size(), static_cast<size_t>(calls) / 2);
+}
+
+// Regression: an execution wiped by a crash leaves a dedup entry that never
+// completes (no reply, so no completion-fifo record). The creation-time
+// fifo must expire it after the retention horizon — without that, every
+// crash leaks entries for the lifetime of the process.
+TEST(RpcTest, DedupCacheExpiresCrashOrphanedEntries) {
+  Fixture f;
+  CoreSet server_cores(&f.sim, 1);
+  RpcEndpoint* server = f.rpc.CreateEndpoint(&server_cores);
+  RpcEndpoint* client = f.rpc.CreateEndpoint(nullptr);
+  // The handler swallows the request: models work in flight when the server
+  // dies (the reply never happens).
+  server->Register(Opcode::kWrite, [](RpcContext) {});
+  server->Register(Opcode::kRead, [](RpcContext context) {
+    context.reply(std::make_unique<ReadResponse>());
+  });
+  f.rpc.Call(client->node(), server->node(), std::make_unique<WriteRequest>(),
+             [](Status, std::unique_ptr<RpcResponse>) {}, /*timeout=*/kMillisecond);
+  f.sim.Run();
+  EXPECT_EQ(server->dedup_size(), 1u);  // Undone entry parked in the cache.
+  // Crash-restart bumps the core epoch: the entry is now orphaned, not
+  // in flight.
+  server_cores.Halt();
+  server_cores.Restart();
+  // Well past the retention horizon, any delivery triggers the prune.
+  f.sim.After(2 * f.costs.rpc_dedup_retention_ns, [&] {
+    f.rpc.Call(client->node(), server->node(), std::make_unique<ReadRequest>(),
+               [](Status status, std::unique_ptr<RpcResponse>) {
+                 EXPECT_EQ(status, Status::kOk);
+               });
+  });
+  f.sim.Run();
+  EXPECT_LE(server->dedup_size(), 1u);  // Orphan expired; only the fresh call remains.
+}
+
 }  // namespace
 }  // namespace rocksteady

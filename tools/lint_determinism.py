@@ -13,6 +13,14 @@ that promise:
     iteration order depends on allocation addresses, so any behavior derived
     from it varies run to run.
 
+It also guards the overload-resilience work: growable containers
+(std::deque / std::unordered_map / std::unordered_set) declared as members
+in request-path headers (src/rpc, src/cluster, src/migration) accumulate
+per-request state, and one forgotten eviction path is an OOM under
+sustained load. Such a member must say how it is bounded — a comment within
+the four preceding lines (or on the line) mentioning its bound/eviction/
+expiry, or an explicit `lint:bounded` marker.
+
 A line may opt out with a trailing `lint:allow-nondeterminism` comment and a
 reason, e.g. logging a timestamp that never feeds back into simulation state.
 
@@ -118,6 +126,37 @@ def strip_noncode(line: str, in_block_comment: bool):
     return "".join(out), in_block_comment
 
 
+# --- Unbounded request-path container members. ---
+# Headers on the request path: every RPC can add an entry, so growth must be
+# bounded somewhere and the bound must be stated next to the member.
+REQUEST_PATH_DIRS = ("rpc", "cluster", "migration")
+GROWABLE_MEMBER = re.compile(
+    r"std::(?:deque|unordered_map|unordered_set|unordered_multimap|unordered_multiset)\s*<"
+    r".*>\s+\w+_\s*(?:;|=|\{)")
+BOUND_EVIDENCE = re.compile(
+    r"lint:bounded|bound|evict|expir|prune|drain|cap(?:ped|acity)?\b|lru|"
+    r"watermark|at most|cleared|removed|erase", re.IGNORECASE)
+
+
+def is_request_path_header(path: Path) -> bool:
+    return path.suffix in (".h", ".hpp") and any(
+        part in REQUEST_PATH_DIRS for part in path.parts)
+
+
+def lint_unbounded_members(lines):
+    """Yields (lineno, message) for growable members with no stated bound."""
+    for i, raw in enumerate(lines):
+        if not GROWABLE_MEMBER.search(raw):
+            continue
+        context = lines[max(0, i - 4):i + 1]
+        if any(BOUND_EVIDENCE.search(line) for line in context):
+            continue
+        yield (i + 1,
+               "growable container member on the request path with no stated "
+               "bound; document the eviction/limit in a nearby comment or "
+               "mark it lint:bounded")
+
+
 def lint_file(path: Path):
     violations = []
     in_block = False
@@ -136,6 +175,9 @@ def lint_file(path: Path):
         for name, pattern, message in RULES:
             if pattern.search(code):
                 violations.append((lineno, name, message))
+    if is_request_path_header(path):
+        for lineno, message in lint_unbounded_members(text.splitlines()):
+            violations.append((lineno, "unbounded-member", message))
     return violations
 
 
