@@ -31,6 +31,9 @@ step "chaos suite: lossy fabric + crash-restarts, 20 seeds, replayed bit-identic
 step "overload chaos: bursty load past saturation + migration, pacing on/off, 20 seeds"
 "${ROOT}/build-asan/tests/chaos_test" --gtest_filter='Seeds/OverloadChaosTest.*'
 
+step "rebalancer chaos: planner + splits + faults, 20 seeds, replayed bit-identically"
+"${ROOT}/build-asan/tests/rebalance_test" --gtest_filter='Seeds/RebalanceChaosTest.*'
+
 step "overload protection: admission control, load shedding, memory budget"
 "${ROOT}/build-asan/tests/overload_test"
 

@@ -71,6 +71,12 @@ Status Coordinator::SplitTablet(TableId table, KeyHash split_hash) {
     if (tablet.table == table && tablet.start_hash <= split_hash &&
         split_hash <= tablet.end_hash) {
       if (tablet.start_hash == split_hash) {
+        // Already split in the map. Still converge the owner's mirror (a
+        // checked split's deferred mirror may have been lost to a
+        // coordinator crash); TabletManager::Split is idempotent.
+        if (!master(tablet.owner)->crashed()) {
+          master(tablet.owner)->objects().tablets().Split(table, split_hash);
+        }
         return Status::kOk;
       }
       OwnedTablet upper = tablet;
@@ -85,6 +91,81 @@ Status Coordinator::SplitTablet(TableId table, KeyHash split_hash) {
     }
   }
   return Status::kTableNotFound;
+}
+
+Status Coordinator::SplitTabletChecked(TableId table, KeyHash split_hash) {
+  for (auto& tablet : tablet_map_) {
+    if (!(tablet.table == table && tablet.start_hash <= split_hash &&
+          split_hash <= tablet.end_hash)) {
+      continue;
+    }
+    // Width gate: both halves must be at least kMinSplitSpan wide. A split
+    // at start_hash would make the lower half empty and is refused too
+    // (unlike the unchecked path, which treats it as already-split).
+    const Tablet range{table, tablet.start_hash, tablet.end_hash, TabletState::kNormal};
+    if (!range.CanSplitAt(split_hash, kMinSplitSpan)) {
+      splits_refused_++;
+      return Status::kInvalidState;
+    }
+    const ServerId owner = tablet.owner;
+    if (master(owner)->crashed() || recovering_.contains(owner) || active_recoveries_ > 0) {
+      splits_refused_++;
+      return Status::kRetryLater;
+    }
+    // An in-flight migration overlapping the range: the source's tablet is
+    // frozen and the lineage dependency names exact hashes — resharping the
+    // range under it would desynchronize all three. Refuse; the planner
+    // retries after the migration settles.
+    for (const auto& dependency : dependencies_) {
+      if (dependency.table == table && dependency.start_hash <= tablet.end_hash &&
+          tablet.start_hash <= dependency.end_hash) {
+        splits_refused_++;
+        return Status::kRetryLater;
+      }
+    }
+    const Tablet* local = master(owner)->objects().tablets().Find(table, split_hash);
+    if (local == nullptr || local->state != TabletState::kNormal) {
+      // Owner mid-transition (recovering replay, migration endpoint, ...).
+      splits_refused_++;
+      return Status::kRetryLater;
+    }
+    // Commit to the quorum-replicated map first, then mirror to the owner
+    // asynchronously (the mirror is an RPC in spirit: a coordinator crash in
+    // between loses it, and Restart()'s ReconcileSplits re-drives it).
+    OwnedTablet upper = tablet;
+    upper.start_hash = split_hash;
+    tablet.end_hash = split_hash - 1;
+    tablet_map_.push_back(upper);
+    splits_performed_++;
+    LOG_INFO("coordinator: split table %llu at %llx (owner %u)",
+             static_cast<unsigned long long>(table),
+             static_cast<unsigned long long>(split_hash), owner);
+    DebugAudit(*this, "coordinator after SplitTabletChecked");
+    sim_->After(0, [this, table, split_hash, owner] {
+      if (crashed_ || master(owner)->crashed()) {
+        return;  // ReconcileSplits()/recovery converges the mirror later.
+      }
+      master(owner)->objects().tablets().Split(table, split_hash);
+      DebugAudit(*this, "coordinator after split mirror");
+    });
+    return Status::kOk;
+  }
+  splits_refused_++;
+  return Status::kTableNotFound;
+}
+
+void Coordinator::ReconcileSplits() {
+  for (const auto& entry : tablet_map_) {
+    if (master(entry.owner)->crashed() || recovering_.contains(entry.owner)) {
+      continue;  // Recovery installs exact-range tablets itself.
+    }
+    TabletManager& tablets = master(entry.owner)->objects().tablets();
+    const Tablet* local = tablets.Find(entry.table, entry.start_hash);
+    if (local != nullptr && local->start_hash < entry.start_hash) {
+      tablets.Split(entry.table, entry.start_hash);
+    }
+  }
+  DebugAudit(*this, "coordinator after ReconcileSplits");
 }
 
 Status Coordinator::UpdateOwnership(TableId table, KeyHash start_hash, KeyHash end_hash,
@@ -228,6 +309,54 @@ void Coordinator::AuditInvariants(AuditReport* report) const {
                    static_cast<unsigned long long>(tablet.end_hash));
     }
   }
+  // Cross-layer: every alive owner's local tablets must *tile* each map
+  // range it owns — after splits, several local tablets may cover one map
+  // range (or one local tablet several map ranges), but there must be no
+  // hole, or reads routed by the map fall into kWrongServer loops. Recovery
+  // legitimately repoints ownership before the recovery master installs its
+  // kRecovering tablets, so the check stands down while one is in flight.
+  if (active_recoveries_ == 0 && recovering_.empty()) {
+    for (const auto& entry : tablet_map_) {
+      if (entry.owner < 1 || entry.owner > masters_.size() ||
+          master(entry.owner)->crashed()) {
+        continue;
+      }
+      // A range under an in-flight migration is in transition (e.g. a target
+      // that locally aborted while the map still names it); the lease
+      // watchdog owns its fate, so coverage is only enforced once the
+      // dependency clears.
+      bool in_transition = false;
+      for (const auto& d : dependencies_) {
+        if (d.table == entry.table && d.start_hash <= entry.end_hash &&
+            entry.start_hash <= d.end_hash) {
+          in_transition = true;
+          break;
+        }
+      }
+      if (in_transition) {
+        continue;
+      }
+      const TabletManager& tablets = master(entry.owner)->objects().tablets();
+      KeyHash cursor = entry.start_hash;
+      while (true) {
+        const Tablet* local = tablets.Find(entry.table, cursor);
+        if (local == nullptr) {
+          report->Fail(
+              "coordinator: owner %u of table %llu range [%llx, %llx] has no local tablet "
+              "covering %llx",
+              entry.owner, static_cast<unsigned long long>(entry.table),
+              static_cast<unsigned long long>(entry.start_hash),
+              static_cast<unsigned long long>(entry.end_hash),
+              static_cast<unsigned long long>(cursor));
+          break;
+        }
+        if (local->end_hash >= entry.end_hash) {
+          break;  // Range fully covered.
+        }
+        cursor = local->end_hash + 1;
+      }
+    }
+  }
   for (size_t i = 0; i < dependencies_.size(); i++) {
     const MigrationDependency& d = dependencies_[i];
     if (d.source == d.target) {
@@ -249,7 +378,42 @@ void Coordinator::AuditInvariants(AuditReport* report) const {
 }
 
 void Coordinator::HandleCrash(ServerId crashed, std::function<void()> done) {
-  recovery_->RecoverServer(crashed, std::move(done));
+  // Track the in-flight window: recovery legitimately repoints ownership
+  // before the recovery master installs its kRecovering tablets, so the
+  // cross-layer coverage audit stands down until `done`.
+  active_recoveries_++;
+  recovery_->RecoverServer(crashed, [this, done = std::move(done)] {
+    active_recoveries_--;
+    if (done) {
+      done();
+    }
+  });
+}
+
+void Coordinator::RegisterPiggybackHandler(PiggybackKind kind, PiggybackHandler handler) {
+  for (auto& [registered_kind, registered] : piggyback_handlers_) {
+    if (registered_kind == kind) {
+      registered = std::move(handler);
+      return;
+    }
+  }
+  piggyback_handlers_.emplace_back(kind, std::move(handler));
+}
+
+void Coordinator::ClearPiggybackHandler(PiggybackKind kind) {
+  std::erase_if(piggyback_handlers_, [kind](const auto& entry) { return entry.first == kind; });
+}
+
+void Coordinator::RoutePiggyback(ServerId from, const PiggybackBlob& blob) {
+  if (blob.empty() || crashed_) {
+    return;
+  }
+  for (const auto& [kind, handler] : piggyback_handlers_) {
+    if (kind == blob.kind && handler) {
+      handler(from, blob);
+      return;
+    }
+  }
 }
 
 void Coordinator::Crash() {
@@ -276,6 +440,10 @@ void Coordinator::Restart() {
   for (auto& [key, last_heartbeat] : leases_) {
     last_heartbeat = sim_->now();
   }
+  // A crash between a checked split's map update and its deferred master
+  // mirror leaves the owner coarser than the map; re-drive every boundary
+  // (idempotent) so routing and the map agree again.
+  ReconcileSplits();
   LOG_INFO("coordinator restarted at t=%.6f s", static_cast<double>(sim_->now()) / 1e9);
 }
 
@@ -304,9 +472,15 @@ void Coordinator::DetectorSweep() {
     }
     rpc_->Call(
         node(), NodeOf(id), std::make_unique<PingRequest>(),
-        [this, id](Status status, std::unique_ptr<RpcResponse>) {
+        [this, id](Status status, std::unique_ptr<RpcResponse> response) {
           if (status != Status::kOk) {
             DeclareDead(id);
+            return;
+          }
+          // Alive: deliver whatever the server piggybacked on the probe
+          // reply (load telemetry) to the subsystem registered for it.
+          if (response != nullptr) {
+            RoutePiggyback(id, static_cast<const PingResponse&>(*response).piggyback);
           }
         },
         costs_->ping_timeout_ns);
@@ -443,6 +617,7 @@ void Coordinator::HandleAbortMigration(RpcContext context) {
 void Coordinator::HandleMigrationHeartbeat(RpcContext context) {
   auto& request = context.As<MigrationHeartbeatRequest>();
   leases_[LeaseKey{request.source, request.target, request.table}] = sim_->now();
+  RoutePiggyback(request.target, request.piggyback);
   context.reply(std::make_unique<StatusResponse>());
 }
 

@@ -77,6 +77,29 @@ class Coordinator {
   void CreateTable(TableId table, ServerId owner);
   // Metadata-only split at `split_hash` (coordinator map + owning master).
   Status SplitTablet(TableId table, KeyHash split_hash);
+
+  // Narrowest range a checked split may create. Finer slivers are pure
+  // planner churn: they are below the telemetry histogram's resolution, so
+  // the planner could never target them meaningfully anyway.
+  static constexpr KeyHash kMinSplitSpan = KeyHash{1} << 52;
+
+  // Rebalancer-facing split with validation and crash-consistent mirroring:
+  //  * no covering range                     -> kTableNotFound
+  //  * either half would be < kMinSplitSpan  -> kInvalidState (incl. empty)
+  //  * owner crashed/recovering, owner's tablet not kNormal, or a lineage
+  //    dependency overlaps the range (migration in flight) -> kRetryLater
+  // On success the quorum-replicated map splits immediately; the owning
+  // master's mirror is applied asynchronously (it is an RPC in spirit), so a
+  // coordinator crash can strand the master unsplit — Restart() runs
+  // ReconcileSplits() to converge.
+  Status SplitTabletChecked(TableId table, KeyHash split_hash);
+  // Re-mirrors every map boundary onto the owning masters (idempotent);
+  // called on Restart() so a crash between map update and master mirror
+  // always converges to the map.
+  void ReconcileSplits();
+  uint64_t splits_performed() const { return splits_performed_; }
+  uint64_t splits_refused() const { return splits_refused_; }
+
   // Repoints ownership of an existing tablet range.
   Status UpdateOwnership(TableId table, KeyHash start_hash, KeyHash end_hash,
                          ServerId new_owner);
@@ -146,11 +169,23 @@ class Coordinator {
   // master, table).
   std::function<void(MasterServer*, TableId)> abort_inbound_migration;
 
+  // --- Piggyback payload routing. ---
+  // Control RPCs that flow periodically anyway (ping replies, migration
+  // lease heartbeats) carry optional PiggybackBlobs; subsystems register a
+  // handler per kind and the coordinator routes each received blob to it
+  // with the originating server. Unhandled kinds are dropped silently.
+  using PiggybackHandler = std::function<void(ServerId, const PiggybackBlob&)>;
+  void RegisterPiggybackHandler(PiggybackKind kind, PiggybackHandler handler);
+  void ClearPiggybackHandler(PiggybackKind kind);
+
   // Invariants: for every table, the tablet map is a *partition* of the full
   // hash space — ranges tile [0, 2^64) with no gap or overlap, so every key
   // hash has exactly one owner; owners are registered servers; lineage
   // dependencies are unique per (source, target, table) and name registered,
-  // distinct servers.
+  // distinct servers. When no crash recovery is in flight, additionally
+  // cross-layer: each alive owner's local tablets tile every map range it
+  // owns (split ranges included) — a master serving a range the map gave
+  // away, or missing a range the map assigned it, is a routing hole.
   void AuditInvariants(AuditReport* report) const;
 
  private:
@@ -164,6 +199,7 @@ class Coordinator {
   void DetectorSweep();
   void DeclareDead(ServerId id);
   void CheckLeases();
+  void RoutePiggyback(ServerId from, const PiggybackBlob& blob);
 
   Simulator* sim_;
   RpcSystem* rpc_;
@@ -180,10 +216,18 @@ class Coordinator {
   bool failure_detector_running_ = false;
   std::set<ServerId> recovering_;  // Recovery in flight; don't re-declare.
   std::map<LeaseKey, Tick> leases_;  // Last heartbeat per dependency.
+  // One registered handler per kind; at most a handful of kinds ever exist.
+  std::vector<std::pair<PiggybackKind, PiggybackHandler>> piggyback_handlers_;
+  // Recoveries in flight (HandleCrash started, done not yet fired). While
+  // nonzero, ownership moves ahead of master-side tablet installs by design,
+  // so the cross-layer coverage audit stands down.
+  int active_recoveries_ = 0;
   uint64_t crashes_detected_ = 0;
   uint64_t stalled_migrations_aborted_ = 0;
   uint64_t stale_dependencies_dropped_ = 0;
   uint64_t budget_aborts_ = 0;  // Target-requested aborts (memory budget).
+  uint64_t splits_performed_ = 0;  // Checked splits applied to the map.
+  uint64_t splits_refused_ = 0;    // Checked splits rejected by validation.
 };
 
 }  // namespace rocksteady

@@ -39,9 +39,17 @@ void MasterServer::RegisterHandlers() {
   endpoint_->Register(Opcode::kGetRecoveryData,
                       [this](RpcContext c) { HandleGetRecoveryData(std::move(c)); });
   // Failure-detector probe: answered straight off the dispatch core — a
-  // halted server simply never replies and the probe times out.
-  endpoint_->Register(Opcode::kPing,
-                      [](RpcContext c) { c.reply(std::make_unique<StatusResponse>()); });
+  // halted server simply never replies and the probe times out. The reply
+  // carries the optional piggyback payload (load telemetry) so the existing
+  // probe cadence doubles as the telemetry channel.
+  endpoint_->Register(Opcode::kPing, [this](RpcContext c) {
+    auto response = std::make_unique<PingResponse>();
+    response->server = id_;
+    if (piggyback_provider) {
+      response->piggyback = piggyback_provider();
+    }
+    c.reply(std::move(response));
+  });
 }
 
 Status MasterServer::CheckReadable(TableId table, KeyHash hash, Tick* retry_after) {
@@ -111,6 +119,7 @@ void MasterServer::HandleRead(RpcContext context) {
              response->version = read->version;
              bytes = read->value.size();
              reads_served_++;
+             RecordAccess(req.table, req.hash, /*is_write=*/false, bytes);
            } else {
              response->status = read.status();
            }
@@ -147,6 +156,7 @@ void MasterServer::HandleWrite(RpcContext context) {
          }
          response->version = *version;
          writes_served_++;
+         RecordAccess(req.table, req.hash, /*is_write=*/true, req.value.size());
          size_t entry_length = 0;
          const uint8_t* entry_data = nullptr;
          objects_.log().RawEntry(*ref, &entry_data, &entry_length);
@@ -226,6 +236,7 @@ void MasterServer::HandleRemove(RpcContext context) {
            response->status = version.status();
          } else {
            response->version = *version;
+           RecordAccess(req.table, req.hash, /*is_write=*/true, 0);
          }
          return costs_->WriteCost(0);
        },
@@ -267,6 +278,7 @@ void MasterServer::HandleMultiGet(RpcContext context) {
                value.assign(read->value);
                bytes += value.size();
                reads_served_++;
+               RecordAccess(req.table, req.hashes[i], /*is_write=*/false, value.size());
              } else {
                status = read.status();
              }
@@ -311,6 +323,7 @@ void MasterServer::HandleMultiGetHash(RpcContext context) {
                value.assign(read->value);
                bytes += value.size();
                reads_served_++;
+               RecordAccess(req.table, hash, /*is_write=*/false, value.size());
              } else {
                status = read.status();
              }

@@ -102,6 +102,15 @@ class MasterServer {
   void set_migration_hooks(MigrationHooks* hooks) { migration_hooks_ = hooks; }
   MigrationHooks* migration_hooks() const { return migration_hooks_; }
 
+  // --- Layered-subsystem hooks (load telemetry, src/rebalance). ---
+  // Per-op access tap, called on the worker path of every successfully
+  // served read/write/remove/multiget: (table, key hash, is_write, bytes).
+  std::function<void(TableId, KeyHash, bool, size_t)> on_access;
+  // Builds the optional payload piggybacked on ping replies and migration
+  // lease heartbeats (e.g. the rebalancer's load-telemetry frame). Unset =
+  // probes reply with an empty blob, exactly the pre-telemetry wire cost.
+  std::function<PiggybackBlob()> piggyback_provider;
+
   // Opaque per-server state slot for layered subsystems (the migration
   // library parks its per-server managers here).
   void set_extension(std::shared_ptr<void> extension) { extension_ = std::move(extension); }
@@ -179,6 +188,12 @@ class MasterServer {
   // Records one client-visible op completion into the latency window.
   void RecordClientLatency(Tick arrival) {
     client_latency_.Record(sim().now(), sim().now() - arrival);
+  }
+  // Feeds the telemetry access tap, if installed.
+  void RecordAccess(TableId table, KeyHash hash, bool is_write, size_t bytes) {
+    if (on_access) {
+      on_access(table, hash, is_write, bytes);
+    }
   }
 
   // Shared read-path policy: checks tablet state for (table, hash).

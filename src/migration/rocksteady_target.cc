@@ -95,6 +95,13 @@ void RocksteadyMigrationManager::HeartbeatLoop() {
   heartbeat->source = source_;
   heartbeat->target = target_->id();
   heartbeat->table = table_;
+  // Lease renewals double as a piggyback channel: mid-migration, the
+  // target's load telemetry reaches the coordinator at heartbeat cadence
+  // (faster than the ping sweep), so the planner sees a migration target's
+  // load freshly while it matters most.
+  if (target_->piggyback_provider) {
+    heartbeat->piggyback = target_->piggyback_provider();
+  }
   target_->rpc().Call(target_->node(), target_->coordinator().node(), std::move(heartbeat),
                       [](Status, std::unique_ptr<RpcResponse>) {},
                       target_->costs().rpc_timeout_ns);

@@ -1,0 +1,115 @@
+#include "src/rebalance/load_stats.h"
+
+#include <algorithm>
+
+namespace rocksteady {
+namespace {
+
+// Inclusive hash range covered by bin `b`.
+inline KeyHash BinLo(size_t b) { return static_cast<KeyHash>(b) << kHotspotBinShift; }
+inline KeyHash BinHi(size_t b) {
+  return b + 1 == kHotspotBins ? ~KeyHash{0} : BinLo(b + 1) - 1;
+}
+
+// count * overlap / bin_span without overflow (overlap <= bin_span = 2^58,
+// counts can be large; the product needs 128 bits).
+inline uint64_t Prorate(uint64_t count, KeyHash overlap) {
+  if (overlap >= kHotspotBinSpan) {
+    return count;
+  }
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(count) * overlap /
+                               kHotspotBinSpan);
+}
+
+}  // namespace
+
+TabletLoadTracker::TabletLoadTracker(Tick bucket_span, size_t num_buckets)
+    : bucket_span_(bucket_span), buckets_(num_buckets) {}
+
+void TabletLoadTracker::Advance(Tick now) {
+  const uint64_t target = static_cast<uint64_t>(now / bucket_span_);
+  if (target <= current_) {
+    return;
+  }
+  const uint64_t steps = target - current_;
+  if (steps >= buckets_.size()) {
+    for (auto& bucket : buckets_) {
+      bucket.clear();
+    }
+  } else {
+    for (uint64_t s = 1; s <= steps; s++) {
+      buckets_[(current_ + s) % buckets_.size()].clear();
+    }
+  }
+  current_ = target;
+}
+
+void TabletLoadTracker::Record(Tick now, TableId table, KeyHash hash, bool is_write,
+                               size_t bytes) {
+  Advance(now);
+  BinCounters& bin =
+      buckets_[current_ % buckets_.size()][table][hash >> kHotspotBinShift];
+  if (is_write) {
+    bin.writes++;
+  } else {
+    bin.reads++;
+  }
+  bin.bytes += bytes;
+}
+
+RangeLoad TabletLoadTracker::Sum(Tick now, TableId table, KeyHash start_hash,
+                                 KeyHash end_hash) {
+  Advance(now);
+  RangeLoad load;
+  for (const auto& bucket : buckets_) {
+    auto it = bucket.find(table);
+    if (it == bucket.end()) {
+      continue;
+    }
+    for (size_t b = start_hash >> kHotspotBinShift; b < kHotspotBins; b++) {
+      if (BinLo(b) > end_hash) {
+        break;
+      }
+      const BinCounters& bin = it->second[b];
+      if (bin.reads == 0 && bin.writes == 0 && bin.bytes == 0) {
+        continue;
+      }
+      const KeyHash lo = std::max(start_hash, BinLo(b));
+      const KeyHash hi = std::min(end_hash, BinHi(b));
+      const KeyHash overlap = hi - lo + 1;
+      load.reads += Prorate(bin.reads, overlap);
+      load.writes += Prorate(bin.writes, overlap);
+      load.bytes += Prorate(bin.bytes, overlap);
+    }
+  }
+  return load;
+}
+
+std::array<uint64_t, kHotspotBins> TabletLoadTracker::BinOps(Tick now, TableId table,
+                                                             KeyHash start_hash,
+                                                             KeyHash end_hash) {
+  Advance(now);
+  std::array<uint64_t, kHotspotBins> ops{};
+  for (const auto& bucket : buckets_) {
+    auto it = bucket.find(table);
+    if (it == bucket.end()) {
+      continue;
+    }
+    for (size_t b = start_hash >> kHotspotBinShift; b < kHotspotBins; b++) {
+      if (BinLo(b) > end_hash) {
+        break;
+      }
+      const BinCounters& bin = it->second[b];
+      const uint64_t bin_ops = bin.reads + bin.writes;
+      if (bin_ops == 0) {
+        continue;
+      }
+      const KeyHash lo = std::max(start_hash, BinLo(b));
+      const KeyHash hi = std::min(end_hash, BinHi(b));
+      ops[b] += Prorate(bin_ops, hi - lo + 1);
+    }
+  }
+  return ops;
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,96 @@
+// Per-tablet load telemetry (rebalancer input).
+//
+// Each master taps its worker path (MasterServer::on_access) into a
+// TabletLoadTracker: a sliding ring of short sub-windows (the
+// SlidingLatencyTracker idiom from src/common/timeseries.h), each holding
+// per-table access counters bucketed into a coarse hash-range histogram.
+// The tracker answers two questions the coordinator's planner needs:
+//   * how hot is an arbitrary hash range right now (ops/s, read/write mix,
+//     bytes touched), and
+//   * where inside a hot tablet does the load sit (the per-bin histogram
+//     that picks a split boundary).
+// Constant memory regardless of run length; all window parameters are named
+// constants below.
+#ifndef ROCKSTEADY_SRC_REBALANCE_LOAD_STATS_H_
+#define ROCKSTEADY_SRC_REBALANCE_LOAD_STATS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace rocksteady {
+
+// Hot-spot histogram resolution: the hash space is cut into 2^6 = 64
+// fixed bins (bin = hash >> kHotspotBinShift). Coarser than the narrowest
+// checked split (Coordinator::kMinSplitSpan) by design: split boundaries
+// always land on bin edges, so the planner never manufactures ranges the
+// histogram cannot see.
+inline constexpr size_t kHotspotBins = 64;
+inline constexpr int kHotspotBinShift = 58;
+inline constexpr KeyHash kHotspotBinSpan = KeyHash{1} << kHotspotBinShift;
+
+// Telemetry window: 8 sub-windows of 2 ms = a 16 ms sliding view. Short
+// enough to track a shifting hot spot at the planner's cadence, long enough
+// that per-tablet rates are not dominated by sampling noise.
+inline constexpr Tick kTelemetryBucketSpanNs = 2 * kMillisecond;
+inline constexpr size_t kTelemetryBuckets = 8;
+
+// Aggregated load over one hash range of one table.
+struct RangeLoad {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes = 0;
+
+  uint64_t ops() const { return reads + writes; }
+};
+
+class TabletLoadTracker {
+ public:
+  TabletLoadTracker(Tick bucket_span = kTelemetryBucketSpanNs,
+                    size_t num_buckets = kTelemetryBuckets);
+
+  // Records one served access at simulated time `now`.
+  void Record(Tick now, TableId table, KeyHash hash, bool is_write, size_t bytes);
+
+  // Load over [start_hash, end_hash] of `table` across the whole sliding
+  // window. Bins partially covered by the range contribute pro-rata (the
+  // access stream inside one bin is modelled as uniform — bins are the
+  // histogram's resolution floor).
+  RangeLoad Sum(Tick now, TableId table, KeyHash start_hash, KeyHash end_hash);
+
+  // Per-bin ops over the window, clipped to [start_hash, end_hash] the same
+  // pro-rata way; bins outside the range are zero. This is the hot-spot
+  // histogram the planner walks to choose a split boundary.
+  std::array<uint64_t, kHotspotBins> BinOps(Tick now, TableId table, KeyHash start_hash,
+                                            KeyHash end_hash);
+
+  // Total window span (for converting window counts to per-second rates).
+  Tick span() const { return bucket_span_ * static_cast<Tick>(buckets_.size()); }
+
+ private:
+  struct BinCounters {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t bytes = 0;
+  };
+  using TableBins = std::array<BinCounters, kHotspotBins>;
+  // Ordered map: iteration order (and thus every derived statistic) is
+  // deterministic across runs.
+  using Bucket = std::map<TableId, TableBins>;
+
+  // Rotates the ring so every slot holds a sub-window overlapping
+  // [now - span, now]; skipped-over slots are reset.
+  void Advance(Tick now);
+
+  Tick bucket_span_;
+  std::vector<Bucket> buckets_;
+  uint64_t current_ = 0;  // Absolute index (now / bucket_span_) of the newest slot.
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_REBALANCE_LOAD_STATS_H_

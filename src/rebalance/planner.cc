@@ -1,0 +1,347 @@
+#include "src/rebalance/planner.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rocksteady {
+namespace {
+
+inline uint64_t AbsDiff(uint64_t a, uint64_t b) { return a > b ? a - b : b - a; }
+
+}  // namespace
+
+RebalancePlanner::RebalancePlanner(Cluster* cluster, const RebalancerOptions& options)
+    : cluster_(cluster),
+      options_(options),
+      frames_(cluster->num_masters()),
+      alive_(std::make_shared<bool>(true)) {
+  cluster_->coordinator().RegisterPiggybackHandler(
+      PiggybackKind::kLoadTelemetry, [this](ServerId from, const PiggybackBlob& blob) {
+        LoadTelemetryFrame frame;
+        if (!DecodeLoadFrame(blob.bytes, &frame) || frame.server != from) {
+          return;  // Malformed or misattributed: drop, never trust.
+        }
+        InjectFrame(frame);
+      });
+}
+
+RebalancePlanner::~RebalancePlanner() {
+  *alive_ = false;
+  running_ = false;
+  cluster_->coordinator().ClearPiggybackHandler(PiggybackKind::kLoadTelemetry);
+}
+
+void RebalancePlanner::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ScheduleRound();
+}
+
+void RebalancePlanner::Stop() { running_ = false; }
+
+void RebalancePlanner::ScheduleRound() {
+  cluster_->sim().After(options_.planner_interval_ns, [this, alive = alive_] {
+    if (!*alive || !running_) {
+      return;
+    }
+    PlanOnce();
+    ScheduleRound();
+  });
+}
+
+void RebalancePlanner::InjectFrame(const LoadTelemetryFrame& frame) {
+  if (frame.server == 0 || frame.server > frames_.size()) {
+    return;
+  }
+  frames_[frame.server - 1] = frame;
+}
+
+size_t RebalancePlanner::MasterIndexOf(ServerId id) const {
+  for (size_t i = 0; i < cluster_->num_masters(); i++) {
+    if (cluster_->master(i).id() == id) {
+      return i;
+    }
+  }
+  return cluster_->num_masters();
+}
+
+bool RebalancePlanner::CollectLoads(std::vector<uint64_t>* loads, std::vector<bool>* fresh,
+                                    Tick now) {
+  const size_t n = cluster_->num_masters();
+  loads->assign(n, 0);
+  fresh->assign(n, false);
+  size_t fresh_count = 0;
+  for (size_t i = 0; i < n; i++) {
+    MasterServer& master = cluster_->master(i);
+    if (master.crashed()) {
+      continue;
+    }
+    const auto& frame = frames_[master.id() - 1];
+    if (!frame.has_value() || now - frame->sampled_at > options_.telemetry_staleness_ns) {
+      continue;
+    }
+    (*fresh)[i] = true;
+    (*loads)[i] = frame->TotalOpsPerSec();
+    fresh_count++;
+  }
+  return fresh_count >= kMinFreshFrames;
+}
+
+KeyHash RebalancePlanner::ChooseSplitBoundary(const TabletLoadSample& tablet,
+                                              uint64_t desired_ops) const {
+  const uint64_t total_rate = tablet.ops_per_sec();
+  uint64_t total_window = 0;
+  for (uint64_t ops : tablet.bin_ops) {
+    total_window += ops;
+  }
+  if (total_rate == 0 || total_window == 0 || desired_ops >= total_rate) {
+    return 0;
+  }
+  // Window-count threshold proportional to the desired share of the rate.
+  const uint64_t target = static_cast<uint64_t>(
+      static_cast<unsigned __int128>(total_window) * desired_ops / total_rate);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kHotspotBins - 1; b++) {
+    cumulative += tablet.bin_ops[b];
+    if (cumulative < target || cumulative == 0) {
+      continue;
+    }
+    const KeyHash boundary = static_cast<KeyHash>(b + 1) << kHotspotBinShift;
+    if (boundary > tablet.start_hash && boundary <= tablet.end_hash) {
+      return boundary;
+    }
+  }
+  return 0;
+}
+
+std::optional<TabletLoadSample> RebalancePlanner::PickTablet(
+    const LoadTelemetryFrame& source_frame, uint64_t desired_ops, bool* acted) {
+  *acted = false;
+  const uint64_t cap = static_cast<uint64_t>(static_cast<double>(desired_ops) *
+                                             options_.split_overshoot_fraction);
+  const TabletLoadSample* best = nullptr;      // Best fit within the overshoot cap.
+  const TabletLoadSample* smallest = nullptr;  // Least-loaded active tablet.
+  for (const auto& tablet : source_frame.tablets) {
+    if (tablet.ops_per_sec() == 0) {
+      continue;
+    }
+    if (smallest == nullptr || tablet.ops_per_sec() < smallest->ops_per_sec()) {
+      smallest = &tablet;
+    }
+    if (tablet.ops_per_sec() <= cap &&
+        (best == nullptr || AbsDiff(tablet.ops_per_sec(), desired_ops) <
+                                AbsDiff(best->ops_per_sec(), desired_ops))) {
+      best = &tablet;
+    }
+  }
+  if (best != nullptr) {
+    return *best;
+  }
+  if (smallest == nullptr || !options_.allow_splits) {
+    return std::nullopt;
+  }
+  // Every active tablet overshoots the desired move: carve the least
+  // overshooting one at the histogram boundary closest to the desired rate,
+  // then let the next rounds act on the halves.
+  const KeyHash boundary = ChooseSplitBoundary(*smallest, desired_ops);
+  if (boundary == 0) {
+    return std::nullopt;
+  }
+  const Status status =
+      cluster_->coordinator().SplitTabletChecked(smallest->table, boundary);
+  if (status == Status::kOk) {
+    stats_.splits_requested++;
+    *acted = true;
+    LOG_INFO("planner: split table %llu at %llx for rebalance",
+             static_cast<unsigned long long>(smallest->table),
+             static_cast<unsigned long long>(boundary));
+  } else if (status == Status::kRetryLater) {
+    // Cluster mid-transition (recovery, in-flight migration): abort the
+    // round entirely and re-evaluate on fresh telemetry.
+    stats_.split_retries++;
+    *acted = true;
+  }
+  return std::nullopt;
+}
+
+bool RebalancePlanner::TargetEligible(const LoadTelemetryFrame& frame,
+                                      const TabletLoadSample& tablet) const {
+  if (frame.recent_p999_ns > options_.target_p999_ceiling_ns ||
+      frame.client_queue_depth > options_.target_queue_ceiling ||
+      frame.dispatch_backlog_ns > options_.target_backlog_ceiling_ns) {
+    return false;  // Overloaded right now; never migrate into it.
+  }
+  if (frame.memory_budget_bytes > 0) {
+    const double limit = options_.target_memory_fraction *
+                         static_cast<double>(frame.memory_budget_bytes);
+    if (static_cast<double>(frame.memory_in_use) +
+            static_cast<double>(tablet.resident_bytes) >
+        limit) {
+      return false;  // The move would land past the budget headroom.
+    }
+  }
+  return true;
+}
+
+void RebalancePlanner::LaunchMigration(const TabletLoadSample& tablet, ServerId source,
+                                       ServerId target) {
+  Coordinator& coordinator = cluster_->coordinator();
+  // The frame may be up to a staleness window old; re-validate against the
+  // authoritative map before acting on it: the exact range must still exist
+  // and still belong to the claimed source.
+  bool exact_range = false;
+  for (const auto& entry : coordinator.GetAllTablets()) {
+    if (entry.table == tablet.table && entry.start_hash == tablet.start_hash &&
+        entry.end_hash == tablet.end_hash) {
+      exact_range = entry.owner == source;
+      break;
+    }
+  }
+  if (!exact_range) {
+    stats_.skipped_no_candidate++;
+    return;
+  }
+  const size_t source_index = MasterIndexOf(source);
+  const size_t target_index = MasterIndexOf(target);
+  if (source_index >= cluster_->num_masters() || target_index >= cluster_->num_masters()) {
+    stats_.skipped_no_candidate++;
+    return;
+  }
+  LOG_INFO("planner: migrate table %llu [%llx, %llx] %u -> %u (%llu ops/s, %.1f MB)",
+           static_cast<unsigned long long>(tablet.table),
+           static_cast<unsigned long long>(tablet.start_hash),
+           static_cast<unsigned long long>(tablet.end_hash), source, target,
+           static_cast<unsigned long long>(tablet.ops_per_sec()),
+           static_cast<double>(tablet.resident_bytes) / 1e6);
+  stats_.migrations_started++;
+  state_ = State::kMigrating;
+  imbalanced_rounds_ = 0;
+  migration_deadline_ = cluster_->sim().now() + options_.migration_deadline_ns;
+  StartRocksteadyMigration(
+      cluster_, tablet.table, tablet.start_hash, tablet.end_hash, source_index, target_index,
+      options_.migration, [this, alive = alive_](const MigrationStats&) {
+        if (!*alive) {
+          return;
+        }
+        stats_.migrations_completed++;
+        if (state_ == State::kMigrating) {
+          state_ = State::kCooldown;
+          cooldown_until_ = cluster_->sim().now() + options_.cooldown_ns;
+        }
+      });
+}
+
+void RebalancePlanner::PlanOnce() {
+  stats_.rounds++;
+  const Tick now = cluster_->sim().now();
+  Coordinator& coordinator = cluster_->coordinator();
+  if (coordinator.crashed()) {
+    return;  // No map to plan against; frames keep accumulating.
+  }
+
+  if (state_ == State::kMigrating) {
+    if (now >= migration_deadline_) {
+      // The done callback never fired: the migration wedged or aborted.
+      // Stand down; the coordinator's lease watchdog owns the repair.
+      stats_.migrations_timed_out++;
+      state_ = State::kCooldown;
+      cooldown_until_ = now + options_.cooldown_ns;
+    }
+    return;
+  }
+  if (state_ == State::kCooldown) {
+    if (now < cooldown_until_) {
+      return;
+    }
+    state_ = State::kIdle;
+    imbalanced_rounds_ = 0;
+  }
+
+  std::vector<uint64_t> loads;
+  std::vector<bool> fresh;
+  if (!CollectLoads(&loads, &fresh, now)) {
+    stats_.skipped_stale++;
+    imbalanced_rounds_ = 0;
+    state_ = State::kIdle;
+    return;
+  }
+
+  uint64_t total = 0;
+  size_t fresh_count = 0;
+  size_t hottest = cluster_->num_masters();
+  for (size_t i = 0; i < loads.size(); i++) {
+    if (!fresh[i]) {
+      continue;
+    }
+    total += loads[i];
+    fresh_count++;
+    if (hottest >= loads.size() || loads[i] > loads[hottest]) {
+      hottest = i;
+    }
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(fresh_count);
+  const uint64_t max_load = loads[hottest];
+  const bool imbalanced = max_load >= options_.min_imbalance_ops_per_sec &&
+                          static_cast<double>(max_load) > options_.imbalance_ratio * mean;
+  if (!imbalanced) {
+    stats_.skipped_balanced++;
+    imbalanced_rounds_ = 0;
+    state_ = State::kIdle;
+    return;
+  }
+
+  imbalanced_rounds_++;
+  state_ = State::kArming;
+  if (imbalanced_rounds_ < options_.hysteresis_rounds) {
+    return;  // Arming: the imbalance must persist before the planner acts.
+  }
+
+  const ServerId source = cluster_->master(hottest).id();
+  // Targets in ascending load order (ties by index: deterministic).
+  std::vector<size_t> targets;
+  for (size_t i = 0; i < loads.size(); i++) {
+    if (fresh[i] && i != hottest) {
+      targets.push_back(i);
+    }
+  }
+  std::sort(targets.begin(), targets.end(), [&](size_t a, size_t b) {
+    return loads[a] != loads[b] ? loads[a] < loads[b] : a < b;
+  });
+
+  // Move enough to bring the source down toward the mean without pushing
+  // the best target past it.
+  const uint64_t mean_ops = static_cast<uint64_t>(mean);
+  const uint64_t source_excess = max_load - mean_ops;
+  const uint64_t target_headroom =
+      mean_ops > loads[targets.front()] ? mean_ops - loads[targets.front()] : 0;
+  const uint64_t desired_ops = std::min(source_excess, target_headroom);
+  if (desired_ops < options_.min_imbalance_ops_per_sec / 2) {
+    // Everything else is already at the mean; moving a sliver churns for
+    // nothing.
+    stats_.skipped_balanced++;
+    return;
+  }
+
+  bool acted = false;
+  const auto tablet = PickTablet(*frames_[source - 1], desired_ops, &acted);
+  if (!tablet.has_value()) {
+    if (!acted) {
+      stats_.skipped_no_candidate++;
+    }
+    return;
+  }
+
+  for (size_t t : targets) {
+    const ServerId target = cluster_->master(t).id();
+    if (TargetEligible(*frames_[target - 1], *tablet)) {
+      LaunchMigration(*tablet, source, target);
+      return;
+    }
+  }
+  stats_.skipped_no_target++;
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,164 @@
+// The coordinator-side rebalance planner.
+//
+// A deterministic policy loop that closes the telemetry -> decision ->
+// Rocksteady-migration loop: it watches per-master load frames (piggybacked
+// on ping replies and migration heartbeats), detects a sustained imbalance,
+// optionally splits the hot tablet at a histogram-chosen boundary, and
+// drives one Rocksteady migration at a time from the hottest master to the
+// least-loaded eligible target.
+//
+// Policy properties:
+//  * Every threshold is a named constant (the determinism lint enforces
+//    this for src/rebalance policy code) and overridable per run via
+//    RebalancerOptions — no magic numbers in decisions.
+//  * Hysteresis + cooldown: an imbalance must persist for
+//    kHysteresisRounds consecutive planning rounds before acting, and a
+//    completed (or timed-out) migration is followed by a cooldown so the
+//    planner reacts to post-move telemetry, not its own wake.
+//  * Overload/budget aware: a master is never chosen as target while its
+//    recent p99.9, client queue, or dispatch backlog exceed the ceilings,
+//    or when the candidate tablet would push it past its memory-budget
+//    fraction. A kRetryLater from the split path aborts the round.
+//  * One migration in flight, with a deadline: if the done callback never
+//    fires (wedged endpoint), the planner stands down to cooldown and
+//    leaves repair to the coordinator's lease watchdog — it never "fixes"
+//    data paths itself.
+#ifndef ROCKSTEADY_SRC_REBALANCE_PLANNER_H_
+#define ROCKSTEADY_SRC_REBALANCE_PLANNER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/migration/rocksteady_target.h"
+#include "src/rebalance/telemetry.h"
+
+namespace rocksteady {
+
+// --- Policy thresholds (all named; RebalancerOptions mirrors them). ---
+// Planning cadence; one decision per round, at most.
+inline constexpr Tick kPlannerIntervalNs = 10 * kMillisecond;
+// Frames older than this are ignored (a silent master is not a candidate).
+inline constexpr Tick kTelemetryStalenessNs = 50 * kMillisecond;
+// Planning needs at least this many fresh frames (one has nothing to
+// balance against).
+inline constexpr size_t kMinFreshFrames = 2;
+// Act only when the hottest master exceeds the cluster mean by this factor.
+inline constexpr double kImbalanceRatio = 1.3;
+// ...and by at least this absolute rate (don't chase idle-cluster noise).
+inline constexpr uint64_t kMinImbalanceOpsPerSec = 20'000;
+// Consecutive imbalanced rounds required before acting.
+inline constexpr int kHysteresisRounds = 2;
+// Pause after a migration completes (or times out) before re-planning.
+inline constexpr Tick kCooldownNs = 20 * kMillisecond;
+// A planner-started migration that has not completed by this deadline is
+// abandoned to the lease watchdog.
+inline constexpr Tick kMigrationDeadlineNs = 2 * kSecond;
+// Target eligibility ceilings (the PR-3 overload signals).
+inline constexpr Tick kTargetP999CeilingNs = 300'000;
+inline constexpr uint32_t kTargetQueueCeiling = 16;
+inline constexpr Tick kTargetBacklogCeilingNs = 50'000;
+// A move may not push the target past this fraction of its memory budget
+// (matches the migration manager's low watermark — land with headroom).
+inline constexpr double kTargetMemoryFraction = 0.75;
+// Best-fit slack: a tablet whose rate exceeds the desired move by more than
+// this factor is split rather than moved whole.
+inline constexpr double kSplitOvershootFraction = 1.25;
+
+struct RebalancerOptions {
+  Tick planner_interval_ns = kPlannerIntervalNs;
+  Tick telemetry_staleness_ns = kTelemetryStalenessNs;
+  double imbalance_ratio = kImbalanceRatio;
+  uint64_t min_imbalance_ops_per_sec = kMinImbalanceOpsPerSec;
+  int hysteresis_rounds = kHysteresisRounds;
+  Tick cooldown_ns = kCooldownNs;
+  Tick migration_deadline_ns = kMigrationDeadlineNs;
+  Tick target_p999_ceiling_ns = kTargetP999CeilingNs;
+  uint32_t target_queue_ceiling = kTargetQueueCeiling;
+  Tick target_backlog_ceiling_ns = kTargetBacklogCeilingNs;
+  double target_memory_fraction = kTargetMemoryFraction;
+  double split_overshoot_fraction = kSplitOvershootFraction;
+  bool allow_splits = true;
+  // Options for the Rocksteady migrations the planner launches.
+  RocksteadyOptions migration;
+};
+
+struct PlannerStats {
+  uint64_t rounds = 0;
+  uint64_t migrations_started = 0;
+  uint64_t migrations_completed = 0;
+  uint64_t migrations_timed_out = 0;
+  uint64_t splits_requested = 0;
+  uint64_t split_retries = 0;       // Split refused kRetryLater (round aborted).
+  uint64_t skipped_balanced = 0;    // No actionable imbalance this round.
+  uint64_t skipped_stale = 0;       // Too few fresh frames to judge.
+  uint64_t skipped_no_candidate = 0;  // No movable/splittable tablet fits.
+  uint64_t skipped_no_target = 0;     // No eligible target (overload/budget).
+};
+
+class RebalancePlanner {
+ public:
+  enum class State { kIdle, kArming, kMigrating, kCooldown };
+
+  RebalancePlanner(Cluster* cluster, const RebalancerOptions& options = {});
+  ~RebalancePlanner();
+
+  RebalancePlanner(const RebalancePlanner&) = delete;
+  RebalancePlanner& operator=(const RebalancePlanner&) = delete;
+
+  // Starts the periodic planning loop (frames are consumed whether or not
+  // the loop runs; Start is what makes decisions happen).
+  void Start();
+  void Stop();
+
+  // Test hook: feed a frame directly, bypassing the piggyback path.
+  void InjectFrame(const LoadTelemetryFrame& frame);
+
+  // Test hook: run one planning round immediately.
+  void PlanOnce();
+
+  const PlannerStats& stats() const { return stats_; }
+  State state() const { return state_; }
+  const std::optional<LoadTelemetryFrame>& frame(ServerId server) const {
+    return frames_[server - 1];
+  }
+
+ private:
+  struct Candidate {
+    TabletLoadSample tablet;
+    ServerId source = 0;
+  };
+
+  void ScheduleRound();
+  // Frames fresh enough to plan on, one per alive master; empty entries for
+  // the rest. Also returns the loads (ops/s) for present frames.
+  bool CollectLoads(std::vector<uint64_t>* loads, std::vector<bool>* fresh, Tick now);
+  // Picks the tablet to move from `source`'s frame given the desired rate;
+  // may request a split (returns nullopt for "acted by splitting" or "no
+  // candidate" — `acted` distinguishes them).
+  std::optional<TabletLoadSample> PickTablet(const LoadTelemetryFrame& source_frame,
+                                             uint64_t desired_ops, bool* acted);
+  // Chooses a histogram bin boundary inside `tablet` where cumulative ops
+  // reach `desired_ops`, or 0 if no interior bin boundary exists.
+  KeyHash ChooseSplitBoundary(const TabletLoadSample& tablet, uint64_t desired_ops) const;
+  bool TargetEligible(const LoadTelemetryFrame& frame,
+                      const TabletLoadSample& tablet) const;
+  size_t MasterIndexOf(ServerId id) const;
+  void LaunchMigration(const TabletLoadSample& tablet, ServerId source, ServerId target);
+
+  Cluster* cluster_;
+  RebalancerOptions options_;
+  PlannerStats stats_;
+  State state_ = State::kIdle;
+  bool running_ = false;
+  int imbalanced_rounds_ = 0;
+  Tick cooldown_until_ = 0;
+  Tick migration_deadline_ = 0;
+  std::vector<std::optional<LoadTelemetryFrame>> frames_;  // Index = ServerId - 1.
+  // Guards the migration-done callback across planner destruction.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_REBALANCE_PLANNER_H_

@@ -1,0 +1,178 @@
+#include "src/rebalance/telemetry.h"
+
+#include <cstring>
+
+namespace rocksteady {
+namespace {
+
+// Little-endian scalar append/read helpers.
+template <typename T>
+void Put(std::vector<uint8_t>* out, T value) {
+  for (size_t i = 0; i < sizeof(T); i++) {
+    out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+template <typename T>
+bool Get(const std::vector<uint8_t>& in, size_t* pos, T* value) {
+  if (*pos + sizeof(T) > in.size()) {
+    return false;
+  }
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); i++) {
+    v |= static_cast<T>(in[*pos + i]) << (8 * i);
+  }
+  *pos += sizeof(T);
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeLoadFrame(const LoadTelemetryFrame& frame) {
+  std::vector<uint8_t> out;
+  Put<uint32_t>(&out, frame.server);
+  Put<uint64_t>(&out, frame.sampled_at);
+  Put<uint64_t>(&out, frame.recent_p999_ns);
+  Put<uint64_t>(&out, frame.dispatch_backlog_ns);
+  Put<uint32_t>(&out, frame.client_queue_depth);
+  Put<uint64_t>(&out, frame.memory_in_use);
+  Put<uint64_t>(&out, frame.memory_budget_bytes);
+  Put<uint32_t>(&out, static_cast<uint32_t>(frame.tablets.size()));
+  for (const auto& t : frame.tablets) {
+    Put<uint64_t>(&out, t.table);
+    Put<uint64_t>(&out, t.start_hash);
+    Put<uint64_t>(&out, t.end_hash);
+    Put<uint64_t>(&out, t.reads_per_sec);
+    Put<uint64_t>(&out, t.writes_per_sec);
+    Put<uint64_t>(&out, t.bytes_per_sec);
+    Put<uint64_t>(&out, t.resident_bytes);
+    uint8_t nonzero = 0;
+    for (uint64_t ops : t.bin_ops) {
+      if (ops != 0) {
+        nonzero++;
+      }
+    }
+    Put<uint8_t>(&out, nonzero);
+    for (size_t b = 0; b < kHotspotBins; b++) {
+      if (t.bin_ops[b] != 0) {
+        Put<uint8_t>(&out, static_cast<uint8_t>(b));
+        Put<uint64_t>(&out, t.bin_ops[b]);
+      }
+    }
+  }
+  return out;
+}
+
+bool DecodeLoadFrame(const std::vector<uint8_t>& bytes, LoadTelemetryFrame* frame) {
+  size_t pos = 0;
+  uint32_t server = 0;
+  if (!Get(bytes, &pos, &server)) {
+    return false;
+  }
+  frame->server = server;
+  if (!Get(bytes, &pos, &frame->sampled_at) || !Get(bytes, &pos, &frame->recent_p999_ns) ||
+      !Get(bytes, &pos, &frame->dispatch_backlog_ns) ||
+      !Get(bytes, &pos, &frame->client_queue_depth) ||
+      !Get(bytes, &pos, &frame->memory_in_use) ||
+      !Get(bytes, &pos, &frame->memory_budget_bytes)) {
+    return false;
+  }
+  uint32_t num_tablets = 0;
+  if (!Get(bytes, &pos, &num_tablets)) {
+    return false;
+  }
+  frame->tablets.clear();
+  frame->tablets.reserve(num_tablets);
+  for (uint32_t i = 0; i < num_tablets; i++) {
+    TabletLoadSample t;
+    if (!Get(bytes, &pos, &t.table) || !Get(bytes, &pos, &t.start_hash) ||
+        !Get(bytes, &pos, &t.end_hash) || !Get(bytes, &pos, &t.reads_per_sec) ||
+        !Get(bytes, &pos, &t.writes_per_sec) || !Get(bytes, &pos, &t.bytes_per_sec) ||
+        !Get(bytes, &pos, &t.resident_bytes)) {
+      return false;
+    }
+    uint8_t nonzero = 0;
+    if (!Get(bytes, &pos, &nonzero)) {
+      return false;
+    }
+    for (uint8_t n = 0; n < nonzero; n++) {
+      uint8_t bin = 0;
+      uint64_t ops = 0;
+      if (!Get(bytes, &pos, &bin) || !Get(bytes, &pos, &ops) || bin >= kHotspotBins) {
+        return false;
+      }
+      t.bin_ops[bin] = ops;
+    }
+    frame->tablets.push_back(t);
+  }
+  return pos == bytes.size();
+}
+
+ClusterTelemetry::ClusterTelemetry(Cluster* cluster) : cluster_(cluster) {
+  trackers_.reserve(cluster_->num_masters());
+  for (size_t i = 0; i < cluster_->num_masters(); i++) {
+    trackers_.push_back(std::make_unique<TabletLoadTracker>());
+    MasterServer& master = cluster_->master(i);
+    TabletLoadTracker* tracker = trackers_.back().get();
+    master.on_access = [&master, tracker](TableId table, KeyHash hash, bool is_write,
+                                          size_t bytes) {
+      tracker->Record(master.sim().now(), table, hash, is_write, bytes);
+    };
+    master.piggyback_provider = [this, i]() {
+      PiggybackBlob blob;
+      blob.kind = PiggybackKind::kLoadTelemetry;
+      blob.bytes = EncodeLoadFrame(BuildFrame(i));
+      return blob;
+    };
+  }
+}
+
+ClusterTelemetry::~ClusterTelemetry() {
+  for (size_t i = 0; i < cluster_->num_masters(); i++) {
+    cluster_->master(i).on_access = nullptr;
+    cluster_->master(i).piggyback_provider = nullptr;
+  }
+}
+
+LoadTelemetryFrame ClusterTelemetry::BuildFrame(size_t master_index) {
+  MasterServer& master = cluster_->master(master_index);
+  TabletLoadTracker& tracker = *trackers_[master_index];
+  const Tick now = master.sim().now();
+
+  LoadTelemetryFrame frame;
+  frame.server = master.id();
+  frame.sampled_at = now;
+  SourceLoadHeader load;
+  master.FillLoadHeader(&load);
+  frame.recent_p999_ns = load.recent_p999_ns;
+  frame.dispatch_backlog_ns = load.dispatch_backlog_ns;
+  frame.client_queue_depth = load.client_queue_depth;
+  frame.memory_in_use = master.memory_in_use();
+  frame.memory_budget_bytes = master.config().memory_budget_bytes;
+
+  const Tick span = tracker.span();
+  for (const Tablet& tablet : master.objects().tablets().tablets()) {
+    // Only steady-state tablets are rebalance candidates; mid-migration or
+    // recovering ranges are already in motion.
+    if (tablet.state != TabletState::kNormal) {
+      continue;
+    }
+    TabletLoadSample sample;
+    sample.table = tablet.table_id;
+    sample.start_hash = tablet.start_hash;
+    sample.end_hash = tablet.end_hash;
+    const RangeLoad window =
+        tracker.Sum(now, tablet.table_id, tablet.start_hash, tablet.end_hash);
+    sample.reads_per_sec = window.reads * kSecond / span;
+    sample.writes_per_sec = window.writes * kSecond / span;
+    sample.bytes_per_sec = window.bytes * kSecond / span;
+    sample.resident_bytes =
+        master.objects().EstimateRangeBytes(tablet.table_id, tablet.start_hash, tablet.end_hash);
+    sample.bin_ops = tracker.BinOps(now, tablet.table_id, tablet.start_hash, tablet.end_hash);
+    frame.tablets.push_back(std::move(sample));
+  }
+  return frame;
+}
+
+}  // namespace rocksteady

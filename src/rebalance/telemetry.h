@@ -1,0 +1,100 @@
+// Load-telemetry frames: how per-tablet load statistics travel from each
+// master to the coordinator.
+//
+// No new periodic RPC exists for this. The frames ride as PiggybackBlobs on
+// control traffic that flows anyway — the failure detector's ping replies
+// (every master, every ping interval) and migration lease heartbeats (the
+// target mid-migration, every heartbeat interval). The coordinator routes
+// each received blob by PiggybackKind to whoever registered for it (the
+// rebalance planner).
+//
+// ClusterTelemetry is the master-side half: it installs the on_access tap
+// and the piggyback_provider on every master of a cluster, so frames start
+// flowing as soon as the coordinator's failure detector is running.
+#ifndef ROCKSTEADY_SRC_REBALANCE_TELEMETRY_H_
+#define ROCKSTEADY_SRC_REBALANCE_TELEMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/rebalance/load_stats.h"
+
+namespace rocksteady {
+
+// One tablet's load sample inside a frame. Rates are per second of
+// simulated time, derived from the tracker's sliding window.
+struct TabletLoadSample {
+  TableId table = 0;
+  KeyHash start_hash = 0;
+  KeyHash end_hash = 0;  // Inclusive.
+  uint64_t reads_per_sec = 0;
+  uint64_t writes_per_sec = 0;
+  uint64_t bytes_per_sec = 0;
+  // Live log bytes resident in this range (sizes a candidate move against a
+  // budget-limited target).
+  uint64_t resident_bytes = 0;
+  // Hot-spot histogram: window ops clipped to this tablet's range, per
+  // global hash bin (see load_stats.h). Picks split boundaries.
+  std::array<uint64_t, kHotspotBins> bin_ops{};
+
+  uint64_t ops_per_sec() const { return reads_per_sec + writes_per_sec; }
+};
+
+// One master's full telemetry frame. Besides per-tablet load it carries the
+// same overload signals a pull reply's SourceLoadHeader does, plus the
+// memory-budget position — everything the planner needs to keep a migration
+// out of an overloaded or budget-pressed master.
+struct LoadTelemetryFrame {
+  ServerId server = 0;
+  Tick sampled_at = 0;
+  Tick recent_p999_ns = 0;
+  Tick dispatch_backlog_ns = 0;
+  uint32_t client_queue_depth = 0;
+  uint64_t memory_in_use = 0;
+  uint64_t memory_budget_bytes = 0;  // 0 = unlimited.
+  std::vector<TabletLoadSample> tablets;
+
+  uint64_t TotalOpsPerSec() const {
+    uint64_t total = 0;
+    for (const auto& t : tablets) {
+      total += t.ops_per_sec();
+    }
+    return total;
+  }
+};
+
+// Wire codec (little-endian, non-zero histogram bins only). Decode returns
+// false on any truncation or malformed count — a bad frame is dropped, not
+// trusted.
+std::vector<uint8_t> EncodeLoadFrame(const LoadTelemetryFrame& frame);
+bool DecodeLoadFrame(const std::vector<uint8_t>& bytes, LoadTelemetryFrame* frame);
+
+// Installs load telemetry on every master of `cluster`: an on_access tap
+// feeding a per-master TabletLoadTracker, and a piggyback_provider that
+// snapshots a LoadTelemetryFrame on demand. Must outlive the cluster's use
+// of the hooks (destructor uninstalls them).
+class ClusterTelemetry {
+ public:
+  explicit ClusterTelemetry(Cluster* cluster);
+  ~ClusterTelemetry();
+
+  ClusterTelemetry(const ClusterTelemetry&) = delete;
+  ClusterTelemetry& operator=(const ClusterTelemetry&) = delete;
+
+  // Snapshot of master `master_index`'s frame right now (what the provider
+  // piggybacks; also used directly by benches for load-spread metrics).
+  LoadTelemetryFrame BuildFrame(size_t master_index);
+
+  TabletLoadTracker& tracker(size_t master_index) { return *trackers_[master_index]; }
+
+ private:
+  Cluster* cluster_;
+  std::vector<std::unique_ptr<TabletLoadTracker>> trackers_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_REBALANCE_TELEMETRY_H_

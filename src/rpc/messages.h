@@ -81,6 +81,28 @@ struct SourceLoadHeader {
   Tick recent_p999_ns = 0;           // Recent windowed p99.9 client latency.
 };
 
+// --- Generic piggyback blobs (heartbeat/lease payload hook). ---
+// Control-plane RPCs that already flow periodically (failure-detector ping
+// replies, migration lease heartbeats) can carry one optional opaque payload
+// instead of every subsystem growing a parallel RPC. The kind tags the
+// payload for routing at the coordinator; a receiver with no handler for the
+// kind simply ignores the blob. The bytes are an encoding owned entirely by
+// the producing subsystem (e.g. src/rebalance's load-telemetry frames) — the
+// RPC layer never interprets them.
+enum class PiggybackKind : uint8_t {
+  kNone = 0,
+  kLoadTelemetry = 1,  // src/rebalance: per-tablet load frame.
+};
+
+struct PiggybackBlob {
+  PiggybackKind kind = PiggybackKind::kNone;
+  std::vector<uint8_t> bytes;
+
+  bool empty() const { return kind == PiggybackKind::kNone || bytes.empty(); }
+  // Charged wire bytes: kind tag + length prefix + payload (nothing if unset).
+  size_t WireSize() const { return empty() ? 0 : bytes.size() + 3; }
+};
+
 // Every concrete response type declares itself copy-cloneable with this.
 #define ROCKSTEADY_CLONEABLE_RESPONSE(Type) \
   std::unique_ptr<RpcResponse> Clone() const override { return std::make_unique<Type>(*this); }
@@ -324,15 +346,27 @@ struct PingRequest : RpcRequest {
   size_t WireSize() const override { return kRpcHeaderBytes; }
 };
 
+struct PingResponse : RpcResponse {
+  ServerId server = 0;
+  // Optional payload riding the existing probe (load telemetry, ...).
+  PiggybackBlob piggyback;
+
+  size_t WireSize() const override { return kRpcHeaderBytes + 4 + piggyback.WireSize(); }
+  ROCKSTEADY_CLONEABLE_RESPONSE(PingResponse)
+};
+
 struct MigrationHeartbeatRequest : RpcRequest {
   // Identifies the migration by its dependency edge; the coordinator renews
   // the lease it tracks for this (source, target, table) tuple.
   ServerId source = 0;
   ServerId target = 0;
   TableId table = 0;
+  // Optional payload riding the lease renewal (a migration target's load
+  // telemetry reaches the coordinator on this faster cadence mid-migration).
+  PiggybackBlob piggyback;
 
   Opcode op() const override { return Opcode::kMigrationHeartbeat; }
-  size_t WireSize() const override { return kRpcHeaderBytes + 16; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 16 + piggyback.WireSize(); }
 };
 
 struct AbortMigrationRequest : RpcRequest {

@@ -207,6 +207,23 @@ size_t ObjectManager::DropTabletEntries(TableId table, KeyHash start_hash, KeyHa
   });
 }
 
+uint64_t ObjectManager::EstimateRangeBytes(TableId table, KeyHash start_hash,
+                                           KeyHash end_hash) const {
+  uint64_t bytes = 0;
+  hash_table_.ForEach([&](KeyHash hash, LogRef ref) {
+    if (hash < start_hash || hash > end_hash) {
+      return;
+    }
+    LogEntryView entry;
+    if (!log_.Read(ref, &entry) || entry.table_id() != table ||
+        entry.type() != LogEntryType::kObject) {
+      return;
+    }
+    bytes += sizeof(LogEntryHeader) + entry.key.size() + entry.value.size();
+  });
+  return bytes;
+}
+
 size_t ObjectManager::RunCleaner(size_t max_segments) { return cleaner_.CleanOnce(max_segments); }
 
 size_t ObjectManager::RunEmergencyCleaner(size_t max_segments) {

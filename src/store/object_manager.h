@@ -77,6 +77,13 @@ class ObjectManager {
   // the log space).
   size_t DropTabletEntries(TableId table, KeyHash start_hash, KeyHash end_hash);
 
+  // Resident bytes of live records in [start_hash, end_hash] of `table`
+  // (log-entry footprint: header + key + value). The rebalancer sizes a
+  // candidate tablet with this before migrating it into a budget-limited
+  // target. Walks the hash table; callers sample it at telemetry cadence,
+  // not per request.
+  uint64_t EstimateRangeBytes(TableId table, KeyHash start_hash, KeyHash end_hash) const;
+
   // --- Cleaner. ---
   // Runs up to `max_segments` cleaning passes; returns segments cleaned.
   size_t RunCleaner(size_t max_segments = 1);

@@ -46,6 +46,15 @@ struct Tablet {
   bool Contains(TableId table, KeyHash hash) const {
     return table == table_id && hash >= start_hash && hash <= end_hash;
   }
+
+  // True if splitting at `h` leaves both halves at least `min_span` hashes
+  // wide — the split-policy gate (a split at start_hash would make the lower
+  // half empty). Ranges are inclusive, so the full hash space never
+  // overflows here: h > start_hash >= 0 keeps both subtractions in range.
+  bool CanSplitAt(KeyHash h, KeyHash min_span) const {
+    return h > start_hash && h <= end_hash && h - start_hash >= min_span &&
+           end_hash - h + 1 >= min_span;
+  }
 };
 
 // The set of tablets a master currently knows about (owned or mid-release).

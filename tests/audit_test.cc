@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "src/cluster/cluster.h"
 #include "src/common/audit.h"
 #include "src/common/dcheck.h"
 #include "src/hashtable/hash_table.h"
@@ -119,6 +120,37 @@ TEST(AuditTest, DetectsOverlappingTabletRanges) {
   tablets.AuditInvariants(&report);
   ASSERT_EQ(report.violations().size(), 1u) << report.Summary();
   EXPECT_TRUE(SummaryContains(report, "overlap")) << report.Summary();
+}
+
+TEST(AuditTest, CrossLayerAuditAcceptsSplitTilingAndCatchesHoles) {
+  // Regression: the ownership audit used to assume one contiguous hash
+  // range per table per master. After splits, one map range may be tiled by
+  // several local tablets (and vice versa) — that must audit clean, while a
+  // genuine hole in the owner's local coverage must not.
+  ClusterConfig config;
+  config.num_masters = 2;
+  config.master.hash_table_log2_buckets = 8;
+  config.master.segment_size = 64 * 1024;
+  Cluster cluster(config);
+  cluster.CreateTable(1, 0);
+  const KeyHash quarter = KeyHash{1} << 62;
+  cluster.coordinator().SplitTablet(1, 2 * quarter);
+
+  // Re-split only the owner's local view: the map holds two ranges, the
+  // owner holds four local tablets tiling them. Still clean.
+  TabletManager& local = cluster.master(0).objects().tablets();
+  local.Split(1, quarter);
+  local.Split(1, 3 * quarter);
+  AuditReport clean;
+  cluster.coordinator().AuditInvariants(&clean);
+  EXPECT_TRUE(clean.ok()) << clean.Summary();
+
+  // Punch a hole in the owner's coverage of the upper map range.
+  ASSERT_TRUE(local.Remove(1, 3 * quarter, ~KeyHash{0}));
+  AuditReport holed;
+  cluster.coordinator().AuditInvariants(&holed);
+  ASSERT_FALSE(holed.ok());
+  EXPECT_TRUE(SummaryContains(holed, "no local tablet")) << holed.Summary();
 }
 
 TEST(AuditTest, DetectsInvertedTabletRange) {

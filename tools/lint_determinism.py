@@ -13,6 +13,13 @@ that promise:
     iteration order depends on allocation addresses, so any behavior derived
     from it varies run to run.
 
+It also guards the rebalancer's policy hygiene: decision code in
+src/rebalance/*.cc must not compare against numeric literals (magic
+thresholds drift silently and make planner behavior impossible to reason
+about across runs). Every threshold must be a named constexpr constant
+(declared in a header or on a `constexpr` line); the literals 0 and 1 are
+allowed (empty/first/identity checks, not policy).
+
 It also guards the overload-resilience work: growable containers
 (std::deque / std::unordered_map / std::unordered_set) declared as members
 in request-path headers (src/rpc, src/cluster, src/migration) accumulate
@@ -138,6 +145,42 @@ BOUND_EVIDENCE = re.compile(
     r"watermark|at most|cleared|removed|erase", re.IGNORECASE)
 
 
+# --- Magic policy thresholds in rebalancer decision code. ---
+# A comparison against a numeric literal in src/rebalance/*.cc is a policy
+# threshold that escaped naming. 0 and 1 are allowed (emptiness, identity,
+# first-element checks); a line that itself declares a constexpr constant is
+# the naming we want, not a violation.
+NUMERIC_LITERAL = r"\d[\d']*(?:\.\d+)?(?:e[-+]?\d+)?[uUlLfF]*"
+THRESHOLD_COMPARISON = re.compile(
+    r"(?:[<>!=]=|[<>])\s*(" + NUMERIC_LITERAL + r")\b|"
+    r"\b(" + NUMERIC_LITERAL + r")\s*(?:[<>!=]=|[<>])")
+ALLOWED_THRESHOLD_LITERALS = {"0", "1"}
+
+
+def is_rebalance_policy_file(path: Path) -> bool:
+    return path.suffix == ".cc" and "rebalance" in path.parts
+
+
+def lint_magic_thresholds(lines):
+    """Yields (lineno, message) for literal threshold comparisons."""
+    in_block = False
+    for i, raw in enumerate(lines):
+        if SUPPRESS in raw:
+            _, in_block = strip_noncode(raw, in_block)
+            continue
+        code, in_block = strip_noncode(raw, in_block)
+        if "constexpr" in code:
+            continue
+        for match in THRESHOLD_COMPARISON.finditer(code):
+            literal = (match.group(1) or match.group(2)).rstrip("uUlLfF")
+            if literal in ALLOWED_THRESHOLD_LITERALS:
+                continue
+            yield (i + 1,
+                   f"comparison against literal {literal} in rebalancer "
+                   "policy code; name it as a constexpr threshold "
+                   "(see src/rebalance/planner.h)")
+
+
 def is_request_path_header(path: Path) -> bool:
     return path.suffix in (".h", ".hpp") and any(
         part in REQUEST_PATH_DIRS for part in path.parts)
@@ -178,6 +221,9 @@ def lint_file(path: Path):
     if is_request_path_header(path):
         for lineno, message in lint_unbounded_members(text.splitlines()):
             violations.append((lineno, "unbounded-member", message))
+    if is_rebalance_policy_file(path):
+        for lineno, message in lint_magic_thresholds(text.splitlines()):
+            violations.append((lineno, "magic-threshold", message))
     return violations
 
 
