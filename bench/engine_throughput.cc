@@ -1,0 +1,218 @@
+// Wall-clock throughput of the simulation engine itself.
+//
+// Every figure in this reproduction is bounded by how many simulated events
+// per second the single-threaded engine dispatches, so this driver measures
+// exactly that — no paper metric, just engine speed — across three
+// scenarios of increasing realism:
+//
+//   dispatch        self-rescheduling timer chains: pure queue + callback
+//                   overhead, zero application work.
+//   ycsb_b          steady-state YCSB-B against 4 masters (full RPC stack,
+//                   dispatch/worker cores, no migration).
+//   ycsb_migration  YCSB-B with a Rocksteady migration of half the table
+//                   mid-run — the acceptance scenario for engine PRs.
+//
+// Output is one JSON object per line, parsed by tools/bench_baseline.py into
+// BENCH_engine.json. Each line carries the run's trace_hash so that engine
+// optimizations can be checked for bit-identical schedules against the
+// recorded baseline (determinism is non-negotiable; see DESIGN.md).
+//
+// Wall-clock timing is deliberate and allowed here: bench/ is outside the
+// determinism lint's scope, and the measured time never feeds back into
+// simulation state.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "bench/experiment_common.h"
+#include "src/common/inline_function.h"
+#include "src/migration/rocksteady_target.h"
+#include "tests/alloc_hook.h"
+
+namespace rocksteady {
+namespace {
+
+constexpr TableId kTable = 1;
+constexpr KeyHash kMid = 1ull << 63;
+
+struct ScenarioResult {
+  size_t events = 0;
+  double wall_s = 0;
+  Tick sim_ns = 0;
+  uint64_t trace_hash = 0;
+  uint64_t allocs = 0;
+  uint64_t fn_fallbacks = 0;  // InlineFunction closures that heap-boxed.
+};
+
+void Report(const char* scenario, uint64_t seed, const ScenarioResult& r) {
+  const double events_per_s = r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0;
+  const double allocs_per_event =
+      r.events > 0 ? static_cast<double>(r.allocs) / static_cast<double>(r.events) : 0;
+  std::printf(
+      "{\"scenario\":\"%s\",\"seed\":%" PRIu64 ",\"events\":%zu,\"wall_s\":%.6f,"
+      "\"events_per_s\":%.0f,\"sim_s\":%.6f,\"trace_hash\":\"0x%016" PRIx64 "\","
+      "\"allocs\":%" PRIu64 ",\"allocs_per_event\":%.3f,\"fn_fallbacks\":%" PRIu64 "}\n",
+      scenario, seed, r.events, r.wall_s, events_per_s,
+      static_cast<double>(r.sim_ns) / 1e9, r.trace_hash, r.allocs, allocs_per_event,
+      r.fn_fallbacks);
+  std::fflush(stdout);
+}
+
+// Times `run` (the event loop only — setup is excluded) and snapshots the
+// global allocation counter around it.
+template <typename F>
+void Measure(F&& run, ScenarioResult* result) {
+  const uint64_t allocs_before = GlobalAllocCount();
+  const uint64_t fallbacks_before = InlineFunctionHeapFallbacks();
+  const auto start = std::chrono::steady_clock::now();
+  run();
+  const auto end = std::chrono::steady_clock::now();
+  result->wall_s = std::chrono::duration<double>(end - start).count();
+  result->allocs = GlobalAllocCount() - allocs_before;
+  result->fn_fallbacks = InlineFunctionHeapFallbacks() - fallbacks_before;
+}
+
+// --- dispatch: K self-rescheduling chains, period 100 ns. ---
+
+class Chain {
+ public:
+  Chain(Simulator* sim, Tick period, Tick stop) : sim_(sim), period_(period), stop_(stop) {}
+
+  void Start(Tick at) {
+    sim_->At(at, [this] { Step(); });
+  }
+
+ private:
+  void Step() {
+    const Tick next = sim_->now() + period_;
+    if (next <= stop_) {
+      sim_->At(next, [this] { Step(); });
+    }
+  }
+
+  Simulator* sim_;
+  Tick period_;
+  Tick stop_;
+};
+
+ScenarioResult RunDispatch(uint64_t seed, bool smoke) {
+  constexpr int kChains = 32;
+  constexpr Tick kPeriod = 100;
+  const Tick stop = smoke ? kMillisecond : 10 * kMillisecond;
+
+  Simulator sim(seed);
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (int i = 0; i < kChains; i++) {
+    chains.push_back(std::make_unique<Chain>(&sim, kPeriod, stop));
+    chains.back()->Start(static_cast<Tick>(i));  // Staggered starts.
+  }
+  ScenarioResult result;
+  Measure([&] { sim.Run(); }, &result);
+  result.events = sim.events_processed();
+  result.sim_ns = sim.now();
+  result.trace_hash = sim.trace_hash();
+  return result;
+}
+
+// --- ycsb_b / ycsb_migration: the full stack. ---
+
+struct ClusterScenario {
+  uint64_t records = 20'000;
+  double ops_per_second = 75'000;  // Per client, two clients.
+  Tick stop_time = 0;
+  std::optional<Tick> migrate_at;  // Upper half of the table, master 0 -> 1.
+  bool spread = false;             // Spread the table across all masters.
+};
+
+ScenarioResult RunCluster(uint64_t seed, const ClusterScenario& scenario) {
+  ClusterConfig config;
+  config.num_masters = 4;
+  config.num_clients = 2;
+  config.seed = seed;
+  config.master.hash_table_log2_buckets = 15;
+  config.master.segment_size = 256 * 1024;
+  Cluster cluster(config);
+  EnableMigration(&cluster);
+  cluster.CreateTable(kTable, 0);
+  if (scenario.spread) {
+    SpreadTableAcross(cluster, kTable, config.num_masters);
+  }
+  // Key length 12 keeps client-side keys inside std::string's SSO buffer so
+  // the bench measures engine churn, not key-copy malloc traffic.
+  cluster.LoadTable(kTable, scenario.records, 12, 100);
+
+  YcsbConfig ycsb = YcsbConfig::WorkloadB();
+  ycsb.num_records = scenario.records;
+  YcsbWorkload workload_a(ycsb);
+  YcsbWorkload workload_b(ycsb);
+  ClientActorConfig actor_config;
+  actor_config.ops_per_second = scenario.ops_per_second;
+  actor_config.stop_time = scenario.stop_time;
+  ClientActor actor_a(kTable, &cluster.client(0), &workload_a, actor_config);
+  ClientActor actor_b(kTable, &cluster.client(1), &workload_b, actor_config);
+  actor_a.Start();
+  actor_b.Start();
+
+  std::optional<MigrationStats> stats;
+  if (scenario.migrate_at.has_value()) {
+    cluster.sim().At(*scenario.migrate_at, [&] {
+      StartRocksteadyMigration(&cluster, kTable, kMid, ~0ull, 0, 1, RocksteadyOptions{},
+                               [&](const MigrationStats& s) { stats = s; });
+    });
+  }
+
+  ScenarioResult result;
+  const size_t events_before = cluster.sim().events_processed();
+  Measure([&] { cluster.sim().Run(); }, &result);
+  result.events = cluster.sim().events_processed() - events_before;
+  result.sim_ns = cluster.sim().now();
+  result.trace_hash = cluster.sim().trace_hash();
+  if (scenario.migrate_at.has_value() && !stats.has_value()) {
+    std::fprintf(stderr, "engine_throughput: migration did not complete (seed %" PRIu64 ")\n",
+                 seed);
+    std::exit(1);
+  }
+  if (actor_a.completed() + actor_b.completed() == 0) {
+    std::fprintf(stderr, "engine_throughput: no client ops completed (seed %" PRIu64 ")\n", seed);
+    std::exit(1);
+  }
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  Report("dispatch", 42, RunDispatch(42, smoke));
+
+  ClusterScenario steady;
+  steady.spread = true;
+  steady.records = smoke ? 4'000 : 20'000;
+  steady.stop_time = smoke ? 20 * kMillisecond : 100 * kMillisecond;
+  Report("ycsb_b", 42, RunCluster(42, steady));
+
+  ClusterScenario migration;
+  migration.spread = false;  // Whole table on master 0; migrate half to 1.
+  migration.records = smoke ? 4'000 : 20'000;
+  migration.stop_time = smoke ? 30 * kMillisecond : 120 * kMillisecond;
+  migration.migrate_at = smoke ? 10 * kMillisecond : 20 * kMillisecond;
+  Report("ycsb_migration", 42, RunCluster(42, migration));
+  if (!smoke) {
+    Report("ycsb_migration", 7, RunCluster(7, migration));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rocksteady
+
+int main(int argc, char** argv) { return rocksteady::Main(argc, argv); }

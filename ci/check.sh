@@ -40,6 +40,14 @@ step "overload protection: admission control, load shedding, memory budget"
 step "rpc dedup cache stays bounded"
 "${ROOT}/build-asan/tests/rpc_test" --gtest_filter='*Dedup*'
 
+step "engine bench smoke (~2s; fails only if the bench crashes)"
+# Compare against the recorded trajectory without mutating it: the smoke
+# entry lands in a scratch copy, so CI stays read-only on BENCH_engine.json
+# while still warning if a smoke trace_hash diverges from the recorded one.
+cp "${ROOT}/BENCH_engine.json" "${ROOT}/build-asan/BENCH_smoke.json" 2>/dev/null || true
+python3 "${ROOT}/tools/bench_baseline.py" --build-dir "${ROOT}/build-asan" \
+  --smoke --label ci_smoke --output "${ROOT}/build-asan/BENCH_smoke.json"
+
 step "build: debug audit (Debug, -Werror, ROCKSTEADY_AUDIT=ON)"
 cmake -B "${ROOT}/build-audit" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=Debug \

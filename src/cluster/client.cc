@@ -39,176 +39,212 @@ void RamCloudClient::RefreshConfig(TableId table, std::function<void()> then) {
       costs_->rpc_timeout_ns);
 }
 
-void RamCloudClient::RunWithRetries(TableId table,
-                                    std::function<void(std::function<void(Status, Tick)>)> go,
-                                    DoneCallback done, int attempts_left) {
-  auto shared_go = std::make_shared<decltype(go)>(std::move(go));
-  (*shared_go)([this, table, shared_go, done = std::move(done), attempts_left](
-                   Status status, Tick hint) mutable {
-    Simulator& sim = coordinator_->sim();
-    if (status == Status::kOk) {
-      ops_completed_++;
-      done(status);
-      return;
-    }
-    if (attempts_left <= 1) {
-      ops_failed_++;
-      done(Status::kServerDown);
-      return;
-    }
-    // `done` must survive both the retry path and the terminal default
-    // branch below; park it in a shared holder.
-    auto done_holder = std::make_shared<DoneCallback>(std::move(done));
-    auto retry = [this, table, shared_go, done_holder, attempts_left]() mutable {
-      RunWithRetries(
-          table, [shared_go](std::function<void(Status, Tick)> report) { (*shared_go)(report); },
-          std::move(*done_holder), attempts_left - 1);
-    };
-    switch (status) {
-      case Status::kWrongServer:
-      case Status::kTableNotFound: {
-        wrong_server_retries_++;
-        // Escalating backoff: repeated kWrongServer for the same op means
-        // the map is *still* stale (e.g. a pre-copy freeze window before
-        // the coordinator learns the new owner) — don't hammer.
-        const int attempt = kMaxAttempts - attempts_left;
-        const Tick backoff =
-            attempt <= 1 ? 0
-                         : std::min<Tick>(static_cast<Tick>(attempt) *
-                                              costs_->wrong_server_backoff_step_ns,
-                                          costs_->wrong_server_backoff_max_ns);
-        sim.After(backoff, [this, table, retry = std::move(retry)]() mutable {
-          RefreshConfig(table, std::move(retry));
-        });
-        return;
-      }
-      case Status::kRetryLater: {
-        retry_later_retries_++;
-        const Tick jitter = sim.rng().UniformRange(costs_->retry_backoff_min_ns,
-                                                   costs_->retry_backoff_max_ns);
-        const Tick at = std::max(hint, sim.now()) + jitter;
-        sim.At(at, std::move(retry));
-        return;
-      }
-      case Status::kServerDown:
-        server_down_retries_++;
-        // Likely a crash: wait for recovery to make progress, then refresh.
-        sim.After(costs_->recovering_retry_hint_ns,
-                  [this, table, retry = std::move(retry)]() mutable {
-          RefreshConfig(table, std::move(retry));
-        });
-        return;
-      default:
-        // kObjectNotFound is a legitimate outcome, not a failure.
-        if (status == Status::kObjectNotFound) {
-          ops_completed_++;
-        } else {
-          ops_failed_++;
-        }
-        (*done_holder)(status);
-        return;
-    }
-  });
+RamCloudClient::RetryState* RamCloudClient::AllocState(TableId table) {
+  RetryState* s = free_states_;
+  if (s != nullptr) {
+    free_states_ = s->next_free;
+  } else {
+    states_.push_back(std::make_unique<RetryState>());
+    s = states_.back().get();
+  }
+  s->table = table;
+  s->attempts_left = kMaxAttempts;
+  s->next_free = nullptr;
+  return s;
 }
 
-void RamCloudClient::Read(TableId table, std::string key, ReadCallback done) {
+void RamCloudClient::FreeState(RetryState* s) {
+  // The go closure is deliberately NOT destroyed here: a synchronous Report
+  // from inside an executing go (e.g. a cache miss on the final attempt)
+  // reaches this point with that closure's frame still on the stack. The
+  // slot's next user overwrites it instead.
+  s->done = nullptr;
+  s->read_done = nullptr;
+  // clear() (not = {}) so key/value/payload capacity survives for the next
+  // op through this slot — the whole point of pooling the strings here.
+  s->payload.clear();
+  s->next_free = free_states_;
+  free_states_ = s;
+}
+
+void RamCloudClient::Retry(RetryState* s) {
+  s->attempts_left--;
+  s->go();
+}
+
+void RamCloudClient::Finish(RetryState* s, Status status) {
+  // Move the continuation out before invoking it: it may synchronously
+  // issue a new op (and that op must not see a half-retired slot).
+  if (s->read_done) {
+    ReadCallback done = std::move(s->read_done);
+    done(status, s->payload);
+  } else {
+    DoneCallback done = std::move(s->done);
+    done(status);
+  }
+  FreeState(s);
+}
+
+void RamCloudClient::Report(RetryState* s, Status status, Tick hint) {
+  Simulator& sim = coordinator_->sim();
+  if (status == Status::kOk) {
+    ops_completed_++;
+    Finish(s, status);
+    return;
+  }
+  if (s->attempts_left <= 1) {
+    ops_failed_++;
+    Finish(s, Status::kServerDown);
+    return;
+  }
+  switch (status) {
+    case Status::kWrongServer:
+    case Status::kTableNotFound: {
+      wrong_server_retries_++;
+      // Escalating backoff: repeated kWrongServer for the same op means
+      // the map is *still* stale (e.g. a pre-copy freeze window before
+      // the coordinator learns the new owner) — don't hammer.
+      const int attempt = kMaxAttempts - s->attempts_left;
+      const Tick backoff =
+          attempt <= 1 ? 0
+                       : std::min<Tick>(static_cast<Tick>(attempt) *
+                                            costs_->wrong_server_backoff_step_ns,
+                                        costs_->wrong_server_backoff_max_ns);
+      sim.After(backoff, [this, s] { RefreshConfig(s->table, [this, s] { Retry(s); }); });
+      return;
+    }
+    case Status::kRetryLater: {
+      retry_later_retries_++;
+      const Tick jitter = sim.rng().UniformRange(costs_->retry_backoff_min_ns,
+                                                 costs_->retry_backoff_max_ns);
+      const Tick at = std::max(hint, sim.now()) + jitter;
+      sim.At(at, [this, s] { Retry(s); });
+      return;
+    }
+    case Status::kServerDown:
+      server_down_retries_++;
+      // Likely a crash: wait for recovery to make progress, then refresh.
+      sim.After(costs_->recovering_retry_hint_ns,
+                [this, s] { RefreshConfig(s->table, [this, s] { Retry(s); }); });
+      return;
+    default:
+      // kObjectNotFound is a legitimate outcome, not a failure.
+      if (status == Status::kObjectNotFound) {
+        ops_completed_++;
+      } else {
+        ops_failed_++;
+      }
+      Finish(s, status);
+      return;
+  }
+}
+
+void RamCloudClient::Read(TableId table, std::string_view key, ReadCallback done) {
   const KeyHash hash = HashKey(table, key);
-  auto value = std::make_shared<std::string>();
-  auto go = [this, table, key = std::move(key), hash,
-             value](std::function<void(Status, Tick)> report) {
+  RetryState* s = AllocState(table);
+  s->read_done = std::move(done);
+  s->key.assign(key);
+  s->go = [this, s, hash] {
     NodeId owner;
-    if (!CachedOwner(table, hash, &owner)) {
-      report(Status::kWrongServer, 0);
+    if (!CachedOwner(s->table, hash, &owner)) {
+      Report(s, Status::kWrongServer, 0);
       return;
     }
     auto request = std::make_unique<ReadRequest>();
-    request->table = table;
-    request->key = key;
+    request->table = s->table;
+    request->key = s->key;
     request->hash = hash;
     coordinator_->rpc().Call(
         node(), owner, std::move(request),
-        [value, report](Status status, std::unique_ptr<RpcResponse> response) {
+        [this, s](Status status, std::unique_ptr<RpcResponse> response) {
           if (status != Status::kOk) {
-            report(status, 0);
+            Report(s, status, 0);
             return;
           }
           auto& read = static_cast<ReadResponse&>(*response);
           if (read.status == Status::kOk) {
-            *value = std::move(read.value);
+            s->payload = std::move(read.value);
           }
-          report(read.status, read.retry_after);
+          Report(s, read.status, read.retry_after);
         },
         costs_->rpc_timeout_ns);
   };
-  RunWithRetries(table, std::move(go),
-                 [value, done = std::move(done)](Status status) { done(status, *value); },
-                 kMaxAttempts);
+  s->go();
 }
 
-void RamCloudClient::Write(TableId table, std::string key, std::string value, DoneCallback done,
-                           std::string secondary_key) {
+void RamCloudClient::Write(TableId table, std::string_view key, std::string_view value,
+                           DoneCallback done, std::string_view secondary_key) {
   const KeyHash hash = HashKey(table, key);
-  auto go = [this, table, key = std::move(key), hash, value = std::move(value),
-             secondary_key = std::move(secondary_key)](std::function<void(Status, Tick)> report) {
+  RetryState* s = AllocState(table);
+  s->done = std::move(done);
+  s->key.assign(key);
+  s->value.assign(value);
+  s->secondary.assign(secondary_key);
+  s->go = [this, s, hash] {
     NodeId owner;
-    if (!CachedOwner(table, hash, &owner)) {
-      report(Status::kWrongServer, 0);
+    if (!CachedOwner(s->table, hash, &owner)) {
+      Report(s, Status::kWrongServer, 0);
       return;
     }
     auto request = std::make_unique<WriteRequest>();
-    request->table = table;
-    request->key = key;
+    request->table = s->table;
+    request->key = s->key;
     request->hash = hash;
-    request->value = value;
-    request->secondary_key = secondary_key;
+    request->value = s->value;
+    request->secondary_key = s->secondary;
     coordinator_->rpc().Call(
         node(), owner, std::move(request),
-        [report](Status status, std::unique_ptr<RpcResponse> response) {
-          report(status == Status::kOk ? response->status : status, 0);
+        [this, s](Status status, std::unique_ptr<RpcResponse> response) {
+          Report(s, status == Status::kOk ? response->status : status, 0);
         },
         costs_->rpc_timeout_ns);
   };
-  RunWithRetries(table, std::move(go), std::move(done), kMaxAttempts);
+  s->go();
 }
 
-void RamCloudClient::Remove(TableId table, std::string key, DoneCallback done) {
+void RamCloudClient::Remove(TableId table, std::string_view key, DoneCallback done) {
   const KeyHash hash = HashKey(table, key);
-  auto go = [this, table, key = std::move(key), hash](std::function<void(Status, Tick)> report) {
+  RetryState* s = AllocState(table);
+  s->done = std::move(done);
+  s->key.assign(key);
+  s->go = [this, s, hash] {
     NodeId owner;
-    if (!CachedOwner(table, hash, &owner)) {
-      report(Status::kWrongServer, 0);
+    if (!CachedOwner(s->table, hash, &owner)) {
+      Report(s, Status::kWrongServer, 0);
       return;
     }
     auto request = std::make_unique<RemoveRequest>();
-    request->table = table;
-    request->key = key;
+    request->table = s->table;
+    request->key = s->key;
     request->hash = hash;
     coordinator_->rpc().Call(
         node(), owner, std::move(request),
-        [report](Status status, std::unique_ptr<RpcResponse> response) {
-          report(status == Status::kOk ? response->status : status, 0);
+        [this, s](Status status, std::unique_ptr<RpcResponse> response) {
+          Report(s, status == Status::kOk ? response->status : status, 0);
         },
         costs_->rpc_timeout_ns);
   };
-  RunWithRetries(table, std::move(go), std::move(done), kMaxAttempts);
+  s->go();
 }
 
 void RamCloudClient::MultiGet(TableId table, std::vector<std::string> keys, DoneCallback done) {
-  auto go = [this, table, keys = std::move(keys)](std::function<void(Status, Tick)> report) {
+  RetryState* s = AllocState(table);
+  s->done = std::move(done);
+  s->go = [this, s, keys = std::move(keys)] {
     // Group keys by owning server (the cluster-load effect Figure 3
     // measures: spread N means N parallel RPCs for the same 7 keys).
     std::map<NodeId, std::unique_ptr<MultiGetRequest>> groups;
     for (const auto& key : keys) {
-      const KeyHash hash = HashKey(table, key);
+      const KeyHash hash = HashKey(s->table, key);
       NodeId owner;
-      if (!CachedOwner(table, hash, &owner)) {
-        report(Status::kWrongServer, 0);
+      if (!CachedOwner(s->table, hash, &owner)) {
+        Report(s, Status::kWrongServer, 0);
         return;
       }
       auto& request = groups[owner];
       if (request == nullptr) {
         request = std::make_unique<MultiGetRequest>();
-        request->table = table;
+        request->table = s->table;
       }
       request->keys.push_back(key);
       request->hashes.push_back(hash);
@@ -217,15 +253,15 @@ void RamCloudClient::MultiGet(TableId table, std::vector<std::string> keys, Done
       size_t remaining = 0;
       Status worst = Status::kOk;
       Tick hint = 0;
-      std::function<void(Status, Tick)> report;
+      RetryState* s = nullptr;
     };
     auto aggregate = std::make_shared<Aggregate>();
     aggregate->remaining = groups.size();
-    aggregate->report = report;
+    aggregate->s = s;
     for (auto& [owner, request] : groups) {
       coordinator_->rpc().Call(
           node(), owner, std::move(request),
-          [aggregate](Status status, std::unique_ptr<RpcResponse> response) {
+          [this, aggregate](Status status, std::unique_ptr<RpcResponse> response) {
             Status effective = status;
             Tick hint = 0;
             if (status == Status::kOk) {
@@ -238,22 +274,23 @@ void RamCloudClient::MultiGet(TableId table, std::vector<std::string> keys, Done
             }
             aggregate->hint = std::max(aggregate->hint, hint);
             if (--aggregate->remaining == 0) {
-              aggregate->report(aggregate->worst, aggregate->hint);
+              Report(aggregate->s, aggregate->worst, aggregate->hint);
             }
           },
           costs_->rpc_timeout_ns);
     }
   };
-  RunWithRetries(table, std::move(go), std::move(done), kMaxAttempts);
+  s->go();
 }
 
 void RamCloudClient::IndexScan(TableId table, uint8_t index_id, std::string start_key,
                                uint32_t count, DoneCallback done) {
-  auto go = [this, table, index_id, start_key = std::move(start_key),
-             count](std::function<void(Status, Tick)> report) {
-    const auto* config = coordinator_->GetIndexConfig(table, index_id);
+  RetryState* s = AllocState(table);
+  s->done = std::move(done);
+  s->go = [this, s, index_id, start_key = std::move(start_key), count] {
+    const auto* config = coordinator_->GetIndexConfig(s->table, index_id);
     if (config == nullptr) {
-      report(Status::kTableNotFound, 0);
+      Report(s, Status::kTableNotFound, 0);
       return;
     }
     NodeId indexlet_node = 0;
@@ -267,28 +304,28 @@ void RamCloudClient::IndexScan(TableId table, uint8_t index_id, std::string star
       }
     }
     if (!found) {
-      report(Status::kTableNotFound, 0);
+      Report(s, Status::kTableNotFound, 0);
       return;
     }
     auto lookup = std::make_unique<IndexLookupRequest>();
-    lookup->table = table;
+    lookup->table = s->table;
     lookup->index_id = index_id;
     lookup->start_key = start_key;
     lookup->count = count;
     coordinator_->rpc().Call(
         node(), indexlet_node, std::move(lookup),
-        [this, table, report](Status status, std::unique_ptr<RpcResponse> response) {
+        [this, s](Status status, std::unique_ptr<RpcResponse> response) {
           if (status != Status::kOk) {
-            report(status, 0);
+            Report(s, status, 0);
             return;
           }
           auto& lookup_response = static_cast<IndexLookupResponse&>(*response);
           if (lookup_response.status != Status::kOk) {
-            report(lookup_response.status, 0);
+            Report(s, lookup_response.status, 0);
             return;
           }
           if (lookup_response.hashes.empty()) {
-            report(Status::kOk, 0);
+            Report(s, Status::kOk, 0);
             return;
           }
           // Phase 2: fetch the records by hash, grouped per backing tablet
@@ -296,14 +333,14 @@ void RamCloudClient::IndexScan(TableId table, uint8_t index_id, std::string star
           std::map<NodeId, std::unique_ptr<MultiGetHashRequest>> groups;
           for (const KeyHash hash : lookup_response.hashes) {
             NodeId owner;
-            if (!CachedOwner(table, hash, &owner)) {
-              report(Status::kWrongServer, 0);
+            if (!CachedOwner(s->table, hash, &owner)) {
+              Report(s, Status::kWrongServer, 0);
               return;
             }
             auto& request = groups[owner];
             if (request == nullptr) {
               request = std::make_unique<MultiGetHashRequest>();
-              request->table = table;
+              request->table = s->table;
             }
             request->hashes.push_back(hash);
           }
@@ -311,15 +348,15 @@ void RamCloudClient::IndexScan(TableId table, uint8_t index_id, std::string star
             size_t remaining = 0;
             Status worst = Status::kOk;
             Tick hint = 0;
-            std::function<void(Status, Tick)> report;
+            RetryState* s = nullptr;
           };
           auto aggregate = std::make_shared<Aggregate>();
           aggregate->remaining = groups.size();
-          aggregate->report = report;
+          aggregate->s = s;
           for (auto& [owner, request] : groups) {
             coordinator_->rpc().Call(
                 node(), owner, std::move(request),
-                [aggregate](Status status, std::unique_ptr<RpcResponse> response) {
+                [this, aggregate](Status status, std::unique_ptr<RpcResponse> response) {
                   Status effective = status;
                   Tick hint = 0;
                   if (status == Status::kOk) {
@@ -332,7 +369,7 @@ void RamCloudClient::IndexScan(TableId table, uint8_t index_id, std::string star
                   }
                   aggregate->hint = std::max(aggregate->hint, hint);
                   if (--aggregate->remaining == 0) {
-                    aggregate->report(aggregate->worst, aggregate->hint);
+                    Report(aggregate->s, aggregate->worst, aggregate->hint);
                   }
                 },
                 costs_->rpc_timeout_ns);
@@ -340,7 +377,7 @@ void RamCloudClient::IndexScan(TableId table, uint8_t index_id, std::string star
         },
         costs_->rpc_timeout_ns);
   };
-  RunWithRetries(table, std::move(go), std::move(done), kMaxAttempts);
+  s->go();
 }
 
 }  // namespace rocksteady

@@ -16,6 +16,7 @@
 
 #include "src/cluster/coordinator.h"
 #include "src/common/hash.h"
+#include "src/common/inline_function.h"
 #include "src/rpc/rpc_system.h"
 
 namespace rocksteady {
@@ -33,10 +34,13 @@ class RamCloudClient {
   NodeId node() const { return endpoint_->node(); }
   Coordinator& coordinator() const { return *coordinator_; }
 
-  void Read(TableId table, std::string key, ReadCallback done);
-  void Write(TableId table, std::string key, std::string value, DoneCallback done,
-             std::string secondary_key = {});
-  void Remove(TableId table, std::string key, DoneCallback done);
+  // Key/value parameters are views: the client copies them into pooled
+  // per-op buffers before returning, so callers may pass temporaries and the
+  // steady-state path reuses string capacity instead of allocating.
+  void Read(TableId table, std::string_view key, ReadCallback done);
+  void Write(TableId table, std::string_view key, std::string_view value, DoneCallback done,
+             std::string_view secondary_key = {});
+  void Remove(TableId table, std::string_view key, DoneCallback done);
 
   // Fetches all keys; they may live on several servers — one kMultiGet RPC
   // per involved server, issued in parallel (Figure 3's "Spread").
@@ -60,19 +64,54 @@ class RamCloudClient {
   static constexpr int kMaxAttempts = 1000;
 
  private:
+  // One attempt of an op. Point ops park their strings in the RetryState and
+  // capture only {this, state, hash} (24 bytes); the widest closure is
+  // IndexScan's {this, state, index_id, start key, count} at ~56 bytes.
+  // Re-invoked, not rebuilt, on retries.
+  using GoFn = InlineFunction<void(), 64>;
+
+  // Per-op retry state. One pooled object replaces the per-op make_shared
+  // holders (go wrapper, done holder, read value) the old retry wrapper
+  // allocated: ops are issued and retired through the free list with zero
+  // steady-state allocations beyond the RPC messages themselves. The string
+  // fields are assigned (never move-replaced), so their buffers are reused
+  // across the ops that flow through the slot.
+  struct RetryState {
+    TableId table = 0;
+    int attempts_left = 0;
+    GoFn go;
+    DoneCallback done;       // Terminal continuation (non-read ops).
+    ReadCallback read_done;  // Terminal continuation (reads; sees payload).
+    std::string key;         // Op key (owned here so retries can resend it).
+    std::string value;       // Write payload.
+    std::string secondary;   // Write secondary index key.
+    std::string payload;     // Read result parked between reply and done.
+    RetryState* next_free = nullptr;
+  };
+
   // Looks up the cached owner node for (table, hash); invalid NodeId if the
   // cache has no covering entry.
   bool CachedOwner(TableId table, KeyHash hash, NodeId* node) const;
   void RefreshConfig(TableId table, std::function<void()> then);
-  // Retry-with-policy wrapper: runs `attempt`, which reports the op's status
-  // and (for kRetryLater) a time hint; the wrapper refreshes/backs off.
-  void RunWithRetries(TableId table, std::function<void(std::function<void(Status, Tick)>)> go,
-                      DoneCallback done, int attempts_left);
+
+  // Retry-with-policy core: each attempt reports its status (and, for
+  // kRetryLater, a time hint) via Report, which refreshes/backs off and
+  // re-invokes the state's go closure, or finishes the op.
+  RetryState* AllocState(TableId table);
+  void FreeState(RetryState* s);
+  void Report(RetryState* s, Status status, Tick hint);
+  void Retry(RetryState* s);
+  void Finish(RetryState* s, Status status);
 
   Coordinator* coordinator_;
   const CostModel* costs_;
   RpcEndpoint* endpoint_;
   std::vector<TabletConfigEntry> cache_;
+  // RetryState pool: states_ owns storage for the life of the client (so a
+  // raw RetryState* captured in an in-flight closure can never dangle);
+  // free_states_ threads the recycled slots.
+  std::vector<std::unique_ptr<RetryState>> states_;
+  RetryState* free_states_ = nullptr;
   uint64_t wrong_server_retries_ = 0;
   uint64_t retry_later_retries_ = 0;
   uint64_t server_down_retries_ = 0;

@@ -1,7 +1,9 @@
 #include "src/cluster/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
 
 namespace rocksteady {
 
@@ -33,13 +35,33 @@ void Cluster::CreateTable(TableId table, size_t master_index) {
 }
 
 std::string Cluster::MakeKey(uint64_t id, size_t key_length) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "user%0*llu",
-                static_cast<int>(key_length > 4 ? key_length - 4 : 1),
-                static_cast<unsigned long long>(id));
-  std::string key(buffer);
-  key.resize(key_length, '0');
+  std::string key;
+  MakeKeyInto(id, key_length, &key);
   return key;
+}
+
+void Cluster::MakeKeyInto(uint64_t id, size_t key_length, std::string* out) {
+  // Byte-for-byte the snprintf("user%0*llu") this hand-rolled formatter
+  // replaced: "user", the id zero-padded to (key_length - 4) digits (wider
+  // if the id needs it), then '0'-filled / truncated to key_length. The
+  // printf machinery was a measurable per-op cost in the workload path.
+  const size_t min_digits = key_length > 4 ? key_length - 4 : 1;
+  char digits[20];
+  size_t n = 0;
+  uint64_t v = id;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  const size_t width = std::max(min_digits, n);
+  out->resize(4 + width);
+  char* p = out->data();
+  std::memcpy(p, "user", 4);
+  std::memset(p + 4, '0', width - n);
+  for (size_t i = 0; i < n; i++) {
+    p[4 + width - n + i] = digits[n - 1 - i];
+  }
+  out->resize(key_length, '0');
 }
 
 void Cluster::LoadTable(TableId table, uint64_t num_records, size_t key_length,

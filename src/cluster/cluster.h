@@ -60,6 +60,9 @@ class Cluster {
 
   // Deterministic fixed-length keys ("user" + zero-padded id).
   static std::string MakeKey(uint64_t id, size_t key_length);
+  // In-place variant for hot paths: formats into `out`, reusing its
+  // capacity, so per-op key generation allocates nothing at steady state.
+  static void MakeKeyInto(uint64_t id, size_t key_length, std::string* out);
 
  private:
   ClusterConfig config_;

@@ -101,34 +101,40 @@ void MasterServer::HandleRead(RpcContext context) {
     }
   }
 
+  // The response is built directly into the object that goes on the wire:
+  // the work closure holds a raw pointer (plus its own request reference),
+  // the done closure owns the response and the reply — no shared context,
+  // no response copy. Both closures fit their inline budgets.
   const Tick arrival = sim().now();
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<ReadResponse>();
+  auto response = std::make_unique<ReadResponse>();
+  ReadResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   cores_->EnqueueWorker(
       {Priority::kClient,
-       [this, shared, response] {
-         auto& req = shared->As<ReadRequest>();
+       [this, request_ref, resp] {
+         auto& req = static_cast<ReadRequest&>(*request_ref);
          Tick retry_after = 0;
-         response->status = CheckReadable(req.table, req.hash, &retry_after);
-         response->retry_after = retry_after;
+         resp->status = CheckReadable(req.table, req.hash, &retry_after);
+         resp->retry_after = retry_after;
          size_t bytes = 0;
-         if (response->status == Status::kOk) {
+         if (resp->status == Status::kOk) {
            auto read = objects_.Read(req.table, req.key, req.hash);
            if (read.ok()) {
-             response->value.assign(read->value);
-             response->version = read->version;
+             resp->value.assign(read->value);
+             resp->version = read->version;
              bytes = read->value.size();
              reads_served_++;
              RecordAccess(req.table, req.hash, /*is_write=*/false, bytes);
            } else {
-             response->status = read.status();
+             resp->status = read.status();
            }
          }
          return costs_->ReadCost(bytes);
        },
-       [this, shared, response, arrival] {
+       [this, reply = std::move(context.reply), response = std::move(response),
+        arrival]() mutable {
          RecordClientLatency(arrival);
-         shared->reply(std::make_unique<ReadResponse>(*response));
+         reply(std::move(response));
        }});
 }
 
@@ -136,20 +142,34 @@ void MasterServer::HandleWrite(RpcContext context) {
   if (ShedIfOverloaded<WriteResponse>(&context)) {
     return;
   }
-  const Tick arrival = sim().now();
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<WriteResponse>();
-  auto ref = std::make_shared<LogRef>();
+  // One shared state object replaces the separate shared context, shared
+  // response, and shared LogRef (and the response copies at reply time).
+  // Shared (not unique) because the replication continuation below passes
+  // through ReplicaManager's copyable std::function plumbing.
+  struct WriteOp {
+    IntrusivePtr<RpcRequest> request;
+    ReplyFn reply;
+    std::unique_ptr<WriteResponse> response;
+    LogRef ref;
+    Tick arrival = 0;
+  };
+  auto op = std::make_shared<WriteOp>();
+  op->request = std::move(context.request);
+  op->reply = std::move(context.reply);
+  op->response = std::make_unique<WriteResponse>();
+  op->arrival = sim().now();
+  WriteOp* p = op.get();
   cores_->EnqueueWorker(
       {Priority::kClient,
-       [this, shared, response, ref] {
-         auto& req = shared->As<WriteRequest>();
+       [this, p] {
+         auto& req = static_cast<WriteRequest&>(*p->request);
+         WriteResponse* response = p->response.get();
          const Tablet* tablet = objects_.tablets().Find(req.table, req.hash);
          if (tablet == nullptr || tablet->state == TabletState::kMigrationSource) {
            response->status = Status::kWrongServer;
            return Tick{200};
          }
-         auto version = objects_.Write(req.table, req.key, req.hash, req.value, ref.get());
+         auto version = objects_.Write(req.table, req.key, req.hash, req.value, &p->ref);
          if (!version.ok()) {
            response->status = version.status();
            return Tick{500};
@@ -159,15 +179,15 @@ void MasterServer::HandleWrite(RpcContext context) {
          RecordAccess(req.table, req.hash, /*is_write=*/true, req.value.size());
          size_t entry_length = 0;
          const uint8_t* entry_data = nullptr;
-         objects_.log().RawEntry(*ref, &entry_data, &entry_length);
+         objects_.log().RawEntry(p->ref, &entry_data, &entry_length);
          // Worker cost covers the append plus posting replication RPCs.
          return costs_->WriteCost(req.value.size()) + costs_->ReplicationSrcCost(entry_length);
        },
-       [this, shared, response, ref, arrival] {
-         auto& req = shared->As<WriteRequest>();
-         if (response->status != Status::kOk) {
-           RecordClientLatency(arrival);
-           shared->reply(std::make_unique<WriteResponse>(*response));
+       [this, op] {
+         auto& req = static_cast<WriteRequest&>(*op->request);
+         if (op->response->status != Status::kOk) {
+           RecordClientLatency(op->arrival);
+           op->reply(std::move(op->response));
            return;
          }
          // Secondary-index maintenance: fire-and-forget to the indexlet
@@ -191,10 +211,10 @@ void MasterServer::HandleWrite(RpcContext context) {
            }
          }
          // Durable write: ack only after replication (§2: ~15 us writes).
-         ReplicateEntry(*ref, [this, shared, response, arrival](Status status) {
-           response->status = status;
-           RecordClientLatency(arrival);
-           shared->reply(std::make_unique<WriteResponse>(*response));
+         ReplicateEntry(op->ref, [this, op](Status status) {
+           op->response->status = status;
+           RecordClientLatency(op->arrival);
+           op->reply(std::move(op->response));
          });
        }});
 }
@@ -213,14 +233,26 @@ void MasterServer::HandleRemove(RpcContext context) {
   if (ShedIfOverloaded<RemoveResponse>(&context)) {
     return;
   }
-  const Tick arrival = sim().now();
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<RemoveResponse>();
-  auto ref = std::make_shared<LogRef>();
+  // Same shared single-state-object shape as HandleWrite (the replication
+  // continuation needs a copyable handle).
+  struct RemoveOp {
+    IntrusivePtr<RpcRequest> request;
+    ReplyFn reply;
+    std::unique_ptr<RemoveResponse> response;
+    LogRef ref;
+    Tick arrival = 0;
+  };
+  auto op = std::make_shared<RemoveOp>();
+  op->request = std::move(context.request);
+  op->reply = std::move(context.reply);
+  op->response = std::make_unique<RemoveResponse>();
+  op->arrival = sim().now();
+  RemoveOp* p = op.get();
   cores_->EnqueueWorker(
       {Priority::kClient,
-       [this, shared, response, ref] {
-         auto& req = shared->As<RemoveRequest>();
+       [this, p] {
+         auto& req = static_cast<RemoveRequest&>(*p->request);
+         RemoveResponse* response = p->response.get();
          const Tablet* tablet = objects_.tablets().Find(req.table, req.hash);
          if (tablet == nullptr || tablet->state == TabletState::kMigrationSource) {
            response->status = Status::kWrongServer;
@@ -231,7 +263,7 @@ void MasterServer::HandleRemove(RpcContext context) {
          // cannot resurrect the key.
          const bool tombstone_if_missing = tablet->state == TabletState::kMigrationTarget;
          auto version =
-             objects_.Remove(req.table, req.key, req.hash, ref.get(), tombstone_if_missing);
+             objects_.Remove(req.table, req.key, req.hash, &p->ref, tombstone_if_missing);
          if (!version.ok()) {
            response->status = version.status();
          } else {
@@ -240,18 +272,18 @@ void MasterServer::HandleRemove(RpcContext context) {
          }
          return costs_->WriteCost(0);
        },
-       [this, shared, response, ref, arrival] {
-         if (response->status != Status::kOk) {
-           RecordClientLatency(arrival);
-           shared->reply(std::make_unique<RemoveResponse>(*response));
+       [this, op] {
+         if (op->response->status != Status::kOk) {
+           RecordClientLatency(op->arrival);
+           op->reply(std::move(op->response));
            return;
          }
          // The tombstone must be durable before the delete is acked, or
          // recovery would resurrect the object from the backups.
-         ReplicateEntry(*ref, [this, shared, response, arrival](Status status) {
-           response->status = status;
-           RecordClientLatency(arrival);
-           shared->reply(std::make_unique<RemoveResponse>(*response));
+         ReplicateEntry(op->ref, [this, op](Status status) {
+           op->response->status = status;
+           RecordClientLatency(op->arrival);
+           op->reply(std::move(op->response));
          });
        }});
 }
@@ -261,12 +293,14 @@ void MasterServer::HandleMultiGet(RpcContext context) {
     return;
   }
   const Tick arrival = sim().now();
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<MultiGetResponse>();
+  auto response = std::make_unique<MultiGetResponse>();
+  MultiGetResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   cores_->EnqueueWorker(
       {Priority::kClient,
-       [this, shared, response] {
-         auto& req = shared->As<MultiGetRequest>();
+       [this, request_ref, resp] {
+         MultiGetResponse* response = resp;
+         auto& req = static_cast<MultiGetRequest&>(*request_ref);
          size_t bytes = 0;
          for (size_t i = 0; i < req.keys.size(); i++) {
            Tick retry_after = 0;
@@ -295,9 +329,10 @@ void MasterServer::HandleMultiGet(RpcContext context) {
          return costs_->ReadCost(bytes) +
                 costs_->multiget_per_key_ns * static_cast<Tick>(n > 0 ? n - 1 : 0);
        },
-       [this, shared, response, arrival] {
+       [this, reply = std::move(context.reply), response = std::move(response),
+        arrival]() mutable {
          RecordClientLatency(arrival);
-         shared->reply(std::make_unique<MultiGetResponse>(*response));
+         reply(std::move(response));
        }});
 }
 
@@ -306,12 +341,14 @@ void MasterServer::HandleMultiGetHash(RpcContext context) {
     return;
   }
   const Tick arrival = sim().now();
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<MultiGetHashResponse>();
+  auto response = std::make_unique<MultiGetHashResponse>();
+  MultiGetHashResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   cores_->EnqueueWorker(
       {Priority::kClient,
-       [this, shared, response] {
-         auto& req = shared->As<MultiGetHashRequest>();
+       [this, request_ref, resp] {
+         MultiGetHashResponse* response = resp;
+         auto& req = static_cast<MultiGetHashRequest&>(*request_ref);
          size_t bytes = 0;
          for (const KeyHash hash : req.hashes) {
            Tick retry_after = 0;
@@ -340,9 +377,10 @@ void MasterServer::HandleMultiGetHash(RpcContext context) {
          return costs_->ReadCost(bytes) +
                 costs_->multiget_per_key_ns * static_cast<Tick>(n > 0 ? n - 1 : 0);
        },
-       [this, shared, response, arrival] {
+       [this, reply = std::move(context.reply), response = std::move(response),
+        arrival]() mutable {
          RecordClientLatency(arrival);
-         shared->reply(std::make_unique<MultiGetHashResponse>(*response));
+         reply(std::move(response));
        }});
 }
 
@@ -365,40 +403,46 @@ Indexlet* MasterServer::FindIndexlet(TableId table, uint8_t index_id,
 }
 
 void MasterServer::HandleIndexLookup(RpcContext context) {
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<IndexLookupResponse>();
+  auto response = std::make_unique<IndexLookupResponse>();
+  IndexLookupResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   cores_->EnqueueWorker(
       {Priority::kClient,
-       [this, shared, response] {
-         auto& req = shared->As<IndexLookupRequest>();
+       [this, request_ref, resp] {
+         auto& req = static_cast<IndexLookupRequest&>(*request_ref);
          Indexlet* indexlet = FindIndexlet(req.table, req.index_id, req.start_key);
          if (indexlet == nullptr) {
-           response->status = Status::kWrongServer;
+           resp->status = Status::kWrongServer;
            return Tick{300};
          }
-         response->hashes = indexlet->Scan(req.start_key, req.count);
+         resp->hashes = indexlet->Scan(req.start_key, req.count);
          return costs_->index_lookup_ns +
-                costs_->index_per_result_ns * static_cast<Tick>(response->hashes.size());
+                costs_->index_per_result_ns * static_cast<Tick>(resp->hashes.size());
        },
-       [shared, response] { shared->reply(std::make_unique<IndexLookupResponse>(*response)); }});
+       [reply = std::move(context.reply), response = std::move(response)]() mutable {
+         reply(std::move(response));
+       }});
 }
 
 void MasterServer::HandleIndexInsert(RpcContext context) {
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<StatusResponse>();
+  auto response = std::make_unique<StatusResponse>();
+  StatusResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   cores_->EnqueueWorker(
       {Priority::kClient,
-       [this, shared, response] {
-         auto& req = shared->As<IndexInsertRequest>();
+       [this, request_ref, resp] {
+         auto& req = static_cast<IndexInsertRequest&>(*request_ref);
          Indexlet* indexlet = FindIndexlet(req.table, req.index_id, req.secondary_key);
          if (indexlet == nullptr) {
-           response->status = Status::kWrongServer;
+           resp->status = Status::kWrongServer;
          } else {
            indexlet->Insert(req.secondary_key, req.primary_hash);
          }
          return costs_->index_lookup_ns;
        },
-       [shared, response] { shared->reply(std::make_unique<StatusResponse>(*response)); }});
+       [reply = std::move(context.reply), response = std::move(response)]() mutable {
+         reply(std::move(response));
+       }});
 }
 
 void MasterServer::HandleBackupWrite(RpcContext context) {
@@ -413,39 +457,38 @@ void MasterServer::HandleBackupWrite(RpcContext context) {
     context.reply(std::move(response));
     return;
   }
-  auto shared = std::make_shared<RpcContext>(std::move(context));
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   cores_->EnqueueWorker(
       {bulk ? Priority::kMigration : Priority::kReplication,
-       [this, shared] {
-         auto& req = shared->As<BackupWriteRequest>();
+       [this, request_ref] {
+         auto& req = static_cast<BackupWriteRequest&>(*request_ref);
          backup_.Write(req.master, req.segment_id, req.offset, req.data.data(), req.data.size(),
                        req.seal);
          return costs_->BackupWriteCost(req.data.size());
        },
-       [shared] { shared->reply(std::make_unique<StatusResponse>()); }});
+       [reply = std::move(context.reply)]() mutable {
+         reply(std::make_unique<StatusResponse>());
+       }});
 }
 
 void MasterServer::HandleGetRecoveryData(RpcContext context) {
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<GetRecoveryDataResponse>();
+  auto response = std::make_unique<GetRecoveryDataResponse>();
+  GetRecoveryDataResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   cores_->EnqueueWorker(
       {Priority::kReplication,
-       [this, shared, response] {
-         auto& req = shared->As<GetRecoveryDataRequest>();
-         response->segments = backup_.GetRecoveryData(req.crashed_master, req.min_segment_id);
+       [this, request_ref, resp] {
+         auto& req = static_cast<GetRecoveryDataRequest&>(*request_ref);
+         resp->segments = backup_.GetRecoveryData(req.crashed_master, req.min_segment_id);
          size_t bytes = 0;
-         for (const auto& segment : response->segments) {
+         for (const auto& segment : resp->segments) {
            bytes += segment.data.size();
          }
          return costs_->BackupWriteCost(bytes);
        },
-       [shared, response] {
-         // The response is moved (not copied): recovery segments can be
-         // large.
-         auto out = std::make_unique<GetRecoveryDataResponse>();
-         out->status = response->status;
-         out->segments = std::move(response->segments);
-         shared->reply(std::move(out));
+       // The response is moved (not copied): recovery segments can be large.
+       [reply = std::move(context.reply), response = std::move(response)]() mutable {
+         reply(std::move(response));
        }});
 }
 

@@ -1,0 +1,173 @@
+// Move-only type-erased callable with inline storage — the event loop's
+// replacement for std::function.
+//
+// std::function's small-object buffer (16 bytes in libstdc++) is too small
+// for the simulator's callbacks (a typical event captures a `this`, an
+// epoch, and a nested callback), so nearly every scheduled event heap-
+// allocates its closure and frees it after dispatch. InlineFunction<Sig, N>
+// stores any callable of up to N bytes directly inside the object; the
+// schedule → dispatch → free cycle then allocates nothing (events live in
+// the Simulator's slab pool, closures live inside the events).
+//
+// Oversized / over-aligned / throwing-move callables still work: they fall
+// back to the heap, and the fall-back is counted in a global so the
+// allocation regression test can assert the hot path never takes it.
+// Move-only by design — copyability is what forces std::function to box;
+// callables themselves may be move-only (e.g. lambdas capturing unique_ptr).
+#ifndef ROCKSTEADY_SRC_COMMON_INLINE_FUNCTION_H_
+#define ROCKSTEADY_SRC_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rocksteady {
+
+// Incremented whenever an InlineFunction boxes its callable on the heap.
+// Steady-state engine code must keep this flat (see alloc_regression_test);
+// registration-time and test code may trip it freely.
+inline uint64_t g_inline_fn_heap_fallbacks = 0;
+
+inline uint64_t InlineFunctionHeapFallbacks() { return g_inline_fn_heap_fallbacks; }
+
+template <typename Sig, size_t InlineBytes>
+class InlineFunction;  // Primary template; only the R(Args...) form exists.
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction& operator=(F&& f) {
+    Reset();
+    Emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) { return f.ops_ == nullptr; }
+  friend bool operator!=(const InlineFunction& f, std::nullptr_t) { return f.ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(Object(), std::forward<Args>(args)...);
+  }
+
+  static constexpr size_t inline_bytes() { return InlineBytes; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* obj, Args&&... args);
+    // Move-constructs the callable into `dst` from `src` storage and
+    // destroys the source (for the inline case; the heap case just moves
+    // the pointer).
+    void (*relocate)(void* dst_storage, void* src_storage);
+    void (*destroy)(void* obj);
+    bool heap;  // True when storage_ holds a pointer to the boxed callable.
+  };
+
+  template <typename F>
+  static constexpr bool kFitsInline = sizeof(F) <= InlineBytes &&
+                                      alignof(F) <= alignof(void*) &&
+                                      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct InlineOps {
+    static R Invoke(void* obj, Args&&... args) {
+      return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* dst_storage, void* src_storage) {
+      F* src = static_cast<F*>(src_storage);
+      ::new (dst_storage) F(std::move(*src));
+      src->~F();
+    }
+    static void Destroy(void* obj) { static_cast<F*>(obj)->~F(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, /*heap=*/false};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static R Invoke(void* obj, Args&&... args) {
+      return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* dst_storage, void* src_storage) {
+      *static_cast<void**>(dst_storage) = *static_cast<void**>(src_storage);
+    }
+    static void Destroy(void* obj) { delete static_cast<F*>(obj); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, /*heap=*/true};
+  };
+
+  template <typename Raw>
+  void Emplace(Raw&& f) {
+    using F = std::decay_t<Raw>;
+    if constexpr (kFitsInline<F>) {
+      ::new (static_cast<void*>(storage_)) F(std::forward<Raw>(f));
+      ops_ = &InlineOps<F>::kOps;
+    } else {
+      g_inline_fn_heap_fallbacks++;
+      *reinterpret_cast<void**>(storage_) = new F(std::forward<Raw>(f));
+      ops_ = &HeapOps<F>::kOps;
+    }
+  }
+
+  void* Object() {
+    return ops_->heap ? *reinterpret_cast<void**>(storage_) : static_cast<void*>(storage_);
+  }
+
+  void MoveFrom(InlineFunction& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(Object());
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(void*) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_COMMON_INLINE_FUNCTION_H_

@@ -1,0 +1,93 @@
+// Intrusive reference counting for single-threaded fan-out.
+//
+// std::shared_ptr pays for a separately-allocated control block and atomic
+// refcounts; the simulation is single-threaded and the RPC layer creates a
+// shared handle per request (retransmissions deliver the same object), so
+// both costs are pure waste on the hot path. RefCounted embeds a plain
+// counter in the object; IntrusivePtr is one pointer wide.
+#ifndef ROCKSTEADY_SRC_COMMON_INTRUSIVE_PTR_H_
+#define ROCKSTEADY_SRC_COMMON_INTRUSIVE_PTR_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace rocksteady {
+
+// Base for intrusively refcounted types. Non-atomic by design: the
+// simulation kernel is single-threaded.
+class RefCounted {
+ public:
+  RefCounted() = default;
+  // Copies of a refcounted object start with their own fresh count.
+  RefCounted(const RefCounted&) {}
+  RefCounted& operator=(const RefCounted&) { return *this; }
+
+ private:
+  template <typename T>
+  friend class IntrusivePtr;
+
+  mutable uint32_t ref_count_ = 0;
+};
+
+template <typename T>
+class IntrusivePtr {
+ public:
+  IntrusivePtr() = default;
+  IntrusivePtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  // Takes shared ownership of `p` (which may already have other owners).
+  explicit IntrusivePtr(T* p) : p_(p) { Ref(); }
+
+  // Adopts sole ownership from a unique_ptr (refcount 0 -> 1).
+  explicit IntrusivePtr(std::unique_ptr<T> p) : p_(p.release()) { Ref(); }
+
+  IntrusivePtr(const IntrusivePtr& other) : p_(other.p_) { Ref(); }
+  IntrusivePtr(IntrusivePtr&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
+
+  IntrusivePtr& operator=(const IntrusivePtr& other) {
+    if (this != &other) {
+      Unref();
+      p_ = other.p_;
+      Ref();
+    }
+    return *this;
+  }
+  IntrusivePtr& operator=(IntrusivePtr&& other) noexcept {
+    if (this != &other) {
+      Unref();
+      p_ = other.p_;
+      other.p_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~IntrusivePtr() { Unref(); }
+
+  T* get() const { return p_; }
+  T& operator*() const { return *p_; }
+  T* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  friend bool operator==(const IntrusivePtr& p, std::nullptr_t) { return p.p_ == nullptr; }
+  friend bool operator!=(const IntrusivePtr& p, std::nullptr_t) { return p.p_ != nullptr; }
+
+  void reset() { Unref(); p_ = nullptr; }
+
+ private:
+  void Ref() {
+    if (p_ != nullptr) {
+      static_cast<const RefCounted*>(p_)->ref_count_++;
+    }
+  }
+  void Unref() {
+    if (p_ != nullptr && --static_cast<const RefCounted*>(p_)->ref_count_ == 0) {
+      delete p_;
+    }
+  }
+
+  T* p_ = nullptr;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_COMMON_INTRUSIVE_PTR_H_

@@ -86,6 +86,11 @@ size_t HashTable::ScanBuckets(size_t end_bucket, size_t cursor,
                               const std::function<bool()>& bucket_done) const {
   end_bucket = std::min(end_bucket, buckets_.size());
   while (cursor < end_bucket) {
+    if (cursor + 1 < end_bucket) {
+      // Pull scans walk long contiguous bucket runs; fetching the next
+      // bucket while visiting this one keeps the walk off the miss path.
+      __builtin_prefetch(&buckets_[cursor + 1], 0, 1);
+    }
     const Bucket* bucket = &buckets_[cursor];
     while (bucket != nullptr) {
       for (size_t i = 0; i < bucket->count; i++) {

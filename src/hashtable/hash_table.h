@@ -52,6 +52,17 @@ class HashTable {
 
   size_t BucketOf(KeyHash hash) const { return static_cast<size_t>(hash >> shift_); }
 
+  // Hints the cache that the bucket for `hash` is about to be probed. Batch
+  // callers (priority pulls, replay) software-pipeline: prefetch hash i+1
+  // while probing hash i, hiding the random-access miss the top-bits bucket
+  // index otherwise guarantees. Purely a hint — no observable effect.
+  void PrefetchBucket(KeyHash hash) const {
+    const Bucket* bucket = &buckets_[BucketOf(hash)];
+    __builtin_prefetch(bucket, 0, 1);
+    // A bucket (8 hashes + 8 refs + count + chain) spans >1 cache line.
+    __builtin_prefetch(reinterpret_cast<const char*>(bucket) + 64, 0, 1);
+  }
+
   // First bucket whose hash range starts at or after `hash` (for mapping a
   // tablet's [start, end] hash range onto bucket ranges).
   size_t BucketLowerBound(KeyHash hash) const { return BucketOf(hash); }

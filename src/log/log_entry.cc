@@ -21,8 +21,14 @@ void WriteEntry(uint8_t* dst, LogEntryHeader header, std::string_view key,
   header.value_length = static_cast<uint32_t>(value.size());
   header.checksum = ComputeEntryChecksum(header, key, value);
   std::memcpy(dst, &header, sizeof(header));
-  std::memcpy(dst + sizeof(header), key.data(), key.size());
-  std::memcpy(dst + sizeof(header) + key.size(), value.data(), value.size());
+  // Empty views can carry a null data() (e.g. a default string_view for a
+  // tombstone's value); memcpy's pointer args must be non-null even for n=0.
+  if (!key.empty()) {
+    std::memcpy(dst + sizeof(header), key.data(), key.size());
+  }
+  if (!value.empty()) {
+    std::memcpy(dst + sizeof(header) + key.size(), value.data(), value.size());
+  }
 }
 
 bool ReadEntry(const uint8_t* src, size_t available, LogEntryView* out) {

@@ -10,12 +10,17 @@ namespace rocksteady {
 namespace {
 
 void HandlePrepareMigration(MasterServer* master, RpcContext context) {
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<PrepareMigrationResponse>();
+  // Handler state rides in the closures themselves: the work closure holds a
+  // request reference and a raw response pointer, the done closure owns the
+  // response and the reply — no shared context, no response copy.
+  auto response = std::make_unique<PrepareMigrationResponse>();
+  PrepareMigrationResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   master->cores().EnqueueWorker(
       {Priority::kClient,
-       [master, shared, response] {
-         auto& req = shared->As<PrepareMigrationRequest>();
+       [master, request_ref, resp] {
+         PrepareMigrationResponse* response = resp;
+         auto& req = static_cast<PrepareMigrationRequest&>(*request_ref);
          Tablet* tablet = master->objects().tablets().Find(req.table, req.start_hash);
          if (tablet == nullptr || tablet->start_hash != req.start_hash ||
              tablet->end_hash != req.end_hash) {
@@ -35,8 +40,8 @@ void HandlePrepareMigration(MasterServer* master, RpcContext context) {
          response->num_hash_buckets = master->objects().hash_table().num_buckets();
          return Tick{1'000};
        },
-       [shared, response] {
-         shared->reply(std::make_unique<PrepareMigrationResponse>(*response));
+       [reply = std::move(context.reply), response = std::move(response)]() mutable {
+         reply(std::move(response));
        }});
 }
 
@@ -54,13 +59,15 @@ void HandlePull(MasterServer* master, RpcContext context) {
     context.reply(std::move(rejected));
     return;
   }
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<PullResponse>();
+  auto response = std::make_unique<PullResponse>();
+  PullResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   master->cores().EnqueueWorker(
       {Priority::kMigration,  // §4.1: "Pulls were configured to have the
                               // lowest priority in the system."
-       [master, shared, response] {
-         auto& req = shared->As<PullRequest>();
+       [master, request_ref, resp] {
+         PullResponse* response = resp;
+         auto& req = static_cast<PullRequest&>(*request_ref);
          const HashTable& table = master->objects().hash_table();
          const Log& log = master->objects().log();
          size_t bytes = 0;
@@ -92,31 +99,32 @@ void HandlePull(MasterServer* master, RpcContext context) {
          response->done = cursor >= req.bucket_end;
          return master->costs().PullCost(records, bytes);
        },
-       [master, shared, response] {
-         auto out = std::make_unique<PullResponse>();
-         out->status = response->status;
-         out->records = std::move(response->records);
-         out->record_count = response->record_count;
-         out->next_cursor = response->next_cursor;
-         out->done = response->done;
-         // Piggyback the source-load signals the pacing controller reads.
-         master->FillLoadHeader(&out->load);
-         shared->reply(std::move(out));
+       [master, reply = std::move(context.reply), response = std::move(response)]() mutable {
+         // Piggyback the source-load signals the pacing controller reads —
+         // sampled at reply time, as before, so pacing sees live queue state.
+         master->FillLoadHeader(&response->load);
+         reply(std::move(response));
        }});
 }
 
 void HandlePriorityPull(MasterServer* master, RpcContext context) {
-  auto shared = std::make_shared<RpcContext>(std::move(context));
-  auto response = std::make_shared<PriorityPullResponse>();
+  auto response = std::make_unique<PriorityPullResponse>();
+  PriorityPullResponse* resp = response.get();
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   master->cores().EnqueueWorker(
       {Priority::kPriorityPull,  // §4.1: highest priority in the system —
                                  // the target is servicing its own client.
-       [master, shared, response] {
-         auto& req = shared->As<PriorityPullRequest>();
+       [master, request_ref, resp] {
+         PriorityPullResponse* response = resp;
+         auto& req = static_cast<PriorityPullRequest&>(*request_ref);
          const HashTable& table = master->objects().hash_table();
          const Log& log = master->objects().log();
          size_t bytes = 0;
-         for (const KeyHash hash : req.hashes) {
+         for (size_t i = 0; i < req.hashes.size(); i++) {
+           if (i + 1 < req.hashes.size()) {
+             table.PrefetchBucket(req.hashes[i + 1]);
+           }
+           const KeyHash hash = req.hashes[i];
            const LogRef ref = table.Lookup(hash);
            LogEntryView entry;
            if (!ref.valid() || !log.Read(ref, &entry) || entry.table_id() != req.table ||
@@ -135,23 +143,18 @@ void HandlePriorityPull(MasterServer* master, RpcContext context) {
          return master->costs().PriorityPullCost(req.hashes.size()) +
                 static_cast<Tick>(master->costs().pull_per_byte_ns * static_cast<double>(bytes));
        },
-       [master, shared, response] {
-         auto out = std::make_unique<PriorityPullResponse>();
-         out->status = response->status;
-         out->records = std::move(response->records);
-         out->record_count = response->record_count;
-         out->not_found = std::move(response->not_found);
-         master->FillLoadHeader(&out->load);
-         shared->reply(std::move(out));
+       [master, reply = std::move(context.reply), response = std::move(response)]() mutable {
+         master->FillLoadHeader(&response->load);
+         reply(std::move(response));
        }});
 }
 
 void HandleReleaseTablet(MasterServer* master, RpcContext context) {
-  auto shared = std::make_shared<RpcContext>(std::move(context));
+  IntrusivePtr<RpcRequest> request_ref = std::move(context.request);
   master->cores().EnqueueWorker(
       {Priority::kMigration,
-       [master, shared] {
-         auto& req = shared->As<ReleaseTabletRequest>();
+       [master, request_ref] {
+         auto& req = static_cast<ReleaseTabletRequest&>(*request_ref);
          master->objects().tablets().Remove(req.table, req.start_hash, req.end_hash);
          const size_t dropped =
              master->objects().DropTabletEntries(req.table, req.start_hash, req.end_hash);
@@ -162,7 +165,9 @@ void HandleReleaseTablet(MasterServer* master, RpcContext context) {
          // by the cleaner over time.
          return Tick{1'000} + 50 * static_cast<Tick>(dropped) / 100;
        },
-       [shared] { shared->reply(std::make_unique<StatusResponse>()); }});
+       [reply = std::move(context.reply)]() mutable {
+         reply(std::make_unique<StatusResponse>());
+       }});
 }
 
 }  // namespace

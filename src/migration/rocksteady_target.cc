@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include <bit>
 
@@ -454,6 +455,7 @@ void RocksteadyMigrationManager::OnPullResponse(size_t partition_index,
     target_->cores().EnqueueWorker(
         {Priority::kMigration,
          [this, shared, partition_index] {
+           const HashTable& table = target_->objects().hash_table();
            size_t offset = 0;
            size_t replayed = 0;
            while (offset < shared->records.size()) {
@@ -462,9 +464,18 @@ void RocksteadyMigrationManager::OnPullResponse(size_t partition_index,
                             &entry)) {
                break;
              }
+             // Software pipeline: peek the next record's header (cheap fixed
+             // prefix, no checksum) and prefetch its hash bucket so the next
+             // Replay's random probe overlaps this one's side-log append.
+             const size_t next = offset + entry.header.TotalLength();
+             if (next + sizeof(LogEntryHeader) <= shared->records.size()) {
+               LogEntryHeader peek;
+               std::memcpy(&peek, shared->records.data() + next, sizeof(peek));
+               table.PrefetchBucket(peek.key_hash);
+             }
              target_->objects().Replay(entry, side_logs_[partition_index].get());
              replayed++;
-             offset += entry.header.TotalLength();
+             offset = next;
            }
            return target_->costs().ReplayCost(replayed, shared->records.size());
          },

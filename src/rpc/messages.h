@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/intrusive_ptr.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/sim/network.h"
@@ -53,7 +54,10 @@ enum class Opcode : uint8_t {
 // Fixed per-RPC wire overhead (headers, opcode, ids).
 inline constexpr size_t kRpcHeaderBytes = 32;
 
-struct RpcRequest {
+// Requests are intrusively refcounted: the transport shares one request
+// object between the pending-call table and every in-flight (re)transmission
+// without a separately-allocated shared_ptr control block.
+struct RpcRequest : RefCounted {
   virtual ~RpcRequest() = default;
   virtual Opcode op() const = 0;
   virtual size_t WireSize() const = 0;

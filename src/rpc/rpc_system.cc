@@ -18,25 +18,27 @@ RpcEndpoint* RpcSystem::CreateEndpoint(CoreSet* cores) {
 void RpcSystem::Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request,
                      ResponseCallback cb, Tick timeout) {
   const uint64_t call_id = next_call_id_++;
+  const Opcode op = request->op();
+  const Tick deadline = timeout > 0 ? sim_->now() + timeout : 0;
+
   PendingCall pending;
   pending.caller = from;
   pending.server = to;
-  pending.request = std::move(request);
+  pending.request = IntrusivePtr<RpcRequest>(std::move(request));
   pending.cb = std::move(cb);
-  pending.deadline = timeout > 0 ? sim_->now() + timeout : 0;
+  pending.deadline = deadline;
   pending_[call_id] = std::move(pending);
 
   if (timeout > 0) {
-    const Opcode op = pending_[call_id].request->op();
-    sim_->At(pending_[call_id].deadline, [this, call_id, op, from, to] {
-      auto it = pending_.find(call_id);
-      if (it == pending_.end()) {
+    sim_->At(deadline, [this, call_id, op, from, to] {
+      PendingCall* pending = pending_.Find(call_id);
+      if (pending == nullptr) {
         return;  // Already completed.
       }
       LOG_DEBUG("rpc timeout: op=%d %u->%u after %d attempts at t=%.6f s", static_cast<int>(op),
-                from, to, it->second.attempts, static_cast<double>(sim_->now()) / 1e9);
-      ResponseCallback cb = std::move(it->second.cb);
-      pending_.erase(it);
+                from, to, pending->attempts, static_cast<double>(sim_->now()) / 1e9);
+      ResponseCallback cb = std::move(pending->cb);
+      pending_.Erase(call_id);
       cb(Status::kServerDown, nullptr);
     });
   }
@@ -44,33 +46,37 @@ void RpcSystem::Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request
 }
 
 void RpcSystem::SendAttempt(uint64_t call_id) {
-  auto it = pending_.find(call_id);
-  if (it == pending_.end()) {
+  PendingCall* pending = pending_.Find(call_id);
+  if (pending == nullptr) {
     return;  // Completed or deadlined while the retransmit timer was armed.
   }
-  PendingCall& pending = it->second;
-  pending.attempts++;
-  if (pending.attempts > 1) {
+  pending->attempts++;
+  if (pending->attempts > 1) {
     retransmissions_++;
   }
-  const NodeId from = pending.caller;
-  const NodeId to = pending.server;
-  std::shared_ptr<RpcRequest> request = pending.request;
-  net_->Send(from, to, request->WireSize(), [this, from, to, call_id, request] {
-    RpcEndpoint* endpoint = Endpoint(to);
-    if (endpoint == nullptr) {
-      return;
-    }
-    endpoint->Deliver(from, request, call_id);
-  });
+  const NodeId from = pending->caller;
+  const NodeId to = pending->server;
+  const bool retransmittable = pending->deadline != 0;
+  // The delivery closure holds its own reference and *copies* it into
+  // Deliver: the fabric may invoke the closure twice (duplication), so it
+  // must not consume its captures.
+  IntrusivePtr<RpcRequest> request = pending->request;
+  net_->Send(from, to, request->WireSize(),
+             [this, from, to, call_id, retransmittable, request] {
+               RpcEndpoint* endpoint = Endpoint(to);
+               if (endpoint == nullptr) {
+                 return;
+               }
+               endpoint->Deliver(from, request, call_id, retransmittable);
+             });
 
-  if (pending.deadline == 0) {
+  if (pending->deadline == 0) {
     return;  // Single attempt; the caller opted out of retransmission.
   }
   // Arm the next retransmission: capped exponential backoff + seeded jitter.
   // Nothing is scheduled at or past the deadline, so a dead server costs
   // exactly the deadline, never a tail of orphan timer events.
-  const int shift = std::min(pending.attempts - 1, 20);
+  const int shift = std::min(pending->attempts - 1, 20);
   const Tick backoff = std::min(costs_->rpc_retransmit_base_ns << shift,
                                 costs_->rpc_retransmit_cap_ns);
   const Tick jitter =
@@ -78,28 +84,27 @@ void RpcSystem::SendAttempt(uint64_t call_id) {
           ? sim_->rng().Uniform(static_cast<uint64_t>(costs_->rpc_retransmit_jitter_ns) + 1)
           : 0;
   const Tick at = sim_->now() + backoff + jitter;
-  if (at >= pending.deadline) {
+  if (at >= pending->deadline) {
     return;
   }
   sim_->At(at, [this, call_id] { SendAttempt(call_id); });
 }
 
-void RpcEndpoint::Deliver(NodeId from, std::shared_ptr<RpcRequest> request, uint64_t call_id) {
+void RpcEndpoint::Deliver(NodeId from, IntrusivePtr<RpcRequest> request, uint64_t call_id,
+                          bool retransmittable) {
   PruneDedup();
-  if (auto it = dedup_.find(call_id); it != dedup_.end()) {
-    DedupEntry& entry = it->second;
-    if (entry.done) {
+  if (DedupEntry* entry = dedup_.Find(call_id); entry != nullptr) {
+    if (entry->done) {
       // Retransmission of a completed call: replay the cached response
       // through the normal dispatch-tx path. The original execution already
       // happened exactly once; only the answer is resent.
       responses_replayed_++;
-      std::unique_ptr<RpcResponse> replay = entry.response->Clone();
-      auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(replay));
+      std::unique_ptr<RpcResponse> replay = entry->response->Clone();
       RpcSystem* system = system_;
       const NodeId server_node = node_;
-      auto transmit = [system, server_node, call_id, boxed] {
-        if (*boxed != nullptr) {
-          system->TransmitResponse(call_id, server_node, std::move(*boxed));
+      auto transmit = [system, server_node, call_id, resp = std::move(replay)]() mutable {
+        if (resp != nullptr) {
+          system->TransmitResponse(call_id, server_node, std::move(resp));
         }
       };
       if (cores_ != nullptr) {
@@ -109,7 +114,7 @@ void RpcEndpoint::Deliver(NodeId from, std::shared_ptr<RpcRequest> request, uint
       }
       return;
     }
-    if (entry.epoch == CurrentEpoch()) {
+    if (entry->epoch == CurrentEpoch()) {
       // The handler is still executing this call; drop the duplicate — the
       // response will go out (and be cached) when it finishes.
       duplicates_suppressed_++;
@@ -117,80 +122,84 @@ void RpcEndpoint::Deliver(NodeId from, std::shared_ptr<RpcRequest> request, uint
     }
     // The server crashed mid-execution and restarted: the old execution died
     // with its epoch, so run the call again.
-    dedup_.erase(it);
+    dedup_.Erase(call_id);
   }
-
-  auto run = [this, from, call_id, request]() mutable {
-    Execute(from, std::move(request), call_id);
-  };
 
   if (cores_ != nullptr) {
     // The dispatch core polls the request off the NIC before the handler
-    // sees it. Wrap in shared_ptr: the closure must be copyable.
-    auto shared_run = std::make_shared<decltype(run)>(std::move(run));
-    cores_->EnqueueDispatch(system_->costs()->dispatch_per_rpc_ns,
-                            [shared_run] { (*shared_run)(); });
+    // sees it.
+    cores_->EnqueueDispatch(
+        system_->costs()->dispatch_per_rpc_ns,
+        [this, from, call_id, retransmittable, request = std::move(request)]() mutable {
+          Execute(from, std::move(request), call_id, retransmittable);
+        });
   } else {
-    run();
+    Execute(from, std::move(request), call_id, retransmittable);
   }
 }
 
-void RpcEndpoint::Execute(NodeId from, std::shared_ptr<RpcRequest> request, uint64_t call_id) {
-  auto handler_it = handlers_.find(request->op());
-  if (handler_it == handlers_.end()) {
+void RpcEndpoint::Execute(NodeId from, IntrusivePtr<RpcRequest> request, uint64_t call_id,
+                          bool retransmittable) {
+  const size_t op_index = static_cast<size_t>(request->op());
+  if (op_index >= kMaxOpcodes || !handlers_[op_index]) {
     LOG_ERROR("node %u: no handler for opcode %d", node_, static_cast<int>(request->op()));
     return;
   }
   // Re-check dedup at execution time: two copies of one request can both
   // clear the delivery-time check (neither had an entry yet) and sit in the
   // dispatch queue together; only the first may run the handler.
-  if (auto it = dedup_.find(call_id); it != dedup_.end()) {
-    if (it->second.done) {
+  if (DedupEntry* entry = dedup_.Find(call_id); entry != nullptr) {
+    if (entry->done) {
       responses_replayed_++;
-      system_->TransmitResponse(call_id, node_, it->second.response->Clone());
+      system_->TransmitResponse(call_id, node_, entry->response->Clone());
       return;
     }
-    if (it->second.epoch == CurrentEpoch()) {
+    if (entry->epoch == CurrentEpoch()) {
       duplicates_suppressed_++;
       return;
     }
   }
-  // The dedup entry is created here — when execution truly starts — not at
-  // delivery: queued dispatch work can be wiped by Halt(), and an entry
-  // created then would swallow post-restart retransmissions forever.
-  DedupEntry& entry = dedup_[call_id];
-  entry.epoch = CurrentEpoch();
-  entry.done = false;
-  dedup_created_.emplace_back(system_->sim()->now(), call_id);
+  // Duplicate defense is only needed when a second copy of this call_id can
+  // exist: the caller can retransmit, or the fabric has (ever) had an
+  // injector that can duplicate in flight. Otherwise skip the dedup entry
+  // and the response-clone cache — the bulk of steady-state RPC churn.
+  const bool dedupe = retransmittable || system_->net()->faults_ever_installed();
+  if (dedupe) {
+    // The dedup entry is created here — when execution truly starts — not at
+    // delivery: queued dispatch work can be wiped by Halt(), and an entry
+    // created then would swallow post-restart retransmissions forever.
+    DedupEntry& entry = dedup_[call_id];
+    entry.epoch = CurrentEpoch();
+    entry.done = false;
+    dedup_created_.emplace_back(system_->sim()->now(), call_id);
+  }
 
-  const Handler& handler = handler_it->second;
+  const Handler& handler = handlers_[op_index];
   RpcContext context;
   context.sim = system_->sim();
   context.from = from;
   context.request = std::move(request);
-  const NodeId server_node = node_;
-  RpcSystem* system = system_;
-  CoreSet* cores = cores_;
   RpcEndpoint* self = this;
-  context.reply = [self, system, server_node, from, call_id,
-                   cores](std::unique_ptr<RpcResponse> response) {
-    // Cache a clone for duplicate-request replay, then transmit.
-    if (auto it = self->dedup_.find(call_id); it != self->dedup_.end()) {
-      it->second.done = true;
-      it->second.response = response->Clone();
-      it->second.completed_at = system->sim()->now();
-      self->dedup_fifo_.emplace_back(it->second.completed_at, call_id);
+  context.reply = [self, call_id](std::unique_ptr<RpcResponse> response) {
+    // Cache a clone for duplicate-request replay (only when a dedup entry
+    // was created for this execution), then transmit.
+    RpcSystem* system = self->system_;
+    if (DedupEntry* entry = self->dedup_.Find(call_id); entry != nullptr) {
+      entry->done = true;
+      entry->response = response->Clone();
+      entry->completed_at = system->sim()->now();
+      self->dedup_fifo_.emplace_back(entry->completed_at, call_id);
     }
-    auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(response));
-    auto transmit = [system, server_node, call_id, boxed] {
-      if (*boxed != nullptr) {
-        system->TransmitResponse(call_id, server_node, std::move(*boxed));
+    const NodeId server_node = self->node_;
+    auto transmit = [system, server_node, call_id, resp = std::move(response)]() mutable {
+      if (resp != nullptr) {
+        system->TransmitResponse(call_id, server_node, std::move(resp));
       }
     };
-    if (cores != nullptr) {
+    if (self->cores_ != nullptr) {
       // The worker hands the response to the dispatch core, which posts it
       // to the transport.
-      cores->EnqueueDispatch(system->costs()->dispatch_tx_ns, std::move(transmit));
+      self->cores_->EnqueueDispatch(system->costs()->dispatch_tx_ns, std::move(transmit));
     } else {
       transmit();
     }
@@ -204,9 +213,8 @@ void RpcEndpoint::PruneDedup() {
   while (!dedup_fifo_.empty() && dedup_fifo_.front().first + retention < now) {
     const uint64_t call_id = dedup_fifo_.front().second;
     dedup_fifo_.pop_front();
-    if (auto it = dedup_.find(call_id);
-        it != dedup_.end() && it->second.done) {
-      dedup_.erase(it);
+    if (DedupEntry* entry = dedup_.Find(call_id); entry != nullptr && entry->done) {
+      dedup_.Erase(call_id);
     }
   }
   // Entries that never completed — the execution was wiped by a crash, so no
@@ -217,18 +225,18 @@ void RpcEndpoint::PruneDedup() {
   while (!dedup_created_.empty() && dedup_created_.front().first + retention < now) {
     const uint64_t call_id = dedup_created_.front().second;
     dedup_created_.pop_front();
-    auto it = dedup_.find(call_id);
-    if (it == dedup_.end()) {
+    DedupEntry* entry = dedup_.Find(call_id);
+    if (entry == nullptr) {
       continue;  // Already expired via the completion fifo.
     }
-    if (it->second.done) {
+    if (entry->done) {
       continue;  // The completion fifo owns its expiry.
     }
-    if (it->second.epoch == CurrentEpoch()) {
+    if (entry->epoch == CurrentEpoch()) {
       dedup_created_.emplace_back(now, call_id);  // Still executing; re-check later.
       continue;
     }
-    dedup_.erase(it);  // Orphaned by a crash; the caller long since timed out.
+    dedup_.Erase(call_id);  // Orphaned by a crash; the caller long since timed out.
   }
 }
 
@@ -236,38 +244,42 @@ uint64_t RpcEndpoint::CurrentEpoch() const { return cores_ != nullptr ? cores_->
 
 void RpcSystem::TransmitResponse(uint64_t call_id, NodeId server_node,
                                  std::unique_ptr<RpcResponse> response) {
-  auto it = pending_.find(call_id);
-  if (it == pending_.end()) {
+  PendingCall* pending = pending_.Find(call_id);
+  if (pending == nullptr) {
     return;  // Caller gave up (deadline) or already got an earlier copy.
   }
-  const NodeId caller = it->second.caller;
-  auto boxed = std::make_shared<std::unique_ptr<RpcResponse>>(std::move(response));
-  const size_t wire = (*boxed)->WireSize();
+  const NodeId caller = pending->caller;
+  const size_t wire = response->WireSize();
 
   // The pending entry survives until the response actually reaches the
   // caller: if the fabric eats this response, a later retransmission (or a
   // server-side replay of the cached response) still has a home to land in.
-  net_->Send(server_node, caller, wire, [this, caller, call_id, boxed] {
-    RpcEndpoint* endpoint = Endpoint(caller);
-    auto deliver = [this, call_id, boxed] {
-      auto pending_it = pending_.find(call_id);
-      if (pending_it == pending_.end()) {
-        return;  // A duplicate response; the first copy won.
-      }
-      if (*boxed == nullptr) {
-        return;  // This network-duplicated copy lost the move race.
-      }
-      ResponseCallback cb = std::move(pending_it->second.cb);
-      pending_.erase(pending_it);
-      cb(Status::kOk, std::move(*boxed));
-    };
-    if (endpoint != nullptr && endpoint->cores() != nullptr) {
-      // Responses are polled off the NIC by the caller's dispatch core too.
-      endpoint->cores()->EnqueueDispatch(costs_->dispatch_per_rpc_ns, std::move(deliver));
-    } else {
-      deliver();
-    }
-  });
+  // The delivery closure may run twice (fabric duplication): the first copy
+  // moves the response out, the loser still goes through dispatch (charging
+  // the poll cost, as a real duplicate would) and bails on the null.
+  net_->Send(server_node, caller, wire,
+             [this, caller, call_id, resp = std::move(response)]() mutable {
+               RpcEndpoint* endpoint = Endpoint(caller);
+               auto deliver = [this, call_id, resp = std::move(resp)]() mutable {
+                 PendingCall* pending = pending_.Find(call_id);
+                 if (pending == nullptr) {
+                   return;  // A duplicate response; the first copy won.
+                 }
+                 if (resp == nullptr) {
+                   return;  // This network-duplicated copy lost the move race.
+                 }
+                 ResponseCallback cb = std::move(pending->cb);
+                 pending_.Erase(call_id);
+                 cb(Status::kOk, std::move(resp));
+               };
+               if (endpoint != nullptr && endpoint->cores() != nullptr) {
+                 // Responses are polled off the NIC by the caller's dispatch core too.
+                 endpoint->cores()->EnqueueDispatch(costs_->dispatch_per_rpc_ns,
+                                                   std::move(deliver));
+               } else {
+                 deliver();
+               }
+             });
 }
 
 }  // namespace rocksteady

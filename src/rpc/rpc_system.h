@@ -17,16 +17,24 @@
 // replays the cached (cloned) response; one that races a still-executing
 // handler is dropped. A call with timeout zero is sent exactly once and
 // waits forever — the pre-fault-injection behavior.
+//
+// Hot path: requests are intrusively refcounted (no shared_ptr control
+// block), delivery/response closures are inline (no make_shared boxing),
+// and the pending-call and dedup tables are flat open-addressed maps — one
+// request/response round trip allocates only the message objects themselves.
 #ifndef ROCKSTEADY_SRC_RPC_RPC_SYSTEM_H_
 #define ROCKSTEADY_SRC_RPC_RPC_SYSTEM_H_
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <array>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/flat_map.h"
+#include "src/common/intrusive_ptr.h"
 #include "src/rpc/messages.h"
 #include "src/sim/core_set.h"
 #include "src/sim/network.h"
@@ -36,17 +44,27 @@ namespace rocksteady {
 
 class RpcSystem;
 
+// The endpoint's reply closure captures {endpoint, call_id} — 16 bytes; 24
+// leaves headroom (tests build fake contexts with a reference capture or
+// two) and keeps the ReplyFn object small enough that handler completion
+// closures carrying {this, reply, response, arrival} fit a worker DoneFn's
+// 64 inline bytes with no heap fallback.
+inline constexpr size_t kReplyInlineBytes = 24;
+using ReplyFn = InlineFunction<void(std::unique_ptr<RpcResponse>), kReplyInlineBytes>;
+
 // Server-side context for one in-flight RPC. The request is shared with the
 // transport (retransmissions deliver the same object), but duplicate
 // suppression guarantees the handler runs at most once per call_id, so
-// handlers may freely move data out of it.
+// handlers may freely move data out of it. Move-only: the reply closure is
+// single-owner (handlers that outlive their stack frame move the context
+// into their completion state).
 struct RpcContext {
   Simulator* sim = nullptr;
   NodeId from = 0;
-  std::shared_ptr<RpcRequest> request;
+  IntrusivePtr<RpcRequest> request;
 
   // Sends the response (exactly once per execution).
-  std::function<void(std::unique_ptr<RpcResponse>)> reply;
+  ReplyFn reply;
 
   template <typename T>
   T& As() {
@@ -58,12 +76,16 @@ struct RpcContext {
 // inbound requests and outbound responses are dispatched.
 class RpcEndpoint {
  public:
-  using Handler = std::function<void(RpcContext)>;
+  // Handler registration happens once at server construction — cold path, so
+  // the copyable std::function shape is fine here.
+  using Handler = std::function<void(RpcContext)>;  // lint:allow-churn
 
   RpcEndpoint(RpcSystem* system, NodeId node, CoreSet* cores)
       : system_(system), node_(node), cores_(cores) {}
 
-  void Register(Opcode op, Handler handler) { handlers_[op] = std::move(handler); }
+  void Register(Opcode op, Handler handler) {
+    handlers_[static_cast<size_t>(op)] = std::move(handler);
+  }
 
   NodeId node() const { return node_; }
   CoreSet* cores() const { return cores_; }
@@ -90,20 +112,28 @@ class RpcEndpoint {
     Tick completed_at = 0;
   };
 
-  void Deliver(NodeId from, std::shared_ptr<RpcRequest> request, uint64_t call_id);
-  void Execute(NodeId from, std::shared_ptr<RpcRequest> request, uint64_t call_id);
+  // `retransmittable` = the caller armed a timeout, so more copies of this
+  // call_id can arrive later. When it is false and the fabric has never had
+  // a fault injector, this delivery is provably the only one — the endpoint
+  // skips dedup bookkeeping and the response-clone cache entirely.
+  void Deliver(NodeId from, IntrusivePtr<RpcRequest> request, uint64_t call_id,
+               bool retransmittable);
+  void Execute(NodeId from, IntrusivePtr<RpcRequest> request, uint64_t call_id,
+               bool retransmittable);
   void PruneDedup();
   uint64_t CurrentEpoch() const;
 
   RpcSystem* system_;
   NodeId node_;
   CoreSet* cores_;  // Null for unmodeled-CPU nodes (clients).
-  // Bounded: handlers_ is filled once at server construction.
-  std::unordered_map<Opcode, Handler> handlers_;
+  // Filled once at server construction; opcode-indexed array so per-RPC
+  // handler lookup is one load, not a hash probe.
+  static constexpr size_t kMaxOpcodes = 64;
+  std::array<Handler, kMaxOpcodes> handlers_;
   // Bounded: every entry is tracked by dedup_created_ from creation and by
   // dedup_fifo_ from completion; PruneDedup expires both after the
   // rpc_dedup_retention_ns horizon, so long chaos runs cannot grow this.
-  std::unordered_map<uint64_t, DedupEntry> dedup_;
+  FlatMap64<DedupEntry> dedup_;
   // Bounded: drained by PruneDedup past the retention horizon.
   std::deque<std::pair<Tick, uint64_t>> dedup_fifo_;  // (completed_at, call_id).
   // Bounded: drained by PruneDedup past the retention horizon. Tracks every
@@ -116,7 +146,11 @@ class RpcEndpoint {
 
 class RpcSystem {
  public:
-  using ResponseCallback = std::function<void(Status, std::unique_ptr<RpcResponse>)>;
+  // Completion callbacks capture up to 88 bytes inline — sized for the
+  // widest steady-state caller (a client actor's per-op continuation).
+  inline static constexpr size_t kCallbackInlineBytes = 88;
+  using ResponseCallback =
+      InlineFunction<void(Status, std::unique_ptr<RpcResponse>), kCallbackInlineBytes>;
 
   RpcSystem(Simulator* sim, Network* net, const CostModel* costs)
       : sim_(sim), net_(net), costs_(costs) {}
@@ -151,7 +185,7 @@ class RpcSystem {
   struct PendingCall {
     NodeId caller = 0;
     NodeId server = 0;
-    std::shared_ptr<RpcRequest> request;
+    IntrusivePtr<RpcRequest> request;
     ResponseCallback cb;
     Tick deadline = 0;  // 0 = wait forever, no retransmission.
     int attempts = 0;
@@ -172,7 +206,7 @@ class RpcSystem {
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
   // Bounded by the callers' outstanding RPCs: an entry is erased when its
   // response is delivered, its timeout fires, or its endpoint halts.
-  std::unordered_map<uint64_t, PendingCall> pending_;
+  FlatMap64<PendingCall> pending_;
   uint64_t next_call_id_ = 0;
   uint64_t retransmissions_ = 0;
 };

@@ -10,7 +10,7 @@ CoreSet::CoreSet(Simulator* sim, int num_workers)
   assert(num_workers >= 1);
 }
 
-void CoreSet::EnqueueDispatch(Tick cost, std::function<void()> fn) {
+void CoreSet::EnqueueDispatch(Tick cost, DispatchFn fn) {
   if (halted_) {
     return;
   }
@@ -22,7 +22,7 @@ void CoreSet::EnqueueDispatch(Tick cost, std::function<void()> fn) {
   }
   total_dispatch_busy_ += cost;
   const uint64_t epoch = epoch_;
-  sim_->At(dispatch_free_at_, [this, epoch, fn = std::move(fn)] {
+  sim_->At(dispatch_free_at_, [this, epoch, fn = std::move(fn)]() mutable {
     if (halted_ || epoch != epoch_) {
       return;
     }
@@ -87,7 +87,7 @@ void CoreSet::StartWorker(AnyTask task) {
   });
 }
 
-void CoreSet::WorkerFinished(std::function<void()> done, uint64_t epoch) {
+void CoreSet::WorkerFinished(DoneFn done, uint64_t epoch) {
   if (epoch != epoch_) {
     return;  // The server crashed while this task was in flight.
   }

@@ -3,28 +3,27 @@
 namespace rocksteady {
 
 FaultInjector::Decision FaultInjector::OnMessage(uint32_t from, uint32_t to) {
-  const std::pair<uint32_t, uint32_t> link{from, to};
+  const uint64_t link = PackLink(from, to);
 
   double drop_p = config_.drop_probability;
   double dup_p = config_.duplicate_probability;
-  if (auto it = link_overrides_.find(link); it != link_overrides_.end()) {
-    drop_p = it->second.drop_probability;
-    dup_p = it->second.duplicate_probability;
+  if (const LinkOverride* override = link_overrides_.Find(link); override != nullptr) {
+    drop_p = override->drop_probability;
+    dup_p = override->duplicate_probability;
   }
 
   Decision decision;
-  if (auto it = drop_next_.find(link); it != drop_next_.end() && it->second > 0) {
-    if (--it->second == 0) {
-      drop_next_.erase(it);
+  if (int* remaining = drop_next_.Find(link); remaining != nullptr && *remaining > 0) {
+    if (--*remaining == 0) {
+      drop_next_.Erase(link);
     }
     decision.copies = 0;
-    decision.extra_delay_ns.clear();
     return decision;
   }
   bool forced_dup = false;
-  if (auto it = duplicate_next_.find(link); it != duplicate_next_.end() && it->second > 0) {
-    if (--it->second == 0) {
-      duplicate_next_.erase(it);
+  if (int* remaining = duplicate_next_.Find(link); remaining != nullptr && *remaining > 0) {
+    if (--*remaining == 0) {
+      duplicate_next_.Erase(link);
     }
     forced_dup = true;
   }
@@ -33,16 +32,15 @@ FaultInjector::Decision FaultInjector::OnMessage(uint32_t from, uint32_t to) {
   // sequence (and thus the whole run) is a pure function of the seed.
   if (drop_p > 0.0 && rng_.NextDouble() < drop_p) {
     decision.copies = 0;
-    decision.extra_delay_ns.clear();
     return decision;
   }
   if (forced_dup || (dup_p > 0.0 && rng_.NextDouble() < dup_p)) {
     decision.copies = 2;
-    decision.extra_delay_ns.push_back(0);
   }
   if (config_.max_extra_delay_ns > 0) {
-    for (auto& delay : decision.extra_delay_ns) {
-      delay = rng_.Uniform(config_.max_extra_delay_ns + 1);
+    for (int i = 0; i < decision.copies; i++) {
+      decision.extra_delay_ns[static_cast<size_t>(i)] =
+          rng_.Uniform(config_.max_extra_delay_ns + 1);
     }
   }
   return decision;

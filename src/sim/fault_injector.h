@@ -7,15 +7,19 @@
 // and drives straggler and crash/restart schedules through callbacks the
 // cluster installs. With no injector installed (the default), the fabric
 // behaves exactly as before: zero drops, zero jitter.
+//
+// OnMessage is on the per-message hot path, so the link tables are flat
+// open-addressed maps keyed on the packed (from, to) pair and the Decision
+// is a fixed-size value (at most two copies exist) — no per-message
+// allocation. The draw order is identical to the original std::map/vector
+// implementation, so chaos trace hashes are unchanged.
 #ifndef ROCKSTEADY_SRC_SIM_FAULT_INJECTOR_H_
 #define ROCKSTEADY_SRC_SIM_FAULT_INJECTOR_H_
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <utility>
-#include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/random.h"
 #include "src/common/types.h"
 
@@ -33,10 +37,11 @@ class FaultInjector {
   };
 
   // What Network::Send should do with one message: deliver `copies` times
-  // (0 = drop), each copy delayed by its own entry of `extra_delay_ns`.
+  // (0 = drop, at most 2 = original + duplicate), copy i delayed by
+  // extra_delay_ns[i].
   struct Decision {
     int copies = 1;
-    std::vector<Tick> extra_delay_ns = {0};
+    std::array<Tick, 2> extra_delay_ns{};
   };
 
   explicit FaultInjector(const Config& config) : config_(config), rng_(config.seed) {}
@@ -52,29 +57,31 @@ class FaultInjector {
   // tests use this to lose exactly the response path of an RPC).
   void SetLinkOverride(uint32_t from, uint32_t to, double drop_probability,
                        double duplicate_probability) {
-    link_overrides_[{from, to}] = {drop_probability, duplicate_probability};
+    link_overrides_[PackLink(from, to)] = {drop_probability, duplicate_probability};
   }
-  void ClearLinkOverride(uint32_t from, uint32_t to) { link_overrides_.erase({from, to}); }
+  void ClearLinkOverride(uint32_t from, uint32_t to) { link_overrides_.Erase(PackLink(from, to)); }
 
   // One-shot deterministic drop/duplicate of the next `n` messages on a
   // directed link, regardless of probabilities. Used by targeted tests.
-  void DropNext(uint32_t from, uint32_t to, int n) { drop_next_[{from, to}] += n; }
-  void DuplicateNext(uint32_t from, uint32_t to, int n) { duplicate_next_[{from, to}] += n; }
+  void DropNext(uint32_t from, uint32_t to, int n) { drop_next_[PackLink(from, to)] += n; }
+  void DuplicateNext(uint32_t from, uint32_t to, int n) {
+    duplicate_next_[PackLink(from, to)] += n;
+  }
 
   const Config& config() const { return config_; }
   Random& rng() { return rng_; }
 
  private:
   struct LinkOverride {
-    double drop_probability;
-    double duplicate_probability;
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
   };
 
   Config config_;
   Random rng_;  // Dedicated stream: fault draws never perturb workload RNG use.
-  std::map<std::pair<uint32_t, uint32_t>, LinkOverride> link_overrides_;
-  std::map<std::pair<uint32_t, uint32_t>, int> drop_next_;
-  std::map<std::pair<uint32_t, uint32_t>, int> duplicate_next_;
+  FlatMap64<LinkOverride> link_overrides_;
+  FlatMap64<int> drop_next_;
+  FlatMap64<int> duplicate_next_;
 };
 
 }  // namespace rocksteady

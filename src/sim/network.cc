@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
-#include <memory>
 #include <utility>
 
 namespace rocksteady {
 
-void Network::Send(NodeId from, NodeId to, size_t wire_bytes, std::function<void()> on_delivery) {
+Network::SharedDelivery* Network::AllocShared() {
+  if (shared_free_ == nullptr) {
+    shared_storage_.push_back(std::make_unique<SharedDelivery>());
+    shared_free_ = shared_storage_.back().get();
+  }
+  SharedDelivery* shared = shared_free_;
+  shared_free_ = shared->next_free;
+  shared->next_free = nullptr;
+  return shared;
+}
+
+void Network::ReleaseShared(SharedDelivery* shared) {
+  shared->fn = nullptr;  // Drop captured state while the node idles.
+  shared->next_free = shared_free_;
+  shared_free_ = shared;
+}
+
+void Network::Send(NodeId from, NodeId to, size_t wire_bytes, NetFn on_delivery) {
   assert(from < egress_free_at_.size() && to < egress_free_at_.size());
   if (node_down_[from]) {
     dropped_from_down_node_++;
@@ -38,7 +54,7 @@ void Network::Send(NodeId from, NodeId to, size_t wire_bytes, std::function<void
 
   const Tick arrive = depart + costs_->net_propagation_ns;
   if (decision.copies == 1 && decision.extra_delay_ns[0] == 0) {
-    sim_->At(arrive, [this, to, fn = std::move(on_delivery)] {
+    sim_->At(arrive, [this, to, fn = std::move(on_delivery)]() mutable {
       if (node_down_[to]) {
         dropped_to_down_node_++;
         return;  // Dropped on the floor; RPC timeouts handle the rest.
@@ -47,19 +63,26 @@ void Network::Send(NodeId from, NodeId to, size_t wire_bytes, std::function<void
     });
     return;
   }
-  // Duplicated and/or delayed copies share one delivery closure.
-  auto shared_fn = std::make_shared<std::function<void()>>(std::move(on_delivery));
+  // Duplicated and/or delayed copies share one pooled delivery node; each
+  // copy invokes the same callable, and the last one returns the node to
+  // the pool.
+  SharedDelivery* shared = AllocShared();
+  shared->fn = std::move(on_delivery);
+  shared->refs = decision.copies;
   for (int copy = 0; copy < decision.copies; copy++) {
     const Tick extra = decision.extra_delay_ns[static_cast<size_t>(copy)];
     if (extra > 0) {
       injected_delays_++;
     }
-    sim_->At(arrive + extra, [this, to, shared_fn] {
-      if (node_down_[to]) {
+    sim_->At(arrive + extra, [this, to, shared] {
+      if (!node_down_[to]) {
+        shared->fn();
+      } else {
         dropped_to_down_node_++;
-        return;
       }
-      (*shared_fn)();
+      if (--shared->refs == 0) {
+        ReleaseShared(shared);
+      }
     });
   }
 }

@@ -16,13 +16,19 @@
 // other small messages; bulk messages queue FIFO among themselves. The model
 // error (small traffic's bandwidth is not deducted from bulk) is a few
 // percent at the paper's traffic mix.
+//
+// Hot path: delivery callbacks are inline (NetFn), the per-message fault
+// Decision is a fixed-size value, and the rare duplicated/delayed fan-out
+// shares one pooled, intrusively-refcounted delivery node instead of a
+// make_shared'd std::function — a Send allocates nothing.
 #ifndef ROCKSTEADY_SRC_SIM_NETWORK_H_
 #define ROCKSTEADY_SRC_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/simulator.h"
@@ -30,6 +36,11 @@
 namespace rocksteady {
 
 using NodeId = uint32_t;
+
+// Delivery callbacks store up to 64 capture bytes inline; the simulator
+// event wrapping one ({this, to, NetFn}) then fills EventFn's 88 exactly.
+inline constexpr size_t kNetInlineCallbackBytes = 64;
+using NetFn = InlineFunction<void(), kNetInlineCallbackBytes>;
 
 class Network {
  public:
@@ -50,8 +61,11 @@ class Network {
 
   // Delivers `on_delivery` at the destination after egress serialization of
   // `wire_bytes` plus propagation. Messages from one node share its egress
-  // link (FIFO). Messages to or from a down node are dropped.
-  void Send(NodeId from, NodeId to, size_t wire_bytes, std::function<void()> on_delivery);
+  // link (FIFO). Messages to or from a down node are dropped. The callback
+  // may be invoked more than once if the fabric duplicates the message, so
+  // it must not consume one-shot state on invocation (the RPC layer's
+  // delivery closures copy shared handles or null-check moved state).
+  void Send(NodeId from, NodeId to, size_t wire_bytes, NetFn on_delivery);
 
   // Crash simulation: messages in flight to a down node are dropped at
   // delivery time; messages from it are not sent.
@@ -60,8 +74,17 @@ class Network {
 
   // Installs (or removes, with nullptr) a fault injector consulted on every
   // Send. Not owned; must outlive the network while installed.
-  void SetFaultInjector(FaultInjector* injector) { fault_injector_ = injector; }
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_ = injector;
+    faults_ever_installed_ = faults_ever_installed_ || injector != nullptr;
+  }
   FaultInjector* fault_injector() const { return fault_injector_; }
+
+  // True once any injector has ever been installed. Duplicates injected
+  // before an injector was removed can still be in flight after removal, so
+  // "no injector now" is not "no duplicates ever" — layers that want to skip
+  // duplicate-defense work must check this, not fault_injector().
+  bool faults_ever_installed() const { return faults_ever_installed_; }
 
   uint64_t total_bytes_sent() const { return total_bytes_sent_; }
   uint64_t total_messages() const { return total_messages_; }
@@ -77,12 +100,27 @@ class Network {
   uint64_t injected_delays() const { return injected_delays_; }
 
  private:
+  // One fault-path fan-out: up to two delivery copies share the callback.
+  // Nodes are pooled and reused; all storage is owned by shared_storage_ so
+  // teardown is clean even with copies still scheduled.
+  struct SharedDelivery {
+    NetFn fn;
+    int refs = 0;
+    SharedDelivery* next_free = nullptr;
+  };
+
+  SharedDelivery* AllocShared();
+  void ReleaseShared(SharedDelivery* shared);
+
   Simulator* sim_;
   const CostModel* costs_;
   std::vector<Tick> egress_free_at_;       // Small-message track.
   std::vector<Tick> egress_bulk_free_at_;  // Bulk track (>= threshold).
   std::vector<bool> node_down_;
   FaultInjector* fault_injector_ = nullptr;
+  bool faults_ever_installed_ = false;
+  std::vector<std::unique_ptr<SharedDelivery>> shared_storage_;
+  SharedDelivery* shared_free_ = nullptr;
   uint64_t total_bytes_sent_ = 0;
   uint64_t total_messages_ = 0;
   uint64_t dropped_from_down_node_ = 0;

@@ -6,26 +6,46 @@
 // is a simulated resource, and all timing comes from sim::CostModel. Data
 // structures (log, hash table) are real and mutate inside event callbacks;
 // only *time* is simulated.
+//
+// Engine (see DESIGN.md "Engine performance"): events are 128-byte slab-
+// pooled objects whose callbacks live inline (EventFn), organized in a
+// calendar queue — a ring of fixed-width time buckets covering a sliding
+// window, with a min-heap overflow for events beyond the horizon. The
+// schedule → dispatch → free cycle touches no allocator. Dispatch order is
+// identical to the old binary-heap engine: (time, seq) with seq assigned at
+// scheduling time, so equal-time events stay FIFO and trace hashes are
+// unchanged.
 #ifndef ROCKSTEADY_SRC_SIM_SIMULATOR_H_
 #define ROCKSTEADY_SRC_SIM_SIMULATOR_H_
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "src/common/dcheck.h"
+#include "src/common/inline_function.h"
 #include "src/common/random.h"
 #include "src/common/types.h"
 
 namespace rocksteady {
 
+// Event callbacks store up to this many capture bytes inline (larger ones
+// heap-box and count a fallback). 88 makes the whole Event exactly two
+// cache lines, and fits every wrapper in the stack: the widest hot-path
+// closure — a CoreSet dispatch/completion wrapper or a Network delivery
+// wrapper carrying a nested 64-byte-inline callback — is exactly 88 bytes.
+inline constexpr size_t kEventInlineBytes = 88;
+using EventFn = InlineFunction<void(), kEventInlineBytes>;
+
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(uint64_t seed = 1);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  ~Simulator();
 
   Tick now() const { return now_; }
 
@@ -33,9 +53,9 @@ class Simulator {
   // same tick run in scheduling order (FIFO), which keeps runs deterministic.
   // Scheduling in the past is a checked error: fatal in debug builds, and
   // clamped to now() in release builds — time never flows backwards.
-  void At(Tick t, std::function<void()> fn);
+  void At(Tick t, EventFn fn);
 
-  void After(Tick delay, std::function<void()> fn) { At(now_ + delay, std::move(fn)); }
+  void After(Tick delay, EventFn fn) { At(now_ + delay, std::move(fn)); }
 
   // Runs events until the queue drains. Returns the number processed.
   size_t Run();
@@ -45,7 +65,7 @@ class Simulator {
   // rewinds (checked error in debug builds; no-op in release builds).
   size_t RunUntil(Tick t);
 
-  bool Idle() const { return queue_.empty(); }
+  bool Idle() const { return ring_count_ == 0 && overflow_.empty(); }
   size_t events_processed() const { return events_processed_; }
 
   // Order-sensitive digest of every event dispatched so far: two runs of
@@ -56,29 +76,90 @@ class Simulator {
 
   Random& rng() { return rng_; }
 
- private:
-  struct Event {
-    Tick time;
-    uint64_t seq;  // Tie-break so equal-time events stay FIFO.
-    std::function<void()> fn;
+  // Event-pool telemetry. In steady state the free list satisfies every
+  // schedule, so slab_allocations stays flat — asserted by the allocation
+  // regression test, reported by the engine bench.
+  struct PoolStats {
+    uint64_t slab_allocations = 0;  // Times the pool grew by one slab.
+    uint64_t live_events = 0;       // Currently scheduled.
+    uint64_t free_events = 0;       // Pooled, ready for reuse.
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
+  PoolStats pool_stats() const {
+    return PoolStats{slab_allocations_, ring_count_ + overflow_.size(),
+                     free_count_};
+  }
+
+ private:
+  // One pooled event: two cache lines (32 bytes of links + 96-byte EventFn).
+  // prev/next double as the intrusive bucket-list links and, for free
+  // events, the free-list thread (next only).
+  struct Event {
+    Tick time = 0;
+    uint64_t seq = 0;  // Tie-break so equal-time events stay FIFO.
+    Event* prev = nullptr;
+    Event* next = nullptr;
+    EventFn fn;
+  };
+  static_assert(sizeof(Event) == 128, "Event should stay two cache lines");
+
+  // Calendar geometry: 8192 buckets of 1024 ns cover an ~8.4 ms window —
+  // wider than the RPC timeout, so nearly all events land in the ring.
+  // Later events (leases, deadlines) wait in the overflow heap and are
+  // adopted when the window slides over them.
+  static constexpr int kBucketWidthLog2 = 10;
+  static constexpr size_t kNumBuckets = 8192;
+  static constexpr size_t kBucketMask = kNumBuckets - 1;
+  static constexpr size_t kOccupancyWords = kNumBuckets / 64;
+  static constexpr size_t kSlabEvents = 1024;
+
+  struct BucketList {
+    Event* head = nullptr;
+    Event* tail = nullptr;
   };
 
-  void MixTrace(const Event& event) {
+  static uint64_t BucketOf(Tick t) { return t >> kBucketWidthLog2; }
+  static bool EventLater(const Event* a, const Event* b);
+
+  void MixTrace(Tick time, uint64_t seq) {
     // FNV-1a over the event's (time, seq); cheap enough to keep always on.
-    trace_hash_ = (trace_hash_ ^ event.time) * 0x100000001b3ull;
-    trace_hash_ = (trace_hash_ ^ event.seq) * 0x100000001b3ull;
+    trace_hash_ = (trace_hash_ ^ time) * 0x100000001b3ull;
+    trace_hash_ = (trace_hash_ ^ seq) * 0x100000001b3ull;
   }
+
+  Event* AllocEvent();
+  void FreeEvent(Event* e);
+  void InsertRing(Event* e, uint64_t ab);
+  // Slides the window so `new_base` is its first bucket and adopts every
+  // overflow event that now falls inside it.
+  void AdvanceWindowTo(uint64_t new_base);
+  // Absolute bucket number of the first occupied ring bucket at or after
+  // `scan_ab_`. Requires ring_count_ > 0.
+  uint64_t FirstOccupiedBucket();
+  // Detaches and returns the earliest event (nullptr when idle), advancing
+  // the window if the earliest lives in the overflow heap.
+  Event* PopMin();
+  // Time of the earliest event without popping or sliding the window.
+  bool PeekMinTime(Tick* t);
 
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
   size_t events_processed_ = 0;
   uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV offset basis.
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  // Ring + overflow queue state.
+  std::vector<BucketList> buckets_{kNumBuckets};
+  std::array<uint64_t, kOccupancyWords> occupancy_{};
+  uint64_t win_base_ = 0;  // Absolute bucket number of the window's start.
+  uint64_t scan_ab_ = 0;   // Monotone scan cursor (absolute bucket number).
+  size_t ring_count_ = 0;
+  std::vector<Event*> overflow_;  // Min-heap on (time, seq).
+
+  // Slab pool.
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  Event* free_list_ = nullptr;
+  uint64_t slab_allocations_ = 0;
+  uint64_t free_count_ = 0;
+
   Random rng_;
 };
 

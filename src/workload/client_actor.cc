@@ -25,12 +25,14 @@ void ClientActor::ScheduleNextArrival() {
   }
   sim.At(at, [this] {
     Simulator& sim2 = client_->coordinator().sim();
-    PendingOp pending;
-    pending.op = workload_->NextOp(sim2.rng());
-    pending.arrival = sim2.now();
     if (outstanding_ < config_.max_outstanding) {
-      Issue(std::move(pending));
+      workload_->NextOpInto(sim2.rng(), &scratch_.op);
+      scratch_.arrival = sim2.now();
+      Issue(scratch_);
     } else {
+      PendingOp pending;
+      pending.op = workload_->NextOp(sim2.rng());
+      pending.arrival = sim2.now();
       backlog_.push_back(std::move(pending));
     }
     ScheduleNextArrival();
@@ -39,34 +41,38 @@ void ClientActor::ScheduleNextArrival() {
 
 void ClientActor::PumpBacklog() {
   while (outstanding_ < config_.max_outstanding && !backlog_.empty()) {
-    PendingOp pending = std::move(backlog_.front());
+    Issue(backlog_.front());
     backlog_.pop_front();
-    Issue(std::move(pending));
   }
 }
 
-void ClientActor::Issue(PendingOp op) {
+void ClientActor::Issue(const PendingOp& op) {
   outstanding_++;
   issued_++;
-  auto shared = std::make_shared<PendingOp>(std::move(op));
-  if (shared->op.is_read) {
-    client_->Read(table_, shared->op.key, [this, shared](Status status, const std::string&) {
-      Completed(*shared, status);
+  // Completion closures capture only {this, arrival} — 16 bytes, inside
+  // std::function's inline buffer — and the key/value go down as views the
+  // client copies into pooled buffers, so issuing an op allocates nothing.
+  const Tick arrival = op.arrival;
+  if (op.op.is_read) {
+    client_->Read(table_, op.op.key, [this, arrival](Status status, const std::string&) {
+      Completed(arrival, /*is_read=*/true, status);
     });
   } else {
-    const std::string value(workload_->config().value_length, 'w');
-    client_->Write(table_, shared->op.key, value,
-                   [this, shared](Status status) { Completed(*shared, status); });
+    if (write_value_.size() != workload_->config().value_length) {
+      write_value_.assign(workload_->config().value_length, 'w');
+    }
+    client_->Write(table_, op.op.key, write_value_,
+                   [this, arrival](Status status) { Completed(arrival, /*is_read=*/false, status); });
   }
 }
 
-void ClientActor::Completed(const PendingOp& op, Status status) {
+void ClientActor::Completed(Tick arrival, bool is_read, Status status) {
   Simulator& sim = client_->coordinator().sim();
   outstanding_--;
-  if (status == Status::kOk || (op.op.is_read && status == Status::kObjectNotFound)) {
+  if (status == Status::kOk || (is_read && status == Status::kObjectNotFound)) {
     completed_++;
-    const Tick latency = sim.now() - op.arrival;
-    if (op.op.is_read) {
+    const Tick latency = sim.now() - arrival;
+    if (is_read) {
       if (read_latency_ != nullptr) {
         read_latency_->Record(sim.now(), latency);
       }

@@ -52,8 +52,8 @@ class ClientActor {
 
   void ScheduleNextArrival();
   void PumpBacklog();
-  void Issue(PendingOp op);
-  void Completed(const PendingOp& op, Status status);
+  void Issue(const PendingOp& op);
+  void Completed(Tick arrival, bool is_read, Status status);
 
   TableId table_;
   RamCloudClient* client_;
@@ -64,6 +64,12 @@ class ClientActor {
   LatencyTimeline* throughput_ = nullptr;
 
   size_t outstanding_ = 0;
+  // Reused when an arrival issues immediately (the common case): the op key
+  // is formatted into scratch_'s buffer and the write value is built once,
+  // so steady-state op generation allocates nothing. Backlogged arrivals
+  // still get their own PendingOp (they must outlive the arrival event).
+  PendingOp scratch_;
+  std::string write_value_;
   std::deque<PendingOp> backlog_;
   uint64_t issued_ = 0;
   uint64_t completed_ = 0;

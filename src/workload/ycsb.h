@@ -36,12 +36,20 @@ class YcsbWorkload {
 
   Op NextOp(Random& rng) {
     Op op;
-    op.is_read = rng.NextDouble() < config_.read_fraction;
-    op.key = KeyAt(zipf_.Next(rng));
+    NextOpInto(rng, &op);
     return op;
   }
 
+  // In-place variant for hot paths: identical draws to NextOp, but formats
+  // the key into op->key's existing buffer — zero allocations once the
+  // buffer has grown to key_length.
+  void NextOpInto(Random& rng, Op* op) {
+    op->is_read = rng.NextDouble() < config_.read_fraction;
+    KeyAtInto(zipf_.Next(rng), &op->key);
+  }
+
   std::string KeyAt(uint64_t id) const;
+  void KeyAtInto(uint64_t id, std::string* out) const;
 
   const YcsbConfig& config() const { return config_; }
 

@@ -1,0 +1,75 @@
+// Counting replacements for the global allocator (see alloc_hook.h).
+//
+// The simulation is single-threaded by design, so plain counters suffice.
+// Every operator new form funnels through Count() + malloc; deletes go
+// straight to free. Works under ASan/UBSan: the sanitizer intercepts the
+// underlying malloc/free, so poisoning and leak detection still function.
+#include "tests/alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace rocksteady {
+namespace {
+
+uint64_t g_alloc_count = 0;
+uint64_t g_alloc_bytes = 0;
+
+void* Count(std::size_t size) {
+  g_alloc_count++;
+  g_alloc_bytes += size;
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* CountAligned(std::size_t size, std::size_t align) {
+  g_alloc_count++;
+  g_alloc_bytes += size;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, padded);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+uint64_t GlobalAllocCount() { return g_alloc_count; }
+uint64_t GlobalAllocBytes() { return g_alloc_bytes; }
+
+}  // namespace rocksteady
+
+void* operator new(std::size_t size) { return rocksteady::Count(size); }
+void* operator new[](std::size_t size) { return rocksteady::Count(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  rocksteady::g_alloc_count++;
+  rocksteady::g_alloc_bytes += size;
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  rocksteady::g_alloc_count++;
+  rocksteady::g_alloc_bytes += size;
+  return std::malloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return rocksteady::CountAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return rocksteady::CountAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }

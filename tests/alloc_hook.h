@@ -1,0 +1,23 @@
+// Test-only global allocation counter.
+//
+// Linking tests/alloc_hook.cc into a binary replaces the global operator
+// new/delete with counting wrappers; these accessors read the totals. The
+// hook is deliberately NOT part of any rocksteady library: replacing the
+// global allocator is a whole-binary decision that only the allocation
+// regression test and the engine throughput bench opt into.
+#ifndef ROCKSTEADY_TESTS_ALLOC_HOOK_H_
+#define ROCKSTEADY_TESTS_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace rocksteady {
+
+// Number of global operator new invocations (all forms) since process start.
+uint64_t GlobalAllocCount();
+
+// Total bytes requested through global operator new since process start.
+uint64_t GlobalAllocBytes();
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_TESTS_ALLOC_HOOK_H_

@@ -1,0 +1,117 @@
+// Allocation regression tests for the engine hot path.
+//
+// The overhaul's contract is that steady-state event churn is fed entirely
+// from pools: the simulator's event slab pool satisfies every schedule from
+// its free list, and every hot-path closure fits its InlineFunction buffer.
+// These tests pin that down with hard zeros over a measured event window,
+// so a regression (a widened closure, a pool leak, a new per-event
+// allocation in the pure dispatch loop) fails CI instead of quietly eating
+// the 2x throughput win.
+//
+// This binary links tests/alloc_hook.cc, which replaces global operator
+// new/delete with counting wrappers — a whole-binary decision no other test
+// opts into (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/inline_function.h"
+#include "src/workload/client_actor.h"
+#include "src/workload/ycsb.h"
+#include "tests/alloc_hook.h"
+
+namespace rocksteady {
+namespace {
+
+constexpr TableId kTable = 1;
+
+// A self-rescheduling timer chain: the pure-dispatch load with zero
+// application work (same shape as bench/engine_throughput.cc's dispatch
+// scenario).
+class Chain {
+ public:
+  Chain(Simulator* sim, Tick period) : sim_(sim), period_(period) {}
+
+  void Start(Tick at) {
+    sim_->At(at, [this] { Step(); });
+  }
+
+ private:
+  void Step() {
+    sim_->At(sim_->now() + period_, [this] { Step(); });
+  }
+
+  Simulator* sim_;
+  Tick period_;
+};
+
+TEST(AllocRegressionTest, PureEventLoopIsAllocationFreeInSteadyState) {
+  Simulator sim(42);
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (int i = 0; i < 32; i++) {
+    chains.push_back(std::make_unique<Chain>(&sim, /*period=*/100));
+    chains.back()->Start(static_cast<Tick>(i));
+  }
+  // Warm-up: first dispatches allocate the event slab(s).
+  sim.RunUntil(100 * kMicrosecond);
+
+  const uint64_t allocs_before = GlobalAllocCount();
+  const uint64_t slabs_before = sim.pool_stats().slab_allocations;
+  const size_t events_before = sim.events_processed();
+  sim.RunUntil(200 * kMicrosecond);
+  const size_t events = sim.events_processed() - events_before;
+
+  ASSERT_GT(events, 10'000u);  // The window really exercised the loop.
+  // Hard zero: schedule -> dispatch -> free touches no allocator at all.
+  EXPECT_EQ(GlobalAllocCount() - allocs_before, 0u);
+  EXPECT_EQ(sim.pool_stats().slab_allocations - slabs_before, 0u);
+}
+
+TEST(AllocRegressionTest, YcsbSteadyWindowHasZeroPoolMissedAllocations) {
+  // Steady-state YCSB-B against 4 masters through the full RPC stack. After
+  // warm-up, a >=10k-event window must show zero event-slab growth and zero
+  // InlineFunction heap fallbacks: every pooled structure is recycled and
+  // every hot-path closure stays inline. (Intrinsic per-op allocations —
+  // request/response message objects — are measured and budgeted by
+  // bench/engine_throughput.cc, not asserted here.)
+  ClusterConfig config;
+  config.num_masters = 4;
+  config.num_clients = 2;
+  config.seed = 42;
+  config.master.hash_table_log2_buckets = 15;
+  Cluster cluster(config);
+  cluster.CreateTable(kTable, 0);
+  cluster.LoadTable(kTable, /*num_records=*/4'000, /*key_length=*/12, /*value_length=*/100);
+
+  YcsbConfig ycsb = YcsbConfig::WorkloadB();
+  ycsb.num_records = 4'000;
+  YcsbWorkload workload_a(ycsb);
+  YcsbWorkload workload_b(ycsb);
+  ClientActorConfig actor_config;
+  actor_config.ops_per_second = 75'000;
+  ClientActor actor_a(kTable, &cluster.client(0), &workload_a, actor_config);
+  ClientActor actor_b(kTable, &cluster.client(1), &workload_b, actor_config);
+  actor_a.Start();
+  actor_b.Start();
+
+  // Warm-up: pools (event slabs, client retry states, server scratch) reach
+  // their steady-state footprint.
+  cluster.sim().RunUntil(20 * kMillisecond);
+
+  const uint64_t slabs_before = cluster.sim().pool_stats().slab_allocations;
+  const uint64_t fallbacks_before = InlineFunctionHeapFallbacks();
+  const size_t events_before = cluster.sim().events_processed();
+  cluster.sim().RunUntil(40 * kMillisecond);
+  const size_t events = cluster.sim().events_processed() - events_before;
+
+  ASSERT_GT(events, 10'000u);  // The steady window covers >=10k events.
+  ASSERT_GT(actor_a.completed() + actor_b.completed(), 0u);
+  EXPECT_EQ(cluster.sim().pool_stats().slab_allocations - slabs_before, 0u);
+  EXPECT_EQ(InlineFunctionHeapFallbacks() - fallbacks_before, 0u);
+}
+
+}  // namespace
+}  // namespace rocksteady

@@ -1,0 +1,306 @@
+// Unit tests for the hot-path engine primitives introduced by the
+// performance overhaul: the calendar-queue event loop and its slab pool
+// (src/sim/simulator.h), InlineFunction (src/common/inline_function.h),
+// FlatMap64 (src/common/flat_map.h), and the FaultInjector's flat per-link
+// tables. These pin down the behaviors the overhaul must preserve —
+// (time, seq) dispatch order, FIFO ties, zero-allocation steady state, and
+// deterministic draw sequences — independently of the full-cluster tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/flat_map.h"
+#include "src/common/inline_function.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/simulator.h"
+
+namespace rocksteady {
+namespace {
+
+// The calendar ring covers 8192 buckets x 1024 ns ~= 8.4 ms; anything past
+// that waits in the overflow heap. Events on both sides of the horizon must
+// still dispatch in global (time, seq) order.
+constexpr Tick kBeyondHorizon = 100'000'000;  // 100 ms.
+
+// ---------------------------------------------------- Calendar queue.
+
+TEST(CalendarQueueTest, OverflowEventsInterleaveWithRingEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(kBeyondHorizon, [&] { order.push_back(4); });
+  sim.At(500, [&] { order.push_back(1); });
+  sim.At(2 * kBeyondHorizon, [&] { order.push_back(5); });
+  sim.At(1'000'000, [&] { order.push_back(2); });
+  sim.At(kBeyondHorizon - 1, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sim.now(), 2 * kBeyondHorizon);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(CalendarQueueTest, SameTickFifoHoldsInOverflowHeap) {
+  // Equal-time events tie-break on seq even when they sat in the overflow
+  // min-heap (which is exactly where heap order would lose FIFO without it).
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; i++) {
+    sim.At(kBeyondHorizon, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; i++) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(CalendarQueueTest, EventsCanScheduleAcrossTheHorizon) {
+  // An event fired inside the window schedules past it, and vice versa once
+  // the window has slid forward.
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.At(100, [&] {
+    order.push_back("near");
+    sim.At(kBeyondHorizon, [&] {
+      order.push_back("far");
+      sim.After(10, [&] { order.push_back("far+10"); });
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"near", "far", "far+10"}));
+  EXPECT_EQ(sim.now(), kBeyondHorizon + 10);
+}
+
+TEST(CalendarQueueTest, RunUntilAdvancesClockPastEmptyWindow) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(kBeyondHorizon, [&] { fired++; });
+  // Stop short of the overflow event, then run to completion.
+  EXPECT_EQ(sim.RunUntil(kBeyondHorizon - 1), 0u);
+  EXPECT_EQ(sim.now(), kBeyondHorizon - 1);
+  EXPECT_EQ(fired, 0);
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(CalendarQueueTest, TraceHashIsDeterministicAndOrderSensitive) {
+  auto run = [](Tick second_event) {
+    Simulator sim;
+    for (Tick t : {Tick{100}, second_event, kBeyondHorizon}) {
+      sim.At(t, [] {});
+    }
+    sim.Run();
+    return sim.trace_hash();
+  };
+  EXPECT_EQ(run(200), run(200));     // Same schedule, same hash.
+  EXPECT_NE(run(200), run(300));     // Any timing change perturbs it.
+}
+
+// ---------------------------------------------------- Event slab pool.
+
+TEST(EventPoolTest, SteadyStateChurnNeverGrowsThePool) {
+  Simulator sim;
+  // Warm up: one burst allocates the first slab(s).
+  for (int i = 0; i < 64; i++) {
+    sim.After(i + 1, [] {});
+  }
+  sim.Run();
+  const uint64_t warm_slabs = sim.pool_stats().slab_allocations;
+  EXPECT_GE(warm_slabs, 1u);
+
+  // Thousands of schedule -> dispatch -> free cycles at the same live-event
+  // ceiling must be fed entirely from the free list.
+  for (int cycle = 0; cycle < 200; cycle++) {
+    for (int i = 0; i < 64; i++) {
+      sim.After(i + 1, [] {});
+    }
+    sim.Run();
+  }
+  EXPECT_EQ(sim.pool_stats().slab_allocations, warm_slabs);
+}
+
+TEST(EventPoolTest, PoolStatsTrackLiveAndFreeEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.pool_stats().live_events, 0u);
+  sim.At(10, [] {});
+  sim.At(kBeyondHorizon, [] {});  // One ring event, one overflow event.
+  EXPECT_EQ(sim.pool_stats().live_events, 2u);
+  sim.Run();
+  const Simulator::PoolStats after = sim.pool_stats();
+  EXPECT_EQ(after.live_events, 0u);
+  EXPECT_GE(after.free_events, 2u);  // Dispatched events returned to the pool.
+}
+
+// ---------------------------------------------------- InlineFunction.
+
+TEST(InlineFunctionTest, SmallCapturesStayInline) {
+  const uint64_t before = InlineFunctionHeapFallbacks();
+  int hits = 0;
+  InlineFunction<void(), 64> fn = [&hits] { hits++; };
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(InlineFunctionHeapFallbacks(), before);
+}
+
+TEST(InlineFunctionTest, OversizedCapturesFallBackToHeapAndCount) {
+  const uint64_t before = InlineFunctionHeapFallbacks();
+  struct Big {
+    char bytes[128];
+  } big{};
+  big.bytes[0] = 7;
+  InlineFunction<int(), 64> fn = [big] { return static_cast<int>(big.bytes[0]); };
+  EXPECT_EQ(fn(), 7);
+  EXPECT_EQ(InlineFunctionHeapFallbacks(), before + 1);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCallablesWork) {
+  auto value = std::make_unique<int>(42);
+  InlineFunction<int(), 64> fn = [v = std::move(value)] { return *v; };
+  InlineFunction<int(), 64> moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(moved));
+  EXPECT_EQ(moved(), 42);
+}
+
+TEST(InlineFunctionTest, NullAssignmentClears) {
+  InlineFunction<void(), 64> fn = [] {};
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn == nullptr);
+}
+
+TEST(InlineFunctionTest, ArgumentsAndReturnValuesFlowThrough) {
+  // The bias capture keeps the closure non-empty (a captureless lambda's
+  // unwritten storage trips GCC's -Wmaybe-uninitialized under -Werror).
+  const int bias = 1;
+  InlineFunction<int(int, int), 32> add = [bias](int a, int b) { return a + b + bias; };
+  EXPECT_EQ(add(2, 3), 6);
+}
+
+// ---------------------------------------------------- FlatMap64.
+
+TEST(FlatMapTest, ZeroIsALegalKey) {
+  FlatMap64<int> map;
+  EXPECT_EQ(map.Find(0), nullptr);
+  map[0] = 11;
+  ASSERT_NE(map.Find(0), nullptr);
+  EXPECT_EQ(*map.Find(0), 11);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.Erase(0));
+  EXPECT_EQ(map.Find(0), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMapTest, EraseThenReinsertReusesTombstones) {
+  FlatMap64<uint64_t> map;
+  // Churn the same small key set far more times than the capacity: if
+  // tombstones were not reused/swept, the table would wedge or grow without
+  // bound. size() staying exact proves the probe paths stay coherent.
+  for (int round = 0; round < 1000; round++) {
+    for (uint64_t k = 0; k < 8; k++) {
+      map[k] = k * 10;
+    }
+    EXPECT_EQ(map.size(), 8u);
+    for (uint64_t k = 0; k < 8; k++) {
+      ASSERT_NE(map.Find(k), nullptr);
+      EXPECT_EQ(*map.Find(k), k * 10);
+      EXPECT_TRUE(map.Erase(k));
+    }
+    EXPECT_TRUE(map.empty());
+  }
+  EXPECT_FALSE(map.Erase(3));  // Erasing an absent key reports failure.
+}
+
+TEST(FlatMapTest, GrowthPreservesAllEntries) {
+  FlatMap64<uint64_t> map;
+  constexpr uint64_t kCount = 10'000;
+  for (uint64_t k = 0; k < kCount; k++) {
+    map[k * 0x9e3779b97f4a7c15ull] = k;  // Scattered keys force real probing.
+  }
+  EXPECT_EQ(map.size(), kCount);
+  for (uint64_t k = 0; k < kCount; k++) {
+    uint64_t* v = map.Find(k * 0x9e3779b97f4a7c15ull);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k);
+  }
+  EXPECT_EQ(map.Find(1), nullptr);  // A key never inserted stays absent.
+}
+
+TEST(FlatMapTest, ValuesAreDestroyedOnErase) {
+  // Erase must release held resources immediately (the dedup cache holds
+  // cloned responses; leaking them until rehash would balloon memory).
+  FlatMap64<std::shared_ptr<int>> map;
+  auto value = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = value;
+  map[77] = std::move(value);
+  EXPECT_FALSE(watch.expired());
+  map.Erase(77);
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(FlatMapTest, PackLinkIsInjectiveOnDirection) {
+  EXPECT_NE(PackLink(1, 2), PackLink(2, 1));
+  EXPECT_EQ(PackLink(1, 2), PackLink(1, 2));
+  EXPECT_EQ(PackLink(0, 0), 0u);
+  EXPECT_EQ(PackLink(1, 0), uint64_t{1} << 32);
+}
+
+// ---------------------------------------------------- FaultInjector.
+
+TEST(FaultInjectorFlatTest, DrawSequenceIsAPureFunctionOfSeed) {
+  // Two injectors with the same seed and config must produce identical
+  // decision streams — the flat per-link tables cannot perturb the RNG.
+  FaultInjector::Config config;
+  config.seed = 42;
+  config.drop_probability = 0.3;
+  config.duplicate_probability = 0.2;
+  config.max_extra_delay_ns = 1000;
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 500; i++) {
+    const uint32_t from = static_cast<uint32_t>(i % 7);
+    const uint32_t to = static_cast<uint32_t>((i * 3) % 5);
+    const FaultInjector::Decision da = a.OnMessage(from, to);
+    const FaultInjector::Decision db = b.OnMessage(from, to);
+    EXPECT_EQ(da.copies, db.copies);
+    EXPECT_EQ(da.extra_delay_ns, db.extra_delay_ns);
+  }
+}
+
+TEST(FaultInjectorFlatTest, DropNextConsumesExactlyNMessages) {
+  FaultInjector injector(FaultInjector::Config{.seed = 1});
+  injector.DropNext(3, 4, 2);
+  EXPECT_EQ(injector.OnMessage(3, 4).copies, 0);
+  EXPECT_EQ(injector.OnMessage(4, 3).copies, 1);  // Reverse link unaffected.
+  EXPECT_EQ(injector.OnMessage(3, 4).copies, 0);
+  EXPECT_EQ(injector.OnMessage(3, 4).copies, 1);  // Budget exhausted.
+}
+
+TEST(FaultInjectorFlatTest, DuplicateNextForcesExactlyNDuplicates) {
+  FaultInjector injector(FaultInjector::Config{.seed = 1});
+  injector.DuplicateNext(9, 2, 1);
+  EXPECT_EQ(injector.OnMessage(9, 2).copies, 2);
+  EXPECT_EQ(injector.OnMessage(9, 2).copies, 1);
+}
+
+TEST(FaultInjectorFlatTest, LinkOverridesApplyAndClear) {
+  FaultInjector::Config config;
+  config.seed = 5;
+  config.drop_probability = 0.0;  // Base fabric is lossless.
+  FaultInjector injector(config);
+  injector.SetLinkOverride(1, 2, /*drop_probability=*/1.0, /*duplicate_probability=*/0.0);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(injector.OnMessage(1, 2).copies, 0);  // Overridden link drops all.
+    EXPECT_EQ(injector.OnMessage(2, 1).copies, 1);  // Other links untouched.
+  }
+  injector.ClearLinkOverride(1, 2);
+  EXPECT_EQ(injector.OnMessage(1, 2).copies, 1);
+}
+
+}  // namespace
+}  // namespace rocksteady

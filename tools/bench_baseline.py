@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Runs bench/engine_throughput and records the results in BENCH_engine.json.
+
+The JSON file is the engine's perf trajectory: each entry is one labeled run
+(a list of per-scenario results straight from the bench's JSON-lines
+output). The first full entry in the file is the baseline; later runs are
+reported as speedups against it, and their trace hashes are checked against
+it — an engine optimization that changes the event schedule is a determinism
+bug, and this runner is the first place it shows up.
+
+Exit status: nonzero only if the bench binary is missing or crashes. Perf
+regressions and even hash mismatches only WARN here — the hard determinism
+gates live in sim_determinism_test and the chaos suites; CI runs this with
+--smoke purely to prove the bench stays alive and to refresh the file.
+
+Usage:
+  tools/bench_baseline.py --build-dir build --label pre_overhaul
+  tools/bench_baseline.py --build-dir build --smoke
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def load_trajectory(path: Path) -> dict:
+    if path.exists():
+        with path.open() as f:
+            return json.load(f)
+    return {"entries": []}
+
+
+def first_entry(trajectory: dict, smoke: bool):
+    for entry in trajectory["entries"]:
+        if entry.get("smoke", False) == smoke:
+            return entry
+    return None
+
+
+def scenario_results(entry: dict) -> dict:
+    """Maps (scenario, seed) -> result dict for one entry."""
+    return {(r["scenario"], r["seed"]): r for r in entry["results"]}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build dir containing bench/engine_throughput")
+    parser.add_argument("--label", default="run",
+                        help="name for this entry in the trajectory file")
+    parser.add_argument("--output", default=None,
+                        help="trajectory file (default: <repo>/BENCH_engine.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run (~2s): proves the bench works, not perf")
+    args = parser.parse_args()
+
+    repo = Path(__file__).resolve().parent.parent
+    output = Path(args.output) if args.output else repo / "BENCH_engine.json"
+    bench = Path(args.build_dir) / "bench" / "engine_throughput"
+    if not bench.exists():
+        print(f"bench_baseline: {bench} not built", file=sys.stderr)
+        return 1
+
+    cmd = [str(bench)] + (["--smoke"] if args.smoke else [])
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    except subprocess.TimeoutExpired:
+        print("bench_baseline: bench timed out", file=sys.stderr)
+        return 1
+    if proc.returncode != 0:
+        print(f"bench_baseline: bench exited {proc.returncode}", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        return 1
+
+    results = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith("{"):
+            results.append(json.loads(line))
+    if not results:
+        print("bench_baseline: bench produced no results", file=sys.stderr)
+        return 1
+
+    trajectory = load_trajectory(output)
+    baseline = first_entry(trajectory, args.smoke)
+    entry = {"label": args.label, "smoke": args.smoke, "results": results}
+
+    for r in results:
+        line = (f"  {r['scenario']:<16} seed {r['seed']:<6} "
+                f"{r['events_per_s']:>12,.0f} events/s  "
+                f"{r['allocs_per_event']:>8.3f} allocs/event  {r['trace_hash']}")
+        print(line)
+        if baseline is not None:
+            base = scenario_results(baseline).get((r["scenario"], r["seed"]))
+            if base is None:
+                continue
+            if base["events_per_s"] > 0:
+                speedup = r["events_per_s"] / base["events_per_s"]
+                print(f"    {speedup:.2f}x vs baseline '{baseline['label']}'")
+            if base["trace_hash"] != r["trace_hash"]:
+                print(f"    WARNING: trace_hash diverged from baseline "
+                      f"'{baseline['label']}' ({base['trace_hash']}) — the event "
+                      f"schedule changed; determinism gates will catch this",
+                      file=sys.stderr)
+
+    trajectory["entries"].append(entry)
+    with output.open("w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(f"bench_baseline: appended entry '{args.label}' to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

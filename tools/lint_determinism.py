@@ -28,6 +28,12 @@ sustained load. Such a member must say how it is bounded — a comment within
 the four preceding lines (or on the line) mentioning its bound/eviction/
 expiry, or an explicit `lint:bounded` marker.
 
+It also guards the engine hot path (see DESIGN.md "Engine performance"):
+`std::function<` and `make_shared` in src/sim/ or src/rpc/ re-introduce the
+per-event allocator churn the pooled event loop and InlineFunction removed.
+Cold-path uses (one-time handler registration) opt out with a
+`lint:allow-churn` comment on the line.
+
 A line may opt out with a trailing `lint:allow-nondeterminism` comment and a
 reason, e.g. logging a timestamp that never feeds back into simulation state.
 
@@ -145,6 +151,45 @@ BOUND_EVIDENCE = re.compile(
     r"watermark|at most|cleared|removed|erase", re.IGNORECASE)
 
 
+# --- Allocator churn on the engine hot path. ---
+# src/sim/ and src/rpc/ run once per simulated event/message; a std::function
+# (heap-boxing captures) or make_shared (control-block allocation) there
+# regresses the pooled zero-churn hot path. Registration-time and other cold
+# code opts out with `lint:allow-churn` on the line.
+HOT_PATH_DIRS = ("sim", "rpc")
+CHURN_SUPPRESS = "lint:allow-churn"
+CHURN_RULES = [
+    ("hot-path-churn",
+     re.compile(r"std::function\s*<"),
+     "std::function on the engine hot path heap-boxes captures; use "
+     "InlineFunction (or mark cold code lint:allow-churn)"),
+    ("hot-path-churn",
+     re.compile(r"\bmake_shared\b"),
+     "make_shared on the engine hot path allocates a control block; use "
+     "pooled/intrusive ownership (or mark cold code lint:allow-churn)"),
+]
+
+
+def is_hot_path_file(path: Path) -> bool:
+    return path.suffix in (".h", ".hpp", ".cc", ".cpp") and any(
+        part in HOT_PATH_DIRS for part in path.parts)
+
+
+def lint_hot_path_churn(lines):
+    """Yields (lineno, name, message) for allocator churn in sim/rpc code."""
+    in_block = False
+    for i, raw in enumerate(lines):
+        if CHURN_SUPPRESS in raw or SUPPRESS in raw:
+            _, in_block = strip_noncode(raw, in_block)
+            continue
+        code, in_block = strip_noncode(raw, in_block)
+        if not code.strip():
+            continue
+        for name, pattern, message in CHURN_RULES:
+            if pattern.search(code):
+                yield (i + 1, name, message)
+
+
 # --- Magic policy thresholds in rebalancer decision code. ---
 # A comparison against a numeric literal in src/rebalance/*.cc is a policy
 # threshold that escaped naming. 0 and 1 are allowed (emptiness, identity,
@@ -218,6 +263,9 @@ def lint_file(path: Path):
         for name, pattern, message in RULES:
             if pattern.search(code):
                 violations.append((lineno, name, message))
+    if is_hot_path_file(path):
+        for lineno, name, message in lint_hot_path_churn(text.splitlines()):
+            violations.append((lineno, name, message))
     if is_request_path_header(path):
         for lineno, message in lint_unbounded_members(text.splitlines()):
             violations.append((lineno, "unbounded-member", message))
