@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# CI gate: determinism lint, then two full build+test passes —
-#  1. RelWithDebInfo with -Werror and ASan+UBSan,
+# CI gate: static analysis, then three build+test passes —
+#  1. RelWithDebInfo with -Werror and ASan+UBSan (full suite + chaos runs),
 #  2. Debug with -Werror and ROCKSTEADY_AUDIT=ON (DCHECKs + invariant audits
-#     enabled, death tests active).
-# Run from anywhere; builds land in build-asan/ and build-audit/ under the
-# repo root. Any failure aborts with a nonzero exit.
+#     enabled, death tests active),
+#  3. RelWithDebInfo with TSan (fast subset: the kernel is single-threaded
+#     by design, so this leg proves no real threading creeps in and keeps a
+#     working TSan configuration exercised for the sharded-execution work).
+# Run from anywhere; builds land in build-asan/, build-audit/ and
+# build-tsan/ under the repo root. Any failure aborts with a nonzero exit.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -12,8 +15,13 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
-step "determinism lint"
-python3 "${ROOT}/tools/lint_determinism.py" "${ROOT}/src"
+step "static analysis: shard-safety + determinism gates (hard gate)"
+# Semantic rules (tools/analyzer/) plus the regex determinism lint in one
+# pass; the baseline ships empty, so any finding fails CI.
+python3 "${ROOT}/tools/analyze.py" "${ROOT}/src" --build-dir "${ROOT}/build-asan"
+
+step "analyzer fixture tests"
+python3 "${ROOT}/tests/analyzer/run_fixture_tests.py"
 
 step "build: ASan+UBSan (RelWithDebInfo, -Werror)"
 cmake -B "${ROOT}/build-asan" -S "${ROOT}" \
@@ -21,6 +29,31 @@ cmake -B "${ROOT}/build-asan" -S "${ROOT}" \
   -DROCKSTEADY_WERROR=ON \
   -DROCKSTEADY_SANITIZE="address;undefined"
 cmake --build "${ROOT}/build-asan" -j "${JOBS}"
+
+step "clang-tidy over changed files (when clang-tidy is installed)"
+# Curated check set from .clang-tidy (bugprone/performance/concurrency),
+# driven by the exported compile_commands.json. Scope: files changed by the
+# last commit plus the working tree, falling back to all of src/ when the
+# diff cannot be computed (fresh clone without history).
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t changed < <(cd "${ROOT}" && {
+      git diff --name-only HEAD~1 -- 'src/*.cc' 'src/*.h' 2>/dev/null ||
+      git ls-files 'src/*.cc' 'src/*.h'
+    } | sort -u)
+  tidy_files=()
+  for f in "${changed[@]}"; do
+    if [[ -f "${ROOT}/${f}" && "${f}" == *.cc ]]; then
+      tidy_files+=("${ROOT}/${f}")
+    fi
+  done
+  if ((${#tidy_files[@]})); then
+    clang-tidy -p "${ROOT}/build-asan" --quiet "${tidy_files[@]}"
+  else
+    echo "no changed src/ translation units to tidy"
+  fi
+else
+  echo "clang-tidy not installed; skipping (tools/analyze.py already ran)"
+fi
 
 step "test: ASan+UBSan"
 ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}"
@@ -40,13 +73,20 @@ step "overload protection: admission control, load shedding, memory budget"
 step "rpc dedup cache stays bounded"
 "${ROOT}/build-asan/tests/rpc_test" --gtest_filter='*Dedup*'
 
-step "engine bench smoke (~2s; fails only if the bench crashes)"
+step "engine bench smoke (~2s; trace-hash divergence is a hard failure)"
 # Compare against the recorded trajectory without mutating it: the smoke
-# entry lands in a scratch copy, so CI stays read-only on BENCH_engine.json
-# while still warning if a smoke trace_hash diverges from the recorded one.
-cp "${ROOT}/BENCH_engine.json" "${ROOT}/build-asan/BENCH_smoke.json" 2>/dev/null || true
+# entry lands in a scratch copy, so CI stays read-only on BENCH_engine.json.
+# The recorded trajectory must exist — without it the smoke compares against
+# nothing and the determinism check silently passes.
+if [[ ! -f "${ROOT}/BENCH_engine.json" ]]; then
+  echo "ERROR: ${ROOT}/BENCH_engine.json missing — the bench smoke needs the" \
+       "recorded trajectory to compare trace hashes against" >&2
+  exit 1
+fi
+cp "${ROOT}/BENCH_engine.json" "${ROOT}/build-asan/BENCH_smoke.json"
 python3 "${ROOT}/tools/bench_baseline.py" --build-dir "${ROOT}/build-asan" \
-  --smoke --label ci_smoke --output "${ROOT}/build-asan/BENCH_smoke.json"
+  --smoke --strict-hash --label ci_smoke \
+  --output "${ROOT}/build-asan/BENCH_smoke.json"
 
 step "build: debug audit (Debug, -Werror, ROCKSTEADY_AUDIT=ON)"
 cmake -B "${ROOT}/build-audit" -S "${ROOT}" \
@@ -57,5 +97,16 @@ cmake --build "${ROOT}/build-audit" -j "${JOBS}"
 
 step "test: debug audit"
 ctest --test-dir "${ROOT}/build-audit" --output-on-failure -j "${JOBS}"
+
+step "build: TSan (RelWithDebInfo, -Werror)"
+cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DROCKSTEADY_WERROR=ON \
+  -DROCKSTEADY_SANITIZE=thread
+cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
+
+step "test: TSan fast subset (determinism core + request path)"
+"${ROOT}/build-tsan/tests/sim_determinism_test"
+"${ROOT}/build-tsan/tests/rpc_test"
 
 step "all checks passed"

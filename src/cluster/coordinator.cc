@@ -5,6 +5,7 @@
 
 #include "src/cluster/master_server.h"
 #include "src/cluster/recovery.h"
+#include "src/common/annotations.h"
 #include "src/common/logging.h"
 
 namespace rocksteady {
@@ -16,21 +17,34 @@ Coordinator::Coordinator(Simulator* sim, RpcSystem* rpc, const CostModel* costs)
   cores_ = std::make_unique<CoreSet>(sim_, 2);
   endpoint_ = rpc_->CreateEndpoint(cores_.get());
   endpoint_->Register(Opcode::kGetTableConfig,
+                      ROCKSTEADY_IDEMPOTENT("pure read of the tablet map")
                       [this](RpcContext c) { HandleGetTableConfig(std::move(c)); });
   endpoint_->Register(Opcode::kRegisterDependency,
+                      ROCKSTEADY_IDEMPOTENT("re-registering an existing (table, source, "
+                                            "target) dependency returns the same record")
                       [this](RpcContext c) { HandleRegisterDependency(std::move(c)); });
   endpoint_->Register(Opcode::kDropDependency,
+                      ROCKSTEADY_IDEMPOTENT("dropping an already-dropped dependency is a "
+                                            "no-op")
                       [this](RpcContext c) { HandleDropDependency(std::move(c)); });
-  endpoint_->Register(Opcode::kUpdateOwnership, [this](RpcContext c) {
-    auto& request = c.As<UpdateOwnershipRequest>();
-    auto response = std::make_unique<StatusResponse>();
-    response->status = UpdateOwnership(request.table, request.start_hash, request.end_hash,
-                                       request.new_owner);
-    c.reply(std::move(response));
-  });
+  endpoint_->Register(
+      Opcode::kUpdateOwnership,
+      ROCKSTEADY_IDEMPOTENT("repoints an exact range to new_owner; re-execution rewrites "
+                            "the same owner value")
+      [this](RpcContext c) {
+        auto& request = c.As<UpdateOwnershipRequest>();
+        auto response = std::make_unique<StatusResponse>();
+        response->status = UpdateOwnership(request.table, request.start_hash, request.end_hash,
+                                           request.new_owner);
+        c.reply(std::move(response));
+      });
   endpoint_->Register(Opcode::kMigrationHeartbeat,
+                      ROCKSTEADY_IDEMPOTENT("lease refresh; repeated refreshes only extend "
+                                            "the same lease")
                       [this](RpcContext c) { HandleMigrationHeartbeat(std::move(c)); });
   endpoint_->Register(Opcode::kAbortMigration,
+                      ROCKSTEADY_IDEMPOTENT("aborting a finished or already-aborted "
+                                            "migration is a no-op")
                       [this](RpcContext c) { HandleAbortMigration(std::move(c)); });
   recovery_ = std::make_unique<RecoveryManager>(this);
 }
@@ -75,6 +89,8 @@ Status Coordinator::SplitTablet(TableId table, KeyHash split_hash) {
         // checked split's deferred mirror may have been lost to a
         // coordinator crash); TabletManager::Split is idempotent.
         if (!master(tablet.owner)->crashed()) {
+          // lint:allow-unchecked: convergence mirror — kTableNotFound here means the
+          // owner is mid-recovery and recovery reinstalls exact ranges itself.
           master(tablet.owner)->objects().tablets().Split(table, split_hash);
         }
         return Status::kOk;
@@ -145,6 +161,8 @@ Status Coordinator::SplitTabletChecked(TableId table, KeyHash split_hash) {
       if (crashed_ || master(owner)->crashed()) {
         return;  // ReconcileSplits()/recovery converges the mirror later.
       }
+      // lint:allow-unchecked: deferred mirror — a refused split means the owner's
+      // tablets changed under us; ReconcileSplits()/recovery converge the mirror.
       master(owner)->objects().tablets().Split(table, split_hash);
       DebugAudit(*this, "coordinator after split mirror");
     });
@@ -162,6 +180,8 @@ void Coordinator::ReconcileSplits() {
     TabletManager& tablets = master(entry.owner)->objects().tablets();
     const Tablet* local = tablets.Find(entry.table, entry.start_hash);
     if (local != nullptr && local->start_hash < entry.start_hash) {
+      // lint:allow-unchecked: Find() just proved the range exists and straddles the
+      // boundary, so this Split cannot refuse; it is a pure converge step.
       tablets.Split(entry.table, entry.start_hash);
     }
   }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/common/annotations.h"
 #include "src/common/logging.h"
 
 namespace rocksteady {
@@ -24,25 +25,45 @@ MasterServer::MasterServer(Coordinator* coordinator, const CostModel* costs,
 }
 
 void MasterServer::RegisterHandlers() {
-  endpoint_->Register(Opcode::kRead, [this](RpcContext c) { HandleRead(std::move(c)); });
-  endpoint_->Register(Opcode::kWrite, [this](RpcContext c) { HandleWrite(std::move(c)); });
-  endpoint_->Register(Opcode::kRemove, [this](RpcContext c) { HandleRemove(std::move(c)); });
-  endpoint_->Register(Opcode::kMultiGet, [this](RpcContext c) { HandleMultiGet(std::move(c)); });
+  endpoint_->Register(Opcode::kRead,
+                      ROCKSTEADY_IDEMPOTENT("pure read")
+                      [this](RpcContext c) { HandleRead(std::move(c)); });
+  endpoint_->Register(Opcode::kWrite,
+                      ROCKSTEADY_IDEMPOTENT("re-applying the same value is last-writer-wins "
+                                            "on identical bytes; conditional writes fail the "
+                                            "version precondition instead of double-applying")
+                      [this](RpcContext c) { HandleWrite(std::move(c)); });
+  endpoint_->Register(Opcode::kRemove,
+                      ROCKSTEADY_IDEMPOTENT("removing an absent key reports kObjectNotFound "
+                                            "without touching state")
+                      [this](RpcContext c) { HandleRemove(std::move(c)); });
+  endpoint_->Register(Opcode::kMultiGet,
+                      ROCKSTEADY_IDEMPOTENT("pure read")
+                      [this](RpcContext c) { HandleMultiGet(std::move(c)); });
   endpoint_->Register(Opcode::kMultiGetHash,
+                      ROCKSTEADY_IDEMPOTENT("pure read")
                       [this](RpcContext c) { HandleMultiGetHash(std::move(c)); });
   endpoint_->Register(Opcode::kIndexLookup,
+                      ROCKSTEADY_IDEMPOTENT("pure read")
                       [this](RpcContext c) { HandleIndexLookup(std::move(c)); });
   endpoint_->Register(Opcode::kIndexInsert,
+                      ROCKSTEADY_IDEMPOTENT("re-inserting an existing (key, primary) index "
+                                            "entry is a set-insert no-op")
                       [this](RpcContext c) { HandleIndexInsert(std::move(c)); });
   endpoint_->Register(Opcode::kBackupWrite,
+                      ROCKSTEADY_IDEMPOTENT("segment-addressed append: re-execution rewrites "
+                                            "the same bytes at the same segment offset")
                       [this](RpcContext c) { HandleBackupWrite(std::move(c)); });
   endpoint_->Register(Opcode::kGetRecoveryData,
+                      ROCKSTEADY_IDEMPOTENT("pure read of sealed segments")
                       [this](RpcContext c) { HandleGetRecoveryData(std::move(c)); });
   // Failure-detector probe: answered straight off the dispatch core — a
   // halted server simply never replies and the probe times out. The reply
   // carries the optional piggyback payload (load telemetry) so the existing
   // probe cadence doubles as the telemetry channel.
-  endpoint_->Register(Opcode::kPing, [this](RpcContext c) {
+  endpoint_->Register(Opcode::kPing,
+                      ROCKSTEADY_IDEMPOTENT("pure read (liveness + telemetry snapshot)")
+                      [this](RpcContext c) {
     auto response = std::make_unique<PingResponse>();
     response->server = id_;
     if (piggyback_provider) {

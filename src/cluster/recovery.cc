@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/cluster/master_server.h"
+#include "src/common/dcheck.h"
 #include "src/common/logging.h"
 
 namespace rocksteady {
@@ -32,7 +33,11 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
     }
     // Ownership returns to the source, whose copy is complete and immutable;
     // it only needs the target's log tail (writes serviced post-transfer).
-    coordinator_->UpdateOwnership(dep->table, dep->start_hash, dep->end_hash, dep->source);
+    // The dependency's exact range must still be in the map: splits refuse
+    // ranges that overlap an in-flight migration.
+    const Status ownership_back =
+        coordinator_->UpdateOwnership(dep->table, dep->start_hash, dep->end_hash, dep->source);
+    ROCKSTEADY_DCHECK(ownership_back == Status::kOk);
     MasterServer* source = coordinator_->master(dep->source);
     if (Tablet* tablet = source->objects().tablets().Find(dep->table, dep->start_hash)) {
       tablet->state = TabletState::kNormal;
@@ -56,7 +61,9 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
     // The tablet (owned by the target since migration start) is rebuilt on a
     // recovery master from the source's backups plus the target's log tail.
     MasterServer* rm = coordinator_->master(alive.front());
-    coordinator_->UpdateOwnership(dep->table, dep->start_hash, dep->end_hash, rm->id());
+    const Status ownership_to_rm =
+        coordinator_->UpdateOwnership(dep->table, dep->start_hash, dep->end_hash, rm->id());
+    ROCKSTEADY_DCHECK(ownership_to_rm == Status::kOk);
     target->objects().tablets().Remove(dep->table, dep->start_hash, dep->end_hash);
     rm->objects().tablets().Add(
         Tablet{dep->table, dep->start_hash, dep->end_hash, TabletState::kRecovering});
@@ -87,7 +94,11 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
     }
     const ServerId rm_id = alive[next_rm++ % alive.size()];
     MasterServer* rm = coordinator_->master(rm_id);
-    coordinator_->UpdateOwnership(entry.table, entry.start_hash, entry.end_hash, rm_id);
+    // The entry's range comes straight from the map we are iterating, so the
+    // exact-range repoint cannot miss.
+    const Status ownership_spread =
+        coordinator_->UpdateOwnership(entry.table, entry.start_hash, entry.end_hash, rm_id);
+    ROCKSTEADY_DCHECK(ownership_spread == Status::kOk);
     rm->objects().tablets().Add(
         Tablet{entry.table, entry.start_hash, entry.end_hash, TabletState::kRecovering});
     Plan& plan = generic[rm_id];
@@ -145,8 +156,9 @@ void RecoveryManager::AbortMigrationToSource(const MigrationDependency& dependen
   // target never got the ack and never built one).
   target->objects().tablets().Remove(dependency.table, dependency.start_hash,
                                      dependency.end_hash);
-  coordinator_->UpdateOwnership(dependency.table, dependency.start_hash, dependency.end_hash,
-                                dependency.source);
+  const Status ownership_to_source = coordinator_->UpdateOwnership(
+      dependency.table, dependency.start_hash, dependency.end_hash, dependency.source);
+  ROCKSTEADY_DCHECK(ownership_to_source == Status::kOk);
   MasterServer* source = coordinator_->master(dependency.source);
   if (Tablet* tablet = source->objects().tablets().Find(dependency.table,
                                                         dependency.start_hash)) {

@@ -23,12 +23,16 @@
 #include <type_traits>
 #include <utility>
 
+#include "src/common/annotations.h"
+
 namespace rocksteady {
 
 // Incremented whenever an InlineFunction boxes its callable on the heap.
 // Steady-state engine code must keep this flat (see alloc_regression_test);
-// registration-time and test code may trip it freely.
-inline uint64_t g_inline_fn_heap_fallbacks = 0;
+// registration-time and test code may trip it freely. Shard-local: under
+// per-shard lanes this becomes a per-shard counter whose sum is reported,
+// so plain unsynchronized increments stay correct.
+ROCKSTEADY_SHARD_LOCAL inline uint64_t g_inline_fn_heap_fallbacks = 0;
 
 inline uint64_t InlineFunctionHeapFallbacks() { return g_inline_fn_heap_fallbacks; }
 

@@ -3,9 +3,14 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "src/common/annotations.h"
+
 namespace rocksteady {
 namespace {
 
+// Set once by test/bench mains before any simulation runs; never written on
+// a simulated path, so sharded lanes may read it unsynchronized.
+ROCKSTEADY_SHARED_GUARDED("process-wide log threshold, written only at startup")
 LogLevel g_level = LogLevel::kWarning;
 
 constexpr const char* LevelName(LogLevel level) {

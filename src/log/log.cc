@@ -220,8 +220,18 @@ void Log::AuditInvariants(AuditReport* report) const {
   }
   // The registry may only exceed the owned list by uncommitted side
   // segments, which must not be sealed (sealing happens at commit) and must
-  // also be below the allocation cursor.
-  for (const auto& [id, segment] : registry_) {
+  // also be below the allocation cursor. Audit failure messages append to
+  // the report in iteration order, so walk the registry in sorted-id order
+  // rather than unordered_map order — a failing audit must print (and hash)
+  // identically across runs.
+  std::vector<uint32_t> registered_ids;
+  registered_ids.reserve(registry_.size());
+  for (const auto& [id, segment] : registry_) {  // lint:allow-iter-order: ids are sorted before use
+    registered_ids.push_back(id);
+  }
+  std::sort(registered_ids.begin(), registered_ids.end());
+  for (const uint32_t id : registered_ids) {
+    const Segment* segment = registry_.find(id)->second;
     if (id >= next_segment_id_) {
       report->Fail("log: registered segment %u at or beyond allocation cursor %u", id,
                    next_segment_id_);

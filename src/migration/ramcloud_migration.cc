@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "src/common/annotations.h"
+#include "src/common/dcheck.h"
 #include "src/common/logging.h"
 #include "src/migration/migration_state.h"
 
@@ -261,7 +263,11 @@ void BaselineMigration::Complete() {
 }
 
 void InstallBaselineMigrationHandlers(MasterServer* master) {
-  master->endpoint().Register(Opcode::kBaselineMigrate, [master](RpcContext context) {
+  master->endpoint().Register(Opcode::kBaselineMigrate,
+                              ROCKSTEADY_IDEMPOTENT("migration control is re-drivable: baseline "
+                                                    "copy restarts overwrite with identical "
+                                                    "versioned objects")
+                              [master](RpcContext context) {
     auto& request = context.As<BaselineMigrateRequest>();
     auto* state = GetServerMigrationState(master);
     auto migration = std::make_shared<BaselineMigration>(
@@ -272,7 +278,11 @@ void InstallBaselineMigrationHandlers(MasterServer* master) {
     raw->Start();
     context.reply(std::make_unique<StatusResponse>());
   });
-  master->endpoint().Register(Opcode::kBaselineReplay, [master](RpcContext context) {
+  master->endpoint().Register(Opcode::kBaselineReplay,
+                              ROCKSTEADY_IDEMPOTENT("replaying a batch re-applies versioned "
+                                                    "entries; version checks reject stale "
+                                                    "duplicates")
+                              [master](RpcContext context) {
     HandleBaselineReplay(master, std::move(context));
   });
 }
@@ -282,9 +292,13 @@ BaselineMigration* StartBaselineMigration(Cluster* cluster, TableId table, KeyHa
                                           size_t target_index,
                                           const BaselineMigrateOptions& options,
                                           std::function<void(const BaselineStats&)> done) {
-  cluster->coordinator().SplitTablet(table, start_hash);
+  // Pre-migration splits: the table exists and splits at an existing
+  // boundary are no-ops, so anything but kOk is a driver bug.
+  const Status split_low = cluster->coordinator().SplitTablet(table, start_hash);
+  ROCKSTEADY_DCHECK(split_low == Status::kOk);
   if (end_hash != ~0ull) {
-    cluster->coordinator().SplitTablet(table, end_hash + 1);
+    const Status split_high = cluster->coordinator().SplitTablet(table, end_hash + 1);
+    ROCKSTEADY_DCHECK(split_high == Status::kOk);
   }
   MasterServer& source = cluster->master(source_index);
   auto* state = GetServerMigrationState(&source);

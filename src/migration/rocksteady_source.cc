@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "src/common/annotations.h"
 #include "src/common/audit.h"
 #include "src/common/logging.h"
 
@@ -173,15 +174,23 @@ void HandleReleaseTablet(MasterServer* master, RpcContext context) {
 }  // namespace
 
 void InstallRocksteadySourceHandlers(MasterServer* master) {
-  master->endpoint().Register(Opcode::kPrepareMigration, [master](RpcContext c) {
+  master->endpoint().Register(Opcode::kPrepareMigration,
+                              ROCKSTEADY_IDEMPOTENT("re-preparing an already-prepared migration "
+                                                    "re-reports the same log head position")
+                              [master](RpcContext c) {
     HandlePrepareMigration(master, std::move(c));
   });
   master->endpoint().Register(Opcode::kPull,
+                              ROCKSTEADY_IDEMPOTENT("pure read of the frozen source snapshot")
                               [master](RpcContext c) { HandlePull(master, std::move(c)); });
   master->endpoint().Register(
-      Opcode::kPriorityPull, [master](RpcContext c) { HandlePriorityPull(master, std::move(c)); });
+      Opcode::kPriorityPull,
+      ROCKSTEADY_IDEMPOTENT("pure read of the frozen source snapshot")
+      [master](RpcContext c) { HandlePriorityPull(master, std::move(c)); });
   master->endpoint().Register(
-      Opcode::kReleaseTablet, [master](RpcContext c) { HandleReleaseTablet(master, std::move(c)); });
+      Opcode::kReleaseTablet,
+      ROCKSTEADY_IDEMPOTENT("dropping already-dropped tablet entries is a no-op")
+      [master](RpcContext c) { HandleReleaseTablet(master, std::move(c)); });
 }
 
 }  // namespace rocksteady

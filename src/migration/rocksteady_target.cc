@@ -6,6 +6,7 @@
 
 #include <bit>
 
+#include "src/common/annotations.h"
 #include "src/common/audit.h"
 #include "src/common/logging.h"
 #include "src/migration/migration_state.h"
@@ -924,7 +925,11 @@ bool RocksteadyMigrationManager::ServiceReadSynchronously(TableId table, KeyHash
 
 void InstallRocksteadyHandlers(MasterServer* master) {
   InstallRocksteadySourceHandlers(master);
-  master->endpoint().Register(Opcode::kMigrateTablet, [master](RpcContext context) {
+  master->endpoint().Register(Opcode::kMigrateTablet,
+                              ROCKSTEADY_IDEMPOTENT("migration control is re-drivable: a second "
+                                                    "MigrateTablet for an in-flight range joins "
+                                                    "the existing manager instead of restarting")
+                              [master](RpcContext context) {
     auto& request = context.As<MigrateTabletRequest>();
     auto* manager = ParkManager(
         master, std::make_shared<RocksteadyMigrationManager>(
@@ -956,9 +961,13 @@ RocksteadyMigrationManager* StartRocksteadyMigration(
     size_t target_index, const RocksteadyOptions& options,
     std::function<void(const MigrationStats&)> done) {
   // The paper's client first splits the tablet, then issues MigrateTablet.
-  cluster->coordinator().SplitTablet(table, start_hash);
+  // Splits at an existing boundary are no-ops, so kOk is the only legal
+  // outcome here: the table exists and no migration overlaps it yet.
+  const Status split_low = cluster->coordinator().SplitTablet(table, start_hash);
+  ROCKSTEADY_DCHECK(split_low == Status::kOk);
   if (end_hash != ~0ull) {
-    cluster->coordinator().SplitTablet(table, end_hash + 1);
+    const Status split_high = cluster->coordinator().SplitTablet(table, end_hash + 1);
+    ROCKSTEADY_DCHECK(split_high == Status::kOk);
   }
   MasterServer& target = cluster->master(target_index);
   auto* manager = ParkManager(

@@ -1,0 +1,77 @@
+// Fixture: iteration-order rules (iter-order-escape, flatmap-iteration).
+//
+// Range-for over an unordered container is fine until its body feeds the
+// event schedule (Send/At/After/...) or appends to an ordered container —
+// then the unspecified iteration order leaks into the trace. FlatMap64 is
+// iteration-free by design, so ANY iteration over it is a finding.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rocksteady {
+
+template <typename V>
+class FlatMap64 {};
+
+class Scheduler {
+ public:
+  void Send(int node, int message);
+  void After(int delay);
+};
+
+class Tracker {
+ public:
+  int SumCounts() {
+    int total = 0;
+    // No escape: a sum is order-independent, so this must stay silent.
+    for (const auto& [id, count] : counts_) {
+      total += count;
+    }
+    return total;
+  }
+
+  void BroadcastCounts() {
+    for (const auto& [id, count] : counts_) {  // expect-finding:iter-order-escape
+      scheduler_.Send(id, count);
+    }
+  }
+
+  void BroadcastSuppressed() {
+    // lint:allow-iter-order: fixture negative case — order cannot escape here
+    for (const auto& [id, count] : counts_) {
+      scheduler_.Send(id, count);
+    }
+  }
+
+  void BroadcastOrdered() {
+    // std::map iterates in key order: deterministic, must stay silent.
+    for (const auto& [id, count] : ordered_counts_) {
+      scheduler_.Send(id, count);
+    }
+  }
+
+  void CollectMembers() {
+    for (int member : members_) {  // expect-finding:iter-order-escape
+      order_.push_back(member);
+    }
+  }
+
+  int SumSlots() {
+    int total = 0;
+    for (const auto& slot : slots_) {  // expect-finding:flatmap-iteration
+      total += 1;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, int> counts_;
+  std::map<int, int> ordered_counts_;
+  std::unordered_set<int> members_;
+  std::vector<int> order_;
+  FlatMap64<int> slots_;
+  Scheduler scheduler_;
+};
+
+}  // namespace rocksteady

@@ -1,0 +1,46 @@
+// Fixture: shard-safety annotation rule (shard-unannotated).
+//
+// Every mutable static-storage declaration must carry an annotation from
+// src/common/annotations.h; const/constexpr data and function signatures
+// must stay silent. `// expect-finding:<rule>` marks the exact line the
+// analyzer must flag; every unmarked construct must NOT be flagged.
+#include "src/common/annotations.h"
+
+namespace rocksteady {
+
+int g_unannotated_counter = 0;  // expect-finding:shard-unannotated
+
+ROCKSTEADY_SHARD_LOCAL int g_per_shard_counter = 0;
+
+ROCKSTEADY_SHARED_GUARDED("written once at startup, read-only afterwards")
+int g_shared_config = 0;
+
+const int kLimit = 8;
+constexpr double kRatio = 0.5;
+
+int Bump(int step) {
+  static int calls = 0;  // expect-finding:shard-unannotated
+  static const int kStride = 2;
+  return calls += step * kStride;
+}
+
+int Drain(int step) {
+  ROCKSTEADY_SHARD_LOCAL static int drained = 0;
+  return drained += step;
+}
+
+class Counters {
+ public:
+  static int g_total;  // expect-finding:shard-unannotated
+  static constexpr int kMax = 16;
+  static int Snapshot(int scale);
+
+  int per_instance_ = 0;
+};
+
+// Free-function signatures (and their parameters) are not state sites.
+void Configure(int knob, double ratio);
+
+int Twice(int value) { return value + value; }
+
+}  // namespace rocksteady

@@ -1,0 +1,38 @@
+// Fixture: unchecked-status rule.
+//
+// A Status-returning call whose result hits `;` unused is a swallowed
+// failure. Deliberate discards are visible as `(void)Call()` or carry a
+// `lint:allow-unchecked: <reason>` comment.
+
+namespace rocksteady {
+
+enum class Status { kOk, kError };
+
+Status Flush();
+Status Append(int value);
+
+class WriteAheadLog {
+ public:
+  Status Sync();
+};
+
+Status Checkpoint() {
+  Flush();  // expect-finding:unchecked-status
+
+  WriteAheadLog log;
+  log.Sync();  // expect-finding:unchecked-status
+
+  (void)Flush();  // Visible deliberate discard: silent.
+
+  const Status kept = Append(1);
+  if (kept == Status::kError) {
+    return kept;
+  }
+
+  // lint:allow-unchecked: fixture negative case — fire-and-forget by design
+  Append(2);
+
+  return Flush();  // Result flows to the caller: silent.
+}
+
+}  // namespace rocksteady

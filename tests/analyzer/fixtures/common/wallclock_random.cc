@@ -1,0 +1,65 @@
+// Fixture: base determinism rule families (lint_determinism.py).
+//
+// Covers wall-clock, libc-random, std-random, unseeded-draw, threads and
+// pointer-keyed-container, plus the lint:allow-nondeterminism escape. None
+// of this is meant to compile together sensibly — it only needs to lex.
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <unordered_set>
+
+namespace rocksteady {
+
+struct Widget {};
+
+struct Random {
+  unsigned long long Next();
+};
+
+void Work();
+
+void NondeterministicSoup() {
+  struct timeval {
+    long tv_sec;
+    long tv_usec;
+  } tv;
+  gettimeofday(&tv, nullptr);  // expect-finding:wall-clock
+  time(nullptr);  // expect-finding:wall-clock
+  auto t0 = std::chrono::steady_clock::now();  // expect-finding:wall-clock
+  (void)t0;
+
+  srand(42);  // expect-finding:libc-random
+  int r = rand();  // expect-finding:libc-random
+  long q = random();  // expect-finding:libc-random
+  (void)r;
+  (void)q;
+
+  std::random_device rd;  // expect-finding:std-random
+  std::mt19937 gen(rd());  // expect-finding:std-random
+  (void)gen;
+
+  double d = drand48();  // expect-finding:unseeded-draw
+  std::uniform_int_distribution<int> dist(0, 9);  // expect-finding:unseeded-draw
+  auto v = Random().Next();  // expect-finding:unseeded-draw
+  (void)d;
+  (void)dist;
+  (void)v;
+
+  std::thread worker(Work);  // expect-finding:threads
+  std::mutex mu;  // expect-finding:threads
+  pthread_mutex_t raw_lock;
+  pthread_mutex_init(&raw_lock, nullptr);  // expect-finding:threads
+
+  std::map<Widget*, int> by_address;  // expect-finding:pointer-keyed-container
+  std::unordered_set<Widget*> seen;  // expect-finding:pointer-keyed-container
+  (void)by_address;
+  (void)seen;
+
+  int ok = rand();  // lint:allow-nondeterminism: fixture negative case
+  (void)ok;
+}
+
+}  // namespace rocksteady

@@ -1,0 +1,27 @@
+// Fixture: magic-threshold rule (lint_determinism.py).
+//
+// Decision code under src/rebalance/*.cc must not compare against numeric
+// literals other than 0 and 1; thresholds must be named constexpr constants.
+
+namespace rocksteady {
+
+constexpr double kSplitLoadFraction = 0.6;
+constexpr int kMaxTablets = 64;
+
+int PlanSplits(double load, int tablets, int backlog) {
+  if (load > 0.8) {  // expect-finding:magic-threshold
+    return tablets + 1;
+  }
+  if (backlog >= 100) {  // expect-finding:magic-threshold
+    return tablets + 1;
+  }
+  if (load > kSplitLoadFraction && tablets < kMaxTablets) {
+    return tablets + 1;
+  }
+  if (tablets == 0) {
+    return 1;
+  }
+  return tablets > 1 ? tablets : 1;
+}
+
+}  // namespace rocksteady

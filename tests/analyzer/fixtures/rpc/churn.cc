@@ -1,0 +1,26 @@
+// Fixture: hot-path-churn rule (lint_determinism.py).
+//
+// This file sits under a path containing "rpc", so the hot-path allocator
+// rules apply: std::function heap-boxes captures and make_shared allocates
+// a control block, both banned on the per-event path. Cold code opts out
+// with lint:allow-churn.
+#include <functional>
+#include <memory>
+
+namespace rocksteady {
+
+struct Event {};
+
+void Dispatch() {
+  std::function<void()> callback;  // expect-finding:hot-path-churn
+  auto event = std::make_shared<Event>();  // expect-finding:hot-path-churn
+  (void)callback;
+  (void)event;
+}
+
+void RegisterColdPath() {
+  std::function<void()> saved;  // lint:allow-churn — one-time registration (fixture negative case)
+  (void)saved;
+}
+
+}  // namespace rocksteady

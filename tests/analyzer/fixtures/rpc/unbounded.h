@@ -1,0 +1,35 @@
+// Fixture: unbounded-member rule (lint_determinism.py).
+//
+// Growable containers declared as members in request-path headers must say
+// how they are bounded within the four preceding lines (or on the line).
+// The expectation marker for the positive case sits five lines above the
+// member (outside the evidence window) because the rule name itself would
+// otherwise read as bound evidence.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+namespace rocksteady {
+
+struct Call {};
+
+class SessionTable {
+ public:
+  void Tick();
+
+ private:
+  // expect-finding[+5]:unbounded-member
+  //
+  //
+  //
+  //
+  std::deque<Call> pending_;
+
+  // Entries are erased when the owning session closes (fixture negative case).
+  std::unordered_map<unsigned long long, Call> by_id_;
+
+  std::deque<Call> replay_;  // lint:bounded — replay window holds at most one epoch
+};
+
+}  // namespace rocksteady

@@ -1,0 +1,59 @@
+"""Reviewed-findings baseline: grandfathers known findings out of the gate.
+
+The baseline is a JSON list of {rule, file, line} entries
+(tools/analyzer/baseline.json). A finding matches a baseline entry on
+(rule, file) with the line within a small drift window, so unrelated edits
+above a grandfathered site don't resurrect it; `--write-baseline`
+regenerates the file exactly. The tree currently ships an EMPTY baseline —
+every real finding was fixed or annotated — and the goal is to keep it that
+way.
+"""
+
+import json
+
+# A grandfathered site may drift this many lines before it stops matching
+# and must be re-reviewed.
+LINE_DRIFT = 10
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except FileNotFoundError:
+        return []
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline must be a JSON list")
+    return entries
+
+
+def filter_findings(findings, entries):
+    """Returns (new_findings, used_entries, stale_entries)."""
+    used = [False] * len(entries)
+    new = []
+    for finding in findings:
+        matched = False
+        for k, entry in enumerate(entries):
+            if used[k]:
+                continue
+            if entry.get("rule") != finding.rule:
+                continue
+            if entry.get("file") != finding.file:
+                continue
+            if abs(int(entry.get("line", 0)) - finding.line) > LINE_DRIFT:
+                continue
+            used[k] = True
+            matched = True
+            break
+        if not matched:
+            new.append(finding)
+    stale = [e for k, e in enumerate(entries) if not used[k]]
+    return new, [e for k, e in enumerate(entries) if used[k]], stale
+
+
+def dump(findings, path):
+    entries = [{"rule": f.rule, "file": f.file, "line": f.line,
+                "note": f.message[:120]} for f in findings]
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(entries, f, indent=2)
+        f.write("\n")

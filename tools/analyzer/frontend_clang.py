@@ -1,0 +1,204 @@
+"""libclang (clang.cindex) frontend: the full-AST implementation.
+
+Selected automatically when the Python clang bindings and a libclang shared
+library are both present (dev machines, CI images with LLVM); the token
+frontend is the fallback everywhere else, and the fixture suite pins both to
+the same expected findings wherever both run. Parsing is driven by
+compile_commands.json when available (CMAKE_EXPORT_COMPILE_COMMANDS=ON) so
+each TU sees its real include paths and defines.
+"""
+
+import json
+import os
+
+from .model import (DiscardedCall, HandlerReg, RangeFor, StateSite, TuFacts)
+
+_UNORDERED_SPELLINGS = ("unordered_map", "unordered_set",
+                        "unordered_multimap", "unordered_multiset")
+
+_LIBCLANG_CANDIDATES = (
+    "libclang.so", "libclang-15.so", "libclang-14.so",
+    "/usr/lib/llvm-15/lib/libclang.so", "/usr/lib/llvm-14/lib/libclang.so",
+    "/usr/lib/x86_64-linux-gnu/libclang-14.so.1",
+)
+
+
+def load_cindex():
+    """Returns a configured clang.cindex module, or None."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        pass
+    for candidate in _LIBCLANG_CANDIDATES:
+        try:
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(candidate)
+            cindex.Index.create()
+            return cindex
+        except Exception:
+            continue
+    return None
+
+
+def available():
+    return load_cindex() is not None
+
+
+def _compile_args(path, compile_commands):
+    if compile_commands is None:
+        return ["-std=c++20", "-I."]
+    args = compile_commands.get(os.path.abspath(path))
+    return args if args else ["-std=c++20", "-I."]
+
+
+def load_compile_commands(build_dir):
+    """Maps absolute source path -> clang argument list, or None."""
+    db = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db):
+        return None
+    with open(db, encoding="utf-8") as f:
+        entries = json.load(f)
+    commands = {}
+    for entry in entries:
+        path = os.path.abspath(os.path.join(entry["directory"],
+                                            entry["file"]))
+        raw = entry.get("arguments") or entry.get("command", "").split()
+        # Strip compiler, -c/-o pairs, and the source file itself.
+        args = []
+        skip = False
+        for arg in raw[1:]:
+            if skip:
+                skip = False
+                continue
+            if arg in ("-c", entry["file"], path):
+                continue
+            if arg == "-o":
+                skip = True
+                continue
+            args.append(arg)
+        commands[path] = args
+    return commands
+
+
+def _annotation_from(cindex, cursor):
+    for child in cursor.get_children():
+        if child.kind == cindex.CursorKind.ANNOTATE_ATTR:
+            spelling = child.spelling or ""
+            if spelling.startswith("rocksteady::shard_local"):
+                return "shard_local", ""
+            if spelling.startswith("rocksteady::shared_guarded:"):
+                return "shared_guarded", spelling.split(":", 2)[-1]
+    return "", ""
+
+
+def _state_kind(cindex, cursor):
+    parent = cursor.semantic_parent
+    if parent is None:
+        return None
+    if parent.kind in (cindex.CursorKind.TRANSLATION_UNIT,
+                       cindex.CursorKind.NAMESPACE):
+        return "global"
+    if parent.kind in (cindex.CursorKind.CLASS_DECL,
+                       cindex.CursorKind.STRUCT_DECL,
+                       cindex.CursorKind.CLASS_TEMPLATE):
+        return "static-member"
+    if cursor.storage_class == cindex.StorageClass.STATIC:
+        return "local-static"
+    return None
+
+
+def _category_of_type(type_spelling):
+    if "FlatMap64" in type_spelling:
+        return "flatmap"
+    if any(s in type_spelling for s in _UNORDERED_SPELLINGS):
+        return "unordered"
+    for s in ("vector<", "deque<", "basic_string<", "string"):
+        if s in type_spelling:
+            return "ordered"
+    return ""
+
+
+def _collect_calls(cursor, cindex, calls, appends):
+    for child in cursor.walk_preorder():
+        if child.kind == cindex.CursorKind.CALL_EXPR and child.spelling:
+            calls.add(child.spelling)
+            if child.spelling in ("push_back", "emplace_back", "push_front",
+                                  "append"):
+                appends.append(("", child.spelling))
+
+
+def analyze_file(path, index, cindex, compile_commands=None):
+    """Builds TuFacts for one file via the clang AST. `index` supplies the
+    Status-returning function set for the discard check (the AST itself
+    yields the precise result type, used when resolvable)."""
+    tu = cindex.Index.create().parse(
+        path, args=_compile_args(path, compile_commands),
+        options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    facts = TuFacts(file=path)
+    abs_path = os.path.abspath(path)
+
+    def here(cursor):
+        return (cursor.location.file is not None
+                and os.path.abspath(cursor.location.file.name) == abs_path)
+
+    def visit(cursor, parent):
+        if cursor.kind == cindex.CursorKind.VAR_DECL and here(cursor) \
+                and cursor.is_definition():
+            kind = _state_kind(cindex, cursor)
+            if kind is not None:
+                annotation, why = _annotation_from(cindex, cursor)
+                facts.state_sites.append(StateSite(
+                    kind=kind, name=cursor.spelling,
+                    type_text=cursor.type.spelling, file=path,
+                    line=cursor.location.line,
+                    is_const=cursor.type.is_const_qualified(),
+                    annotation=annotation, why=why))
+        elif cursor.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT \
+                and here(cursor):
+            children = list(cursor.get_children())
+            if len(children) >= 2:
+                range_expr, body = children[-2], children[-1]
+                rf = RangeFor(
+                    file=path, line=cursor.location.line,
+                    container_text=range_expr.type.spelling,
+                    container_names=[range_expr.spelling]
+                    if range_expr.spelling else [],
+                    direct_category=_category_of_type(
+                        range_expr.type.spelling))
+                _collect_calls(body, cindex, rf.body_calls, rf.body_appends)
+                facts.range_fors.append(rf)
+        elif cursor.kind == cindex.CursorKind.CALL_EXPR and here(cursor) \
+                and parent is not None \
+                and parent.kind == cindex.CursorKind.COMPOUND_STMT:
+            result = cursor.type.spelling.split("::")[-1]
+            if result == "Status" or (cursor.spelling in index.status_fns
+                                      and result in ("Status", "int")):
+                if cursor.spelling == "Register":
+                    pass
+                else:
+                    facts.discarded_calls.append(DiscardedCall(
+                        file=path, line=cursor.location.line,
+                        callee=cursor.spelling))
+        if cursor.kind == cindex.CursorKind.CALL_EXPR \
+                and cursor.spelling == "Register" and here(cursor):
+            tokens = [t.spelling for t in cursor.get_tokens()]
+            opcode = ""
+            for k in range(len(tokens) - 2):
+                if tokens[k] == "Opcode" and tokens[k + 1] == "::":
+                    opcode = tokens[k + 2]
+                    break
+            if opcode:
+                facts.handler_regs.append(HandlerReg(
+                    file=path, line=cursor.location.line, opcode=opcode,
+                    has_idempotent="ROCKSTEADY_IDEMPOTENT" in tokens,
+                    has_dedup_guard=any("edup" in t for t in tokens)))
+        for child in cursor.get_children():
+            visit(child, cursor)
+
+    visit(tu.cursor, None)
+    return facts

@@ -1,0 +1,206 @@
+"""A small C++ lexer: good enough for semantic lint, not a compiler.
+
+Produces a flat token list with line numbers. Comments and string/char
+literal *contents* never become tokens (prose cannot trip rules); string
+literals are kept as single `str` tokens so call-shape scanning still sees
+argument structure. Preprocessor directives are consumed whole (including
+backslash continuations) and dropped — the analyzer works on the
+un-preprocessed source on purpose: annotation macros must stay visible.
+"""
+
+from dataclasses import dataclass
+
+# Longest-first so '>>=' wins over '>>' wins over '>'.
+_MULTI_OPS = sorted(
+    ["<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+     ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "|=", "&=",
+     "^=", ".*"],
+    key=len, reverse=True)
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'num' | 'str' | 'char' | 'punct'
+    text: str
+    line: int
+
+
+def _skip_raw_string(text, i, line):
+    """`i` points at the opening quote of R"delim( ... )delim"."""
+    j = text.find("(", i)
+    if j < 0:
+        return len(text), line
+    delim = text[i + 1:j]
+    close = ')' + delim + '"'
+    end = text.find(close, j)
+    if end < 0:
+        return len(text), line + text.count("\n", i)
+    end += len(close)
+    return end, line + text.count("\n", i, end)
+
+
+def lex(text):
+    """Returns a list of Tokens. Never raises on malformed input."""
+    tokens = []
+    i, line, n = 0, 1, len(text)
+    at_line_start = True  # Only whitespace seen since the last newline.
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#" and at_line_start:
+            # Preprocessor directive: swallow the logical line.
+            while i < n:
+                j = text.find("\n", i)
+                if j < 0:
+                    i = n
+                    break
+                # Continuation if the line ends with a backslash.
+                k = j - 1
+                while k >= 0 and text[k] in " \t\r":
+                    k -= 1
+                line += 1
+                i = j + 1
+                if k < 0 or text[k] != "\\":
+                    break
+            at_line_start = True
+            continue
+        at_line_start = False
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            if j < 0:
+                break
+            line += text.count("\n", i, j)
+            i = j + 2
+            continue
+        # Raw strings: R"..." with optional encoding prefix.
+        if c in "RuUL":
+            raw = False
+            for prefix in ('R"', 'u8R"', 'uR"', 'UR"', 'LR"'):
+                if text.startswith(prefix, i):
+                    start_line = line
+                    i, line = _skip_raw_string(text, i + len(prefix) - 1, line)
+                    tokens.append(Token("str", '""', start_line))
+                    raw = True
+                    break
+            if raw:
+                continue
+        if c == '"' or (c in "uUL" and text.startswith('"', i + 1)) or \
+                text.startswith('u8"', i):
+            start = text.find('"', i)
+            j = start + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == '"':
+                    break
+                if text[j] == "\n":  # Unterminated; bail at newline.
+                    break
+                j += 1
+            tokens.append(Token("str", '""', line))
+            i = min(j + 1, n)
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == "'" or text[j] == "\n":
+                    break
+                j += 1
+            tokens.append(Token("char", "''", line))
+            i = min(j + 1, n)
+            continue
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n and (text[j] in _IDENT_CONT or text[j] in ".'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                tokens.append(Token("punct", op, line))
+                i += len(op)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+def match_paren(tokens, open_index):
+    """Index of the ')' matching tokens[open_index] == '(', or -1."""
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        t = tokens[i].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def match_brace(tokens, open_index):
+    """Index of the '}' matching tokens[open_index] == '{', or -1."""
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        t = tokens[i].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def skip_template_args(tokens, open_index):
+    """Index just past the '>' matching tokens[open_index] == '<', or -1.
+
+    Treats '>>' as two closing angles (C++11 template termination).
+    """
+    depth = 0
+    i = open_index
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif t in (";", "{", "}"):
+            return -1  # Not template args after all.
+        i += 1
+    return -1

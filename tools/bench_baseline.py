@@ -8,14 +8,16 @@ reported as speedups against it, and their trace hashes are checked against
 it — an engine optimization that changes the event schedule is a determinism
 bug, and this runner is the first place it shows up.
 
-Exit status: nonzero only if the bench binary is missing or crashes. Perf
-regressions and even hash mismatches only WARN here — the hard determinism
-gates live in sim_determinism_test and the chaos suites; CI runs this with
---smoke purely to prove the bench stays alive and to refresh the file.
+Exit status: nonzero if the bench binary is missing or crashes. Perf
+regressions only WARN (perf moves for legitimate reasons). Trace-hash
+divergence WARNs by default but is a hard failure under --strict-hash: an
+engine change that alters the event schedule is a determinism bug, and CI
+(ci/check.sh) must fail on it at the first observation rather than relying
+on a later gate to notice.
 
 Usage:
   tools/bench_baseline.py --build-dir build --label pre_overhaul
-  tools/bench_baseline.py --build-dir build --smoke
+  tools/bench_baseline.py --build-dir build --smoke --strict-hash
 """
 
 import argparse
@@ -54,6 +56,9 @@ def main() -> int:
                         help="trajectory file (default: <repo>/BENCH_engine.json)")
     parser.add_argument("--smoke", action="store_true",
                         help="short run (~2s): proves the bench works, not perf")
+    parser.add_argument("--strict-hash", action="store_true",
+                        help="exit nonzero if any trace_hash diverges from "
+                             "the baseline entry")
     args = parser.parse_args()
 
     repo = Path(__file__).resolve().parent.parent
@@ -85,8 +90,16 @@ def main() -> int:
 
     trajectory = load_trajectory(output)
     baseline = first_entry(trajectory, args.smoke)
+    if baseline is None and args.strict_hash:
+        # Without a baseline the hash check is vacuous; failing here keeps
+        # the CI gate honest instead of silently passing.
+        print("bench_baseline: --strict-hash but the trajectory has no "
+              f"{'smoke' if args.smoke else 'full'} baseline entry to "
+              "compare against", file=sys.stderr)
+        return 1
     entry = {"label": args.label, "smoke": args.smoke, "results": results}
 
+    diverged = 0
     for r in results:
         line = (f"  {r['scenario']:<16} seed {r['seed']:<6} "
                 f"{r['events_per_s']:>12,.0f} events/s  "
@@ -100,9 +113,11 @@ def main() -> int:
                 speedup = r["events_per_s"] / base["events_per_s"]
                 print(f"    {speedup:.2f}x vs baseline '{baseline['label']}'")
             if base["trace_hash"] != r["trace_hash"]:
-                print(f"    WARNING: trace_hash diverged from baseline "
-                      f"'{baseline['label']}' ({base['trace_hash']}) — the event "
-                      f"schedule changed; determinism gates will catch this",
+                diverged += 1
+                severity = "ERROR" if args.strict_hash else "WARNING"
+                print(f"    {severity}: trace_hash diverged from baseline "
+                      f"'{baseline['label']}' ({base['trace_hash']}) — the "
+                      f"event schedule changed",
                       file=sys.stderr)
 
     trajectory["entries"].append(entry)
@@ -110,6 +125,10 @@ def main() -> int:
         json.dump(trajectory, f, indent=2)
         f.write("\n")
     print(f"bench_baseline: appended entry '{args.label}' to {output}")
+    if diverged and args.strict_hash:
+        print(f"bench_baseline: {diverged} trace hash(es) diverged under "
+              "--strict-hash", file=sys.stderr)
+        return 1
     return 0
 
 
