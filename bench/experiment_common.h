@@ -63,10 +63,9 @@ inline void SpreadTableAcross(Cluster& cluster, TableId table, int n) {
     const auto& t = tablets[i];
     const ServerId owner = cluster.master(i % static_cast<size_t>(n)).id();
     if (t.owner != owner) {
-      cluster.coordinator().UpdateOwnership(t.table, t.start_hash, t.end_hash, owner);
-      cluster.master(0).objects().tablets().Remove(t.table, t.start_hash, t.end_hash);
-      cluster.coordinator().master(owner)->objects().tablets().Add(
-          Tablet{t.table, t.start_hash, t.end_hash, TabletState::kNormal});
+      // ReassignTablet installs the tablet on the new owner before touching
+      // the map, so the cross-layer coverage audit holds mid-spread.
+      cluster.coordinator().ReassignTablet(t.table, t.start_hash, t.end_hash, owner);
     }
   }
 }

@@ -54,10 +54,8 @@ Point RunPoint(Layout layout, double scans_per_second) {
   cluster.CreateTable(kTable, 0);
   if (layout == Layout::k2i2t) {
     cluster.coordinator().SplitTablet(kTable, 1ull << 63);
-    cluster.coordinator().UpdateOwnership(kTable, 1ull << 63, ~0ull, cluster.master(1).id());
-    cluster.master(0).objects().tablets().Remove(kTable, 1ull << 63, ~0ull);
-    cluster.master(1).objects().tablets().Add(
-        Tablet{kTable, 1ull << 63, ~0ull, TabletState::kNormal});
+    // Audit-safe reassignment of the upper half to master 1.
+    cluster.coordinator().ReassignTablet(kTable, 1ull << 63, ~0ull, cluster.master(1).id());
   }
   const std::string median_key = IndexScanActor::SecondaryKey(kRecords / 2);
   if (layout == Layout::k1i1t) {

@@ -67,6 +67,9 @@ step "overload chaos: bursty load past saturation + migration, pacing on/off, 20
 step "rebalancer chaos: planner + splits + faults, 20 seeds, replayed bit-identically"
 "${ROOT}/build-asan/tests/rebalance_test" --gtest_filter='Seeds/RebalanceChaosTest.*'
 
+step "scenario matrix smoke: every operational scenario at seed 0 (20-seed suites run in ctest)"
+"${ROOT}/build-asan/tests/scenario_test" --gtest_filter='*_s0'
+
 step "overload protection: admission control, load shedding, memory budget"
 "${ROOT}/build-asan/tests/overload_test"
 

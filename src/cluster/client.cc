@@ -195,7 +195,9 @@ void RamCloudClient::Write(TableId table, std::string_view key, std::string_view
     coordinator_->rpc().Call(
         node(), owner, std::move(request),
         [this, s](Status status, std::unique_ptr<RpcResponse> response) {
-          Report(s, status == Status::kOk ? response->status : status, 0);
+          const Tick hint =
+              status == Status::kOk ? static_cast<WriteResponse&>(*response).retry_after : 0;
+          Report(s, status == Status::kOk ? response->status : status, hint);
         },
         costs_->rpc_timeout_ns);
   };
@@ -220,7 +222,9 @@ void RamCloudClient::Remove(TableId table, std::string_view key, DoneCallback do
     coordinator_->rpc().Call(
         node(), owner, std::move(request),
         [this, s](Status status, std::unique_ptr<RpcResponse> response) {
-          Report(s, status == Status::kOk ? response->status : status, 0);
+          const Tick hint =
+              status == Status::kOk ? static_cast<RemoveResponse&>(*response).retry_after : 0;
+          Report(s, status == Status::kOk ? response->status : status, hint);
         },
         costs_->rpc_timeout_ns);
   };

@@ -46,6 +46,17 @@ Coordinator::Coordinator(Simulator* sim, RpcSystem* rpc, const CostModel* costs)
                       ROCKSTEADY_IDEMPOTENT("aborting a finished or already-aborted "
                                             "migration is a no-op")
                       [this](RpcContext c) { HandleAbortMigration(std::move(c)); });
+  endpoint_->Register(Opcode::kBeginDrain,
+                      ROCKSTEADY_IDEMPOTENT("lifecycle latch: re-draining a draining or "
+                                            "decommissioned server is a no-op")
+                      [this](RpcContext c) { HandleBeginDrain(std::move(c)); });
+  endpoint_->Register(Opcode::kActivateServer,
+                      ROCKSTEADY_IDEMPOTENT("lifecycle latch: re-activating an active "
+                                            "server is a no-op")
+                      [this](RpcContext c) { HandleActivateServer(std::move(c)); });
+  endpoint_->Register(Opcode::kDrainStatus,
+                      ROCKSTEADY_IDEMPOTENT("pure read of the lifecycle table and tablet map")
+                      [this](RpcContext c) { HandleDrainStatus(std::move(c)); });
   recovery_ = std::make_unique<RecoveryManager>(this);
 }
 
@@ -53,6 +64,7 @@ Coordinator::~Coordinator() = default;
 
 ServerId Coordinator::RegisterMaster(MasterServer* master) {
   masters_.push_back(master);
+  lifecycle_.push_back(ServerLifecycle::kActive);
   return static_cast<ServerId>(masters_.size());
 }
 
@@ -74,7 +86,115 @@ std::vector<ServerId> Coordinator::AliveServers(ServerId except) const {
   return alive;
 }
 
+std::vector<ServerId> Coordinator::PlacementCandidates(ServerId except) const {
+  std::vector<ServerId> candidates;
+  for (size_t i = 0; i < masters_.size(); i++) {
+    const ServerId id = static_cast<ServerId>(i + 1);
+    if (id != except && !masters_[i]->crashed() &&
+        lifecycle_[i] == ServerLifecycle::kActive) {
+      candidates.push_back(id);
+    }
+  }
+  return candidates;
+}
+
+bool Coordinator::AnyPlacementEligible(ServerId except) const {
+  for (size_t i = 0; i < masters_.size(); i++) {
+    const ServerId id = static_cast<ServerId>(i + 1);
+    if (id != except && !masters_[i]->crashed() &&
+        lifecycle_[i] == ServerLifecycle::kActive) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Coordinator::BeginDrain(ServerId id) {
+  if (id < 1 || id > masters_.size()) {
+    return Status::kInvalidState;
+  }
+  ServerLifecycle& state = lifecycle_[id - 1];
+  if (state == ServerLifecycle::kDraining || state == ServerLifecycle::kDecommissioned) {
+    return Status::kOk;  // Latched already; re-drives are no-ops.
+  }
+  if (!AnyPlacementEligible(id)) {
+    // Nowhere for the evacuation to land — refuse rather than strand the
+    // cluster with zero placement-eligible masters.
+    return Status::kInvalidState;
+  }
+  state = ServerLifecycle::kDraining;
+  drains_started_++;
+  if (!masters_[id - 1]->crashed()) {
+    masters_[id - 1]->SetDraining(true);
+  }
+  LOG_INFO("coordinator: server %u draining at t=%.6f s", id,
+           static_cast<double>(sim_->now()) / 1e9);
+  // An already-empty server (standby, or never assigned) completes at once.
+  MaybeCompleteDrains();
+  return Status::kOk;
+}
+
+Status Coordinator::ActivateServer(ServerId id) {
+  if (id < 1 || id > masters_.size()) {
+    return Status::kInvalidState;
+  }
+  ServerLifecycle& state = lifecycle_[id - 1];
+  if (state == ServerLifecycle::kActive) {
+    return Status::kOk;
+  }
+  state = ServerLifecycle::kActive;
+  if (!masters_[id - 1]->crashed()) {
+    masters_[id - 1]->SetDraining(false);
+  }
+  LOG_INFO("coordinator: server %u activated at t=%.6f s", id,
+           static_cast<double>(sim_->now()) / 1e9);
+  return Status::kOk;
+}
+
+Status Coordinator::MarkStandby(ServerId id) {
+  if (id < 1 || id > masters_.size()) {
+    return Status::kInvalidState;
+  }
+  for (const auto& tablet : tablet_map_) {
+    if (tablet.owner == id) {
+      return Status::kInvalidState;  // Standby servers own nothing.
+    }
+  }
+  lifecycle_[id - 1] = ServerLifecycle::kStandby;
+  return Status::kOk;
+}
+
+void Coordinator::MaybeCompleteDrains() {
+  for (size_t i = 0; i < lifecycle_.size(); i++) {
+    if (lifecycle_[i] != ServerLifecycle::kDraining) {
+      continue;
+    }
+    const ServerId id = static_cast<ServerId>(i + 1);
+    bool busy = false;
+    for (const auto& tablet : tablet_map_) {
+      if (tablet.owner == id) {
+        busy = true;
+        break;
+      }
+    }
+    for (size_t d = 0; !busy && d < dependencies_.size(); d++) {
+      busy = dependencies_[d].source == id || dependencies_[d].target == id;
+    }
+    if (busy) {
+      continue;
+    }
+    lifecycle_[i] = ServerLifecycle::kDecommissioned;
+    drains_completed_++;
+    if (!masters_[i]->crashed()) {
+      masters_[i]->SetDraining(false);
+    }
+    LOG_INFO("coordinator: server %u drained empty; decommissioned at t=%.6f s", id,
+             static_cast<double>(sim_->now()) / 1e9);
+  }
+}
+
 void Coordinator::CreateTable(TableId table, ServerId owner) {
+  ROCKSTEADY_DCHECK(lifecycle_[owner - 1] == ServerLifecycle::kActive);
   tablet_map_.push_back(OwnedTablet{table, 0, ~0ull, owner});
   master(owner)->objects().tablets().Add(Tablet{table, 0, ~0ull, TabletState::kNormal});
   DebugAudit(*this, "coordinator after CreateTable");
@@ -198,9 +318,45 @@ Status Coordinator::UpdateOwnership(TableId table, KeyHash start_hash, KeyHash e
       ROCKSTEADY_DCHECK_GE(new_owner, 1u);
       ROCKSTEADY_DCHECK_LE(new_owner, masters_.size());
       tablet.owner = new_owner;
+      // Ownership changes are how a draining server empties out (migration
+      // commits, recovery re-homes); check for drain completion before the
+      // audit so a just-emptied server is already decommissioned when the
+      // lifecycle invariants run.
+      MaybeCompleteDrains();
       DebugAudit(*this, "coordinator after UpdateOwnership");
       return Status::kOk;
     }
+  }
+  return Status::kTableNotFound;
+}
+
+Status Coordinator::ReassignTablet(TableId table, KeyHash start_hash, KeyHash end_hash,
+                                   ServerId new_owner) {
+  if (new_owner < 1 || new_owner > masters_.size() ||
+      lifecycle_[new_owner - 1] != ServerLifecycle::kActive || master(new_owner)->crashed()) {
+    return Status::kInvalidState;
+  }
+  for (auto& tablet : tablet_map_) {
+    if (!(tablet.table == table && tablet.start_hash == start_hash &&
+          tablet.end_hash == end_hash)) {
+      continue;
+    }
+    if (tablet.owner == new_owner) {
+      return Status::kOk;
+    }
+    const ServerId previous = tablet.owner;
+    // Install on the new owner first, then repoint the map, then drop the
+    // previous owner's mirror — the one ordering under which the cross-layer
+    // coverage audit is true at every intermediate step.
+    master(new_owner)->objects().tablets().Add(
+        Tablet{table, start_hash, end_hash, TabletState::kNormal});
+    tablet.owner = new_owner;
+    if (previous >= 1 && previous <= masters_.size() && !master(previous)->crashed()) {
+      master(previous)->objects().tablets().Remove(table, start_hash, end_hash);
+    }
+    MaybeCompleteDrains();
+    DebugAudit(*this, "coordinator after ReassignTablet");
+    return Status::kOk;
   }
   return Status::kTableNotFound;
 }
@@ -273,6 +429,9 @@ void Coordinator::DropDependency(ServerId source, ServerId target, TableId table
   std::erase_if(dependencies_, [&](const MigrationDependency& d) {
     return d.source == source && d.target == target && d.table == table;
   });
+  // The dependency edge may have been the last thing pinning a draining
+  // server (its final outbound migration just committed or aborted).
+  MaybeCompleteDrains();
 }
 
 std::optional<MigrationDependency> Coordinator::FindDependencyBySource(ServerId source) const {
@@ -395,6 +554,33 @@ void Coordinator::AuditInvariants(AuditReport* report) const {
       }
     }
   }
+  // Lifecycle: a standby server has never been assigned anything, and a
+  // decommissioned server was verifiably empty when it was delisted — if
+  // either owns a map range or appears in a dependency, the drain protocol
+  // (or a caller bypassing it) broke its contract.
+  for (size_t i = 0; i < lifecycle_.size(); i++) {
+    if (lifecycle_[i] == ServerLifecycle::kActive ||
+        lifecycle_[i] == ServerLifecycle::kDraining) {
+      continue;
+    }
+    const ServerId id = static_cast<ServerId>(i + 1);
+    const char* state =
+        lifecycle_[i] == ServerLifecycle::kStandby ? "standby" : "decommissioned";
+    for (const auto& tablet : tablet_map_) {
+      if (tablet.owner == id) {
+        report->Fail("coordinator: %s server %u owns table %llu range [%llx, %llx]", state, id,
+                     static_cast<unsigned long long>(tablet.table),
+                     static_cast<unsigned long long>(tablet.start_hash),
+                     static_cast<unsigned long long>(tablet.end_hash));
+      }
+    }
+    for (const auto& d : dependencies_) {
+      if (d.source == id || d.target == id) {
+        report->Fail("coordinator: %s server %u appears in dependency source=%u target=%u",
+                     state, id, d.source, d.target);
+      }
+    }
+  }
 }
 
 void Coordinator::HandleCrash(ServerId crashed, std::function<void()> done) {
@@ -464,6 +650,12 @@ void Coordinator::Restart() {
   // mirror leaves the owner coarser than the map; re-drive every boundary
   // (idempotent) so routing and the map agree again.
   ReconcileSplits();
+  // Drains persist in the quorum-replicated lifecycle table across the
+  // outage; a drain that emptied while the coordinator was down (its last
+  // migration committed against the surviving metadata) completes now, and
+  // in-progress ones resume via the planner, which re-reads lifecycle()
+  // every round.
+  MaybeCompleteDrains();
   LOG_INFO("coordinator restarted at t=%.6f s", static_cast<double>(sim_->now()) / 1e9);
 }
 
@@ -485,10 +677,17 @@ void Coordinator::DetectorSweep() {
   if (crashed_) {
     return;
   }
+  // Drains waiting on something other than an ownership change (e.g. a
+  // crashed-then-recovered server whose re-homing emptied it while the
+  // completion check stood aside) converge on the sweep cadence.
+  MaybeCompleteDrains();
   for (size_t i = 0; i < masters_.size(); i++) {
     const ServerId id = static_cast<ServerId>(i + 1);
     if (recovering_.contains(id)) {
       continue;
+    }
+    if (lifecycle_[i] == ServerLifecycle::kDecommissioned) {
+      continue;  // Delisted: owns nothing, so a crash needs no recovery.
     }
     rpc_->Call(
         node(), NodeOf(id), std::make_unique<PingRequest>(),
@@ -639,6 +838,38 @@ void Coordinator::HandleMigrationHeartbeat(RpcContext context) {
   leases_[LeaseKey{request.source, request.target, request.table}] = sim_->now();
   RoutePiggyback(request.target, request.piggyback);
   context.reply(std::make_unique<StatusResponse>());
+}
+
+void Coordinator::HandleBeginDrain(RpcContext context) {
+  auto& request = context.As<BeginDrainRequest>();
+  auto response = std::make_unique<StatusResponse>();
+  response->status = BeginDrain(request.server);
+  context.reply(std::move(response));
+}
+
+void Coordinator::HandleActivateServer(RpcContext context) {
+  auto& request = context.As<ActivateServerRequest>();
+  auto response = std::make_unique<StatusResponse>();
+  response->status = ActivateServer(request.server);
+  context.reply(std::move(response));
+}
+
+void Coordinator::HandleDrainStatus(RpcContext context) {
+  auto& request = context.As<DrainStatusRequest>();
+  auto response = std::make_unique<DrainStatusResponse>();
+  if (request.server < 1 || request.server > masters_.size()) {
+    response->status = Status::kInvalidState;
+  } else {
+    response->lifecycle = static_cast<uint8_t>(lifecycle_[request.server - 1]);
+    for (const auto& tablet : tablet_map_) {
+      response->tablets_remaining += tablet.owner == request.server ? 1 : 0;
+    }
+    for (const auto& d : dependencies_) {
+      response->dependencies_remaining +=
+          d.source == request.server || d.target == request.server ? 1 : 0;
+    }
+  }
+  context.reply(std::move(response));
 }
 
 }  // namespace rocksteady

@@ -30,6 +30,27 @@ namespace rocksteady {
 class MasterServer;
 class RecoveryManager;
 
+// Operator-facing server lifecycle (quorum-replicated, like the tablet map —
+// it survives coordinator crash/restart, which is what makes a drain resume
+// after an outage instead of silently forgetting it).
+//
+//   kStandby --------> kActive <--------> kDraining ----> kDecommissioned
+//    (scale-out pool)   (normal member)    (evacuating)    (empty, delisted)
+//
+// kActive is the only placement-eligible state: recovery re-homing, planner
+// migrations, and control-plane reassignment all refuse to land tablets on
+// anything else. A draining server sheds through planner-driven evacuation
+// and is decommissioned automatically the moment it owns no map range and no
+// lineage dependency names it. ActivateServer() moves standby (scale-out) or
+// draining (drain cancel) or decommissioned (re-commission) servers back to
+// kActive.
+enum class ServerLifecycle : uint8_t {
+  kActive = 0,
+  kStandby = 1,
+  kDraining = 2,
+  kDecommissioned = 3,
+};
+
 // One registered lineage dependency (§3.4).
 struct MigrationDependency {
   ServerId source = 0;
@@ -69,7 +90,34 @@ class Coordinator {
   NodeId NodeOf(ServerId id) const;
   const std::vector<MasterServer*>& masters() const { return masters_; }
   // Alive servers other than `except` (backup placement, recovery sources).
+  // Lifecycle-blind: a draining or decommissioned server still answers
+  // backup reads (its frames model disk), so recovery fetch paths keep it.
   std::vector<ServerId> AliveServers(ServerId except = kInvalidServerId) const;
+  // Alive AND kActive servers other than `except` — the only legal homes for
+  // tablets (recovery re-homing, planner targets, reassignment).
+  std::vector<ServerId> PlacementCandidates(ServerId except = kInvalidServerId) const;
+
+  // --- Server lifecycle (drain/decommission protocol). ---
+  ServerLifecycle lifecycle(ServerId id) const { return lifecycle_[id - 1]; }
+  // Marks `id` kDraining: the master stops accepting tablet assignments and
+  // the rebalance planner mass-evacuates its ranges. Idempotent (draining or
+  // decommissioned already -> kOk). Refused (kInvalidState) when no *other*
+  // placement-eligible master exists — the evacuation would have nowhere to
+  // land. An empty server decommissions immediately.
+  Status BeginDrain(ServerId id);
+  // Moves `id` to kActive: admits a standby into placement (scale-out),
+  // cancels an in-progress drain, or re-commissions a decommissioned server.
+  // Idempotent.
+  Status ActivateServer(ServerId id);
+  // Parks a freshly registered, empty server in the standby pool (scale-out
+  // setup). Refused once it owns any map range.
+  Status MarkStandby(ServerId id);
+  // Decommissions every draining server that owns no map range and appears
+  // in no lineage dependency. Called from the ownership-change paths and the
+  // detector sweep; also directly by tests.
+  void MaybeCompleteDrains();
+  uint64_t drains_started() const { return drains_started_; }
+  uint64_t drains_completed() const { return drains_completed_; }
 
   // --- Tablet map. ---
   // Creates `table` spanning the whole hash space on `owner` (also installs
@@ -100,9 +148,19 @@ class Coordinator {
   uint64_t splits_performed() const { return splits_performed_; }
   uint64_t splits_refused() const { return splits_refused_; }
 
-  // Repoints ownership of an existing tablet range.
+  // Repoints ownership of an existing tablet range. Map-only: protocol
+  // callers (migration commit, recovery) sequence their own master-side
+  // tablet installs *before* this call so the cross-layer audit holds.
   Status UpdateOwnership(TableId table, KeyHash start_hash, KeyHash end_hash,
                          ServerId new_owner);
+  // Control-plane reassignment of an exact map range (test/bench spreads,
+  // operator moves without data): installs an empty kNormal tablet on the
+  // new owner first, then repoints the map, then drops the previous owner's
+  // mirror — the one ordering under which the cross-layer coverage audit is
+  // true at every step. Data, if any, stays behind; callers load afterwards
+  // or move records themselves. Only kActive masters are legal targets.
+  Status ReassignTablet(TableId table, KeyHash start_hash, KeyHash end_hash,
+                        ServerId new_owner);
   std::vector<TabletConfigEntry> GetTableConfig(TableId table) const;
   ServerId OwnerOf(TableId table, KeyHash hash) const;
 
@@ -182,7 +240,8 @@ class Coordinator {
   // hash space — ranges tile [0, 2^64) with no gap or overlap, so every key
   // hash has exactly one owner; owners are registered servers; lineage
   // dependencies are unique per (source, target, table) and name registered,
-  // distinct servers. When no crash recovery is in flight, additionally
+  // distinct servers; standby and decommissioned servers own no map range
+  // and appear in no dependency. When no crash recovery is in flight, additionally
   // cross-layer: each alive owner's local tablets tile every map range it
   // owns (split ranges included) — a master serving a range the map gave
   // away, or missing a range the map assigned it, is a routing hole.
@@ -196,6 +255,11 @@ class Coordinator {
   void HandleDropDependency(RpcContext context);
   void HandleMigrationHeartbeat(RpcContext context);
   void HandleAbortMigration(RpcContext context);
+  void HandleBeginDrain(RpcContext context);
+  void HandleActivateServer(RpcContext context);
+  void HandleDrainStatus(RpcContext context);
+  // True while any server (other than `except`) can legally receive tablets.
+  bool AnyPlacementEligible(ServerId except) const;
   void DetectorSweep();
   void DeclareDead(ServerId id);
   void CheckLeases();
@@ -207,6 +271,9 @@ class Coordinator {
   std::unique_ptr<CoreSet> cores_;
   RpcEndpoint* endpoint_;
   std::vector<MasterServer*> masters_;  // Index = ServerId - 1.
+  // Quorum-replicated like the tablet map: survives Crash()/Restart(), so a
+  // drain in progress resumes after a coordinator outage.
+  std::vector<ServerLifecycle> lifecycle_;  // Index = ServerId - 1.
   std::vector<OwnedTablet> tablet_map_;
   std::vector<MigrationDependency> dependencies_;
   // (table, index_id) -> indexlet layout.
@@ -228,6 +295,8 @@ class Coordinator {
   uint64_t budget_aborts_ = 0;  // Target-requested aborts (memory budget).
   uint64_t splits_performed_ = 0;  // Checked splits applied to the map.
   uint64_t splits_refused_ = 0;    // Checked splits rejected by validation.
+  uint64_t drains_started_ = 0;    // BeginDrain transitions into kDraining.
+  uint64_t drains_completed_ = 0;  // Draining servers decommissioned empty.
 };
 
 }  // namespace rocksteady

@@ -190,6 +190,15 @@ void MasterServer::HandleWrite(RpcContext context) {
            response->status = Status::kWrongServer;
            return Tick{200};
          }
+         if (tablet->state == TabletState::kRecovering) {
+           // Replay of the crashed owner's log is still applying entries
+           // whose versions outrank anything this master's counter would
+           // assign; accepting a write now hands it a version the replay
+           // can silently clobber. Bounce until the tablet opens.
+           response->status = Status::kRetryLater;
+           response->retry_after = sim().now() + costs_->recovering_retry_hint_ns;
+           return Tick{200};
+         }
          auto version = objects_.Write(req.table, req.key, req.hash, req.value, &p->ref);
          if (!version.ok()) {
            response->status = version.status();
@@ -277,6 +286,13 @@ void MasterServer::HandleRemove(RpcContext context) {
          const Tablet* tablet = objects_.tablets().Find(req.table, req.hash);
          if (tablet == nullptr || tablet->state == TabletState::kMigrationSource) {
            response->status = Status::kWrongServer;
+           return Tick{200};
+         }
+         if (tablet->state == TabletState::kRecovering) {
+           // Same version-clobber hazard as HandleWrite: the tombstone's
+           // version must outrank the replayed log or the delete undoes.
+           response->status = Status::kRetryLater;
+           response->retry_after = sim().now() + costs_->recovering_retry_hint_ns;
            return Tick{200};
          }
          // On a migration target, deletes of not-yet-arrived records still
@@ -536,6 +552,10 @@ void MasterServer::Restart() {
   crashed_ = false;
   cores_->Restart();
   rpc().net()->SetNodeDown(node(), false);
+  // Re-sync the drain flag from the coordinator's quorum-replicated
+  // lifecycle table: a master that crashed mid-drain rejoins still refusing
+  // new tablet assignments, so the drain converges instead of resetting.
+  draining_ = coordinator_->lifecycle(id_) == ServerLifecycle::kDraining;
 }
 
 }  // namespace rocksteady

@@ -121,6 +121,15 @@ class MasterServer {
                         std::string end_key);
   Indexlet* FindIndexlet(TableId table, uint8_t index_id, std::string_view secondary_key);
 
+  // --- Drain (decommission protocol). ---
+  // Set by the coordinator when this master enters/leaves kDraining. While
+  // draining, the master refuses new inbound tablet migrations (the
+  // kMigrateTablet handler checks this) — it only sheds. Mirrors the
+  // coordinator's quorum-replicated lifecycle flag; Restart() re-syncs from
+  // it, so a master that crashes mid-drain comes back still refusing.
+  void SetDraining(bool draining) { draining_ = draining; }
+  bool draining() const { return draining_; }
+
   // --- Crash simulation. ---
   // Halts cores and disconnects the NIC. Recovery is driven separately by
   // Coordinator::HandleCrash.
@@ -215,6 +224,7 @@ class MasterServer {
   std::shared_ptr<void> extension_;
   std::vector<std::unique_ptr<Indexlet>> indexlets_;
   bool crashed_ = false;
+  bool draining_ = false;
   uint64_t reads_served_ = 0;
   uint64_t writes_served_ = 0;
   SlidingLatencyTracker client_latency_;

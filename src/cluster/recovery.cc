@@ -10,6 +10,55 @@
 
 namespace rocksteady {
 
+namespace {
+
+// How many times a recovery master re-issues the re-replication of a
+// replayed entry before giving up. Each retry backs off by the recovering
+// retry hint, so the window comfortably covers a backup's crash-restart gap
+// (the common failure during a rolling restart).
+constexpr int kReplayReplicationAttempts = 10;
+
+// Bytes of `bytes` that parse as a clean entry sequence. Replica copies of
+// the same segment can legitimately diverge past this point (a leg that
+// failed mid-stream leaves a zero hole the backup padded around), so
+// recovery ranks copies by how far they parse.
+size_t ParseablePrefix(const std::vector<uint8_t>& bytes) {
+  size_t offset = 0;
+  LogEntryView entry;
+  while (offset < bytes.size() && ReadEntry(bytes.data() + offset, bytes.size() - offset, &entry)) {
+    offset += entry.header.TotalLength();
+  }
+  return offset;
+}
+
+// Replicates a replayed entry until the backups ack it (bounded retries):
+// the recovery master's DRAM is the record's only home until this lands, so
+// a silent failure here turns the *next* crash into data loss. `done` fires
+// exactly once, success or not.
+void ReplicateDurably(MasterServer* rm, LogRef ref, int attempts_left,
+                      std::function<void()> done) {
+  rm->ReplicateEntry(ref, [rm, ref, attempts_left, done = std::move(done)](Status status) mutable {
+    if (status == Status::kOk || attempts_left <= 1 || rm->crashed()) {
+      if (status != Status::kOk) {
+        LOG_WARNING("recovery: re-replication of replayed entry gave up (status %d)",
+                    static_cast<int>(status));
+      }
+      done();
+      return;
+    }
+    rm->sim().After(rm->costs().recovering_retry_hint_ns,
+                    [rm, ref, attempts_left, done = std::move(done)]() mutable {
+                      if (rm->crashed()) {
+                        done();
+                        return;
+                      }
+                      ReplicateDurably(rm, ref, attempts_left - 1, std::move(done));
+                    });
+  });
+}
+
+}  // namespace
+
 void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done) {
   const std::vector<ServerId> alive = coordinator_->AliveServers(crashed);
   if (alive.empty()) {
@@ -19,11 +68,33 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
     }
     return;
   }
+  // Re-home onto placement-eligible (kActive) servers only — recovering a
+  // draining master's data back onto another draining master would undo its
+  // evacuation. If the whole cluster is draining there is no better choice,
+  // so fall back to anyone alive.
+  std::vector<ServerId> homes = coordinator_->PlacementCandidates(crashed);
+  if (homes.empty()) {
+    homes = alive;
+  }
 
   std::vector<Plan> plans;
 
+  // A draining master may run several concurrent evacuations, so a crashed
+  // server can appear in any number of dependency edges — snapshot them all
+  // (the per-edge handling below drops each from the registry as it goes).
+  std::vector<MigrationDependency> as_target;
+  std::vector<MigrationDependency> as_source;
+  for (const auto& d : coordinator_->dependencies()) {
+    if (d.target == crashed) {
+      as_target.push_back(d);
+    } else if (d.source == crashed) {
+      as_source.push_back(d);
+    }
+  }
+
   // --- Lineage case 1: the crashed server was a migration target. ---
-  if (auto dep = coordinator_->FindDependencyByTarget(crashed); dep.has_value()) {
+  for (const auto& edge : as_target) {
+    const MigrationDependency* dep = &edge;
     // Abort the crashed target's manager first: its cores are halted but its
     // heap state stays coherent until Restart(), so the side logs drop
     // cleanly and any still-scheduled continuations see aborted_ and die
@@ -40,7 +111,10 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
     ROCKSTEADY_DCHECK(ownership_back == Status::kOk);
     MasterServer* source = coordinator_->master(dep->source);
     if (Tablet* tablet = source->objects().tablets().Find(dep->table, dep->start_hash)) {
-      tablet->state = TabletState::kNormal;
+      // Held in kRecovering until the tail plan below completes: a write
+      // accepted mid-replay would take a version the replayed tail entries
+      // silently clobber. The plan's completion flips it to kNormal.
+      tablet->state = TabletState::kRecovering;
     }
     Plan tail;
     tail.recovery_master = source;
@@ -53,14 +127,16 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
   }
 
   // --- Lineage case 2: the crashed server was a migration source. ---
-  if (auto dep = coordinator_->FindDependencyBySource(crashed); dep.has_value()) {
+  size_t next_lineage_home = 0;
+  for (const auto& edge : as_source) {
+    const MigrationDependency* dep = &edge;
     MasterServer* target = coordinator_->master(dep->target);
     if (coordinator_->abort_inbound_migration) {
       coordinator_->abort_inbound_migration(target, dep->table);
     }
     // The tablet (owned by the target since migration start) is rebuilt on a
     // recovery master from the source's backups plus the target's log tail.
-    MasterServer* rm = coordinator_->master(alive.front());
+    MasterServer* rm = coordinator_->master(homes[next_lineage_home++ % homes.size()]);
     const Status ownership_to_rm =
         coordinator_->UpdateOwnership(dep->table, dep->start_hash, dep->end_hash, rm->id());
     ROCKSTEADY_DCHECK(ownership_to_rm == Status::kOk);
@@ -92,7 +168,7 @@ void RecoveryManager::RecoverServer(ServerId crashed, std::function<void()> done
     if (entry.owner != crashed) {
       continue;
     }
-    const ServerId rm_id = alive[next_rm++ % alive.size()];
+    const ServerId rm_id = homes[next_rm++ % homes.size()];
     MasterServer* rm = coordinator_->master(rm_id);
     // The entry's range comes straight from the map we are iterating, so the
     // exact-range repoint cannot miss.
@@ -162,7 +238,10 @@ void RecoveryManager::AbortMigrationToSource(const MigrationDependency& dependen
   MasterServer* source = coordinator_->master(dependency.source);
   if (Tablet* tablet = source->objects().tablets().Find(dependency.table,
                                                         dependency.start_hash)) {
-    tablet->state = TabletState::kNormal;
+    // Hold the tablet in kRecovering until the target's tail has been
+    // replayed: a write accepted mid-replay would take a version the
+    // replayed (higher-versioned) tail entries silently clobber.
+    tablet->state = TabletState::kRecovering;
   }
   coordinator_->DropDependency(dependency.source, dependency.target, dependency.table);
   // The source's copy is complete and immutable; it only needs the target's
@@ -170,6 +249,17 @@ void RecoveryManager::AbortMigrationToSource(const MigrationDependency& dependen
   if (!done) {
     done = [] {};
   }
+  // Replay complete → open the tablet for clients, whichever branch ran.
+  const TableId dep_table = dependency.table;
+  const KeyHash dep_start = dependency.start_hash;
+  done = [source, dep_table, dep_start, inner = std::move(done)] {
+    if (Tablet* tablet = source->objects().tablets().Find(dep_table, dep_start)) {
+      if (tablet->state == TabletState::kRecovering) {
+        tablet->state = TabletState::kNormal;
+      }
+    }
+    inner();
+  };
   if (target->crashed()) {
     // Target unreachable: fetch its durable tail from the backups.
     Plan tail;
@@ -221,7 +311,14 @@ void RecoveryManager::AbortMigrationToSource(const MigrationDependency& dependen
            if (!ReadEntry(tail_bytes->data() + offset, tail_bytes->size() - offset, &entry)) {
              break;
            }
-           source->objects().Replay(entry, nullptr);
+           LogRef ref;
+           if (source->objects().Replay(entry, nullptr, &ref)) {
+             // The tail entries' only other durable home was the
+             // (now-dropped) target lineage; the source must give them
+             // fresh replicas of its own. Detached retries, as in
+             // ExecutePlan.
+             ReplicateDurably(source, ref, kReplayReplicationAttempts, [] {});
+           }
            offset += entry.header.TotalLength();
          }
          return source->costs().ReplayCost(*tail_entries, tail_bytes->size());
@@ -254,6 +351,11 @@ void RecoveryManager::ExecutePlan(const Plan& plan, std::function<void()> done) 
     }
     // One replay worker task per recovered segment, at replication priority
     // (recovery competes with normal service like other background work).
+    // Re-replication of incorporated entries runs detached from plan
+    // completion: the recovery master's backup set still contains the
+    // crashed master itself, so the legs to it cannot succeed until it
+    // restarts — which, in a rolling restart, only happens *after* this
+    // plan reports done. The per-entry retry loop rides out that window.
     auto remaining = std::make_shared<size_t>(state->segments.size());
     for (auto& [segment_id, data] : state->segments) {
       const uint32_t id = segment_id;
@@ -278,7 +380,13 @@ void RecoveryManager::ExecutePlan(const Plan& plan, std::function<void()> done) 
                  for (const auto& range : state->ranges) {
                    if (entry.table_id() == range.table && entry.key_hash() >= range.start_hash &&
                        entry.key_hash() <= range.end_hash) {
-                     rm->objects().Replay(entry, nullptr);
+                     LogRef ref;
+                     if (rm->objects().Replay(entry, nullptr, &ref)) {
+                       // The recovery master's DRAM is now the record's
+                       // only home; give it fresh replicas or the *next*
+                       // crash loses it for good.
+                       ReplicateDurably(rm, ref, kReplayReplicationAttempts, [] {});
+                     }
                      replayed++;
                      replayed_bytes += length;
                      break;
@@ -313,10 +421,16 @@ void RecoveryManager::ExecutePlan(const Plan& plan, std::function<void()> done) 
           if (status == Status::kOk && response != nullptr) {
             auto& data = static_cast<GetRecoveryDataResponse&>(*response);
             for (auto& segment : data.segments) {
-              auto [it, inserted] =
-                  state->segments.try_emplace(segment.segment_id, std::move(segment.data));
-              (void)it;
-              (void)inserted;
+              // Replica copies of the same segment can diverge: a leg that
+              // failed mid-stream leaves a zero hole that truncates replay
+              // at that offset. Keep whichever copy parses furthest, not
+              // whichever response happened to arrive first.
+              auto it = state->segments.find(segment.segment_id);
+              if (it == state->segments.end()) {
+                state->segments.emplace(segment.segment_id, std::move(segment.data));
+              } else if (ParseablePrefix(segment.data) > ParseablePrefix(it->second)) {
+                it->second = std::move(segment.data);
+              }
             }
           }
           if (--state->outstanding == 0) {

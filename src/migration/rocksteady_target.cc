@@ -113,6 +113,22 @@ void RocksteadyMigrationManager::HeartbeatLoop() {
 
 void RocksteadyMigrationManager::Start() {
   stats_.start_time = target_->sim().now();
+  if (target_->draining()) {
+    // A draining master only sheds tablets. Refusing here (not just at the
+    // kMigrateTablet handler) also covers direct manager construction and
+    // closes the race where the operator drains while a migration request
+    // is in flight. Nothing global changed yet; the migration never starts.
+    LOG_INFO("migration: target %u is draining; refusing inbound migration", target_->id());
+    finished_ = true;
+    phase_ = Phase::kDone;
+    stats_.end_time = target_->sim().now();
+    if (done_) {
+      auto done = std::move(done_);
+      done_ = nullptr;
+      target_->sim().After(0, [done = std::move(done), stats = stats_] { done(stats); });
+    }
+    return;
+  }
   auto make_prepare = [this]() -> std::unique_ptr<RpcRequest> {
     auto prepare = std::make_unique<PrepareMigrationRequest>();
     prepare->table = table_;
@@ -931,6 +947,16 @@ void InstallRocksteadyHandlers(MasterServer* master) {
                                                     "the existing manager instead of restarting")
                               [master](RpcContext context) {
     auto& request = context.As<MigrateTabletRequest>();
+    if (master->draining()) {
+      // A draining master only sheds tablets; refusing here (rather than at
+      // the planner, which already never targets draining servers) closes
+      // the race where an operator drains while a MigrateTablet is in
+      // flight.
+      auto response = std::make_unique<StatusResponse>();
+      response->status = Status::kInvalidState;
+      context.reply(std::move(response));
+      return;
+    }
     auto* manager = ParkManager(
         master, std::make_shared<RocksteadyMigrationManager>(
                     master, request.table, request.start_hash, request.end_hash, request.source,

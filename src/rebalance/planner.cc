@@ -76,7 +76,11 @@ bool RebalancePlanner::CollectLoads(std::vector<uint64_t>* loads, std::vector<bo
   size_t fresh_count = 0;
   for (size_t i = 0; i < n; i++) {
     MasterServer& master = cluster_->master(i);
-    if (master.crashed()) {
+    if (master.crashed() ||
+        cluster_->coordinator().lifecycle(master.id()) != ServerLifecycle::kActive) {
+      // Hot-spot balancing is an active-members game: standbys have no load
+      // to report, draining masters are drain mode's responsibility, and a
+      // decommissioned server's idle frame would only drag down the mean.
       continue;
     }
     const auto& frame = frames_[master.id() - 1];
@@ -234,12 +238,192 @@ void RebalancePlanner::LaunchMigration(const TabletLoadSample& tablet, ServerId 
       });
 }
 
+bool RebalancePlanner::DrainTargetFree(ServerId target) const {
+  Coordinator& coordinator = cluster_->coordinator();
+  const size_t index = MasterIndexOf(target);
+  if (index >= cluster_->num_masters() || cluster_->master(index).crashed() ||
+      coordinator.lifecycle(target) != ServerLifecycle::kActive) {
+    return false;
+  }
+  // One inbound migration manager per target at a time: skip anyone already
+  // named as a target by a lineage dependency (an in-flight migration,
+  // whoever started it) or by one of our own outstanding flights (which
+  // covers the pre-registration window).
+  for (const auto& d : coordinator.dependencies()) {
+    if (d.target == target) {
+      return false;
+    }
+  }
+  for (const auto& flight : drain_flights_) {
+    if (flight.target == target) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RebalancePlanner::PlanDrain(Tick now) {
+  Coordinator& coordinator = cluster_->coordinator();
+  // Flights whose done callback never fired by the deadline are abandoned to
+  // the lease watchdog (same division of labor as the hot-spot path).
+  std::erase_if(drain_flights_, [&](const DrainFlight& flight) {
+    if (now < flight.deadline) {
+      return false;
+    }
+    stats_.drain_migrations_timed_out++;
+    return true;
+  });
+  bool any_draining = false;
+  std::vector<ServerId> draining;  // Alive draining masters, ascending id.
+  for (size_t i = 0; i < cluster_->num_masters(); i++) {
+    const ServerId id = cluster_->master(i).id();
+    if (coordinator.lifecycle(id) == ServerLifecycle::kDraining) {
+      any_draining = true;
+      if (!cluster_->master(i).crashed()) {
+        draining.push_back(id);  // Crashed ones are recovery's problem.
+      }
+    }
+  }
+  if (!any_draining && drain_flights_.empty()) {
+    return false;
+  }
+  stats_.drain_rounds++;
+  if (state_ == State::kMigrating) {
+    // A hot-spot migration is outstanding and its target is not in the
+    // drain books; wait it out so two inbound migrations never share a
+    // target. No new hot-spot moves start while drain mode owns the loop.
+    if (now >= migration_deadline_) {
+      stats_.migrations_timed_out++;
+      state_ = State::kCooldown;
+      cooldown_until_ = now + options_.cooldown_ns;
+    }
+    return true;
+  }
+
+  int capacity = options_.drain_concurrency - static_cast<int>(drain_flights_.size());
+  if (capacity <= 0 || draining.empty()) {
+    return true;
+  }
+
+  // Rank eligible targets: telemetry-fresh ones by reported load (skipping
+  // any past the overload ceilings), then telemetry-silent ones by how many
+  // map ranges they already own — the drain must make progress even before
+  // a just-activated standby has ever reported a frame. Ties break by id.
+  struct TargetRank {
+    ServerId id = 0;
+    bool has_frame = false;
+    uint64_t key = 0;
+  };
+  std::vector<TargetRank> ranked;
+  for (size_t i = 0; i < cluster_->num_masters(); i++) {
+    const ServerId id = cluster_->master(i).id();
+    if (!DrainTargetFree(id)) {
+      continue;
+    }
+    const auto& frame = frames_[id - 1];
+    if (frame.has_value() && now - frame->sampled_at <= options_.telemetry_staleness_ns) {
+      if (!TargetEligible(*frame, TabletLoadSample{})) {
+        continue;  // Overloaded right now; let it breathe this round.
+      }
+      ranked.push_back({id, true, frame->TotalOpsPerSec()});
+    } else {
+      uint64_t owned = 0;
+      for (const auto& entry : coordinator.GetAllTablets()) {
+        owned += entry.owner == id ? 1 : 0;
+      }
+      ranked.push_back({id, false, owned});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const TargetRank& a, const TargetRank& b) {
+    if (a.has_frame != b.has_frame) {
+      return a.has_frame;  // Fresh telemetry outranks guessing.
+    }
+    return a.key != b.key ? a.key < b.key : a.id < b.id;
+  });
+
+  size_t next_target = 0;
+  bool starved = false;
+  for (const ServerId source : draining) {
+    // The evacuation list: every map range still owned by the draining
+    // master and not already on the move (dependency or flight overlap),
+    // in deterministic (table, start) order.
+    std::vector<Coordinator::OwnedTablet> pending;
+    for (const auto& entry : coordinator.GetAllTablets()) {
+      if (entry.owner != source) {
+        continue;
+      }
+      bool moving = false;
+      for (const auto& d : coordinator.dependencies()) {
+        if (d.table == entry.table && d.start_hash <= entry.end_hash &&
+            entry.start_hash <= d.end_hash) {
+          moving = true;
+          break;
+        }
+      }
+      for (size_t f = 0; !moving && f < drain_flights_.size(); f++) {
+        moving = drain_flights_[f].table == entry.table &&
+                 drain_flights_[f].start_hash <= entry.end_hash &&
+                 entry.start_hash <= drain_flights_[f].end_hash;
+      }
+      if (!moving) {
+        pending.push_back(entry);
+      }
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Coordinator::OwnedTablet& a, const Coordinator::OwnedTablet& b) {
+                return a.table != b.table ? a.table < b.table : a.start_hash < b.start_hash;
+              });
+    for (const auto& entry : pending) {
+      if (capacity <= 0 || next_target >= ranked.size()) {
+        starved = !pending.empty();
+        break;
+      }
+      const ServerId target = ranked[next_target++].id;
+      const size_t source_index = MasterIndexOf(source);
+      const size_t target_index = MasterIndexOf(target);
+      stats_.drain_migrations_started++;
+      capacity--;
+      const DrainFlight flight{source,           target,
+                               entry.table,      entry.start_hash,
+                               entry.end_hash,   now + options_.drain_flight_deadline_ns};
+      drain_flights_.push_back(flight);
+      LOG_INFO("planner: drain-evacuate table %llu [%llx, %llx] %u -> %u",
+               static_cast<unsigned long long>(entry.table),
+               static_cast<unsigned long long>(entry.start_hash),
+               static_cast<unsigned long long>(entry.end_hash), source, target);
+      StartRocksteadyMigration(
+          cluster_, entry.table, entry.start_hash, entry.end_hash, source_index, target_index,
+          options_.migration, [this, alive = alive_, flight](const MigrationStats&) {
+            if (!*alive) {
+              return;
+            }
+            stats_.drain_migrations_completed++;
+            std::erase_if(drain_flights_, [&](const DrainFlight& f) {
+              return f.source == flight.source && f.target == flight.target &&
+                     f.table == flight.table && f.start_hash == flight.start_hash;
+            });
+          });
+    }
+  }
+  if (starved && next_target >= ranked.size()) {
+    stats_.drain_skipped_no_target++;
+  }
+  return true;
+}
+
 void RebalancePlanner::PlanOnce() {
   stats_.rounds++;
   const Tick now = cluster_->sim().now();
   Coordinator& coordinator = cluster_->coordinator();
   if (coordinator.crashed()) {
     return;  // No map to plan against; frames keep accumulating.
+  }
+
+  // Drain evacuation outranks hot-spot chasing: while any master is
+  // draining (or drain flights are still landing) the hot-spot machinery
+  // stands down entirely.
+  if (PlanDrain(now)) {
+    return;
   }
 
   if (state_ == State::kMigrating) {

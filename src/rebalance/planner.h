@@ -64,6 +64,15 @@ inline constexpr double kTargetMemoryFraction = 0.75;
 // Best-fit slack: a tablet whose rate exceeds the desired move by more than
 // this factor is split rather than moved whole.
 inline constexpr double kSplitOvershootFraction = 1.25;
+// Drain evacuation: concurrent outbound migrations per planning loop while
+// any master is kDraining. Each flight goes to a *distinct* target (a target
+// master hosts one inbound migration manager at a time), so concurrency is
+// also capped by the number of eligible targets.
+inline constexpr int kDrainConcurrency = 2;
+// A drain evacuation flight that has not completed by this deadline is
+// dropped from the planner's books (the lease watchdog owns the repair) so
+// the drain keeps making progress past a wedged endpoint.
+inline constexpr Tick kDrainFlightDeadlineNs = 2 * kSecond;
 
 struct RebalancerOptions {
   Tick planner_interval_ns = kPlannerIntervalNs;
@@ -79,6 +88,8 @@ struct RebalancerOptions {
   double target_memory_fraction = kTargetMemoryFraction;
   double split_overshoot_fraction = kSplitOvershootFraction;
   bool allow_splits = true;
+  int drain_concurrency = kDrainConcurrency;
+  Tick drain_flight_deadline_ns = kDrainFlightDeadlineNs;
   // Options for the Rocksteady migrations the planner launches.
   RocksteadyOptions migration;
 };
@@ -94,6 +105,12 @@ struct PlannerStats {
   uint64_t skipped_stale = 0;       // Too few fresh frames to judge.
   uint64_t skipped_no_candidate = 0;  // No movable/splittable tablet fits.
   uint64_t skipped_no_target = 0;     // No eligible target (overload/budget).
+  // Drain evacuation (rounds where some master is kDraining).
+  uint64_t drain_rounds = 0;
+  uint64_t drain_migrations_started = 0;
+  uint64_t drain_migrations_completed = 0;
+  uint64_t drain_migrations_timed_out = 0;
+  uint64_t drain_skipped_no_target = 0;  // Tablets left waiting for a target.
 };
 
 class RebalancePlanner {
@@ -129,7 +146,26 @@ class RebalancePlanner {
     ServerId source = 0;
   };
 
+  // One outstanding drain evacuation migration.
+  struct DrainFlight {
+    ServerId source = 0;
+    ServerId target = 0;
+    TableId table = 0;
+    KeyHash start_hash = 0;
+    KeyHash end_hash = 0;
+    Tick deadline = 0;
+  };
+
   void ScheduleRound();
+  // Drain evacuation. Returns true when drain mode owns this round (a
+  // kDraining master exists or drain flights are outstanding) — the hot-spot
+  // logic then stands down entirely, which also guarantees drain and
+  // hot-spot migrations never race for the same target.
+  bool PlanDrain(Tick now);
+  // True if `target` may receive a drain flight now: alive, kActive, not
+  // named by any lineage dependency as a target, and not already holding one
+  // of our outstanding flights.
+  bool DrainTargetFree(ServerId target) const;
   // Frames fresh enough to plan on, one per alive master; empty entries for
   // the rest. Also returns the loads (ops/s) for present frames.
   bool CollectLoads(std::vector<uint64_t>* loads, std::vector<bool>* fresh, Tick now);
@@ -154,6 +190,7 @@ class RebalancePlanner {
   int imbalanced_rounds_ = 0;
   Tick cooldown_until_ = 0;
   Tick migration_deadline_ = 0;
+  std::vector<DrainFlight> drain_flights_;
   std::vector<std::optional<LoadTelemetryFrame>> frames_;  // Index = ServerId - 1.
   // Guards the migration-done callback across planner destruction.
   std::shared_ptr<bool> alive_;

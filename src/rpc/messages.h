@@ -49,6 +49,12 @@ enum class Opcode : uint8_t {
   // Baseline (pre-existing RAMCloud) migration.
   kBaselineMigrate,  // Client -> source: start source-driven migration.
   kBaselineReplay,   // Source -> target: batch of records to replay.
+  // Cluster operations (drain/decommission protocol). Appended last so the
+  // pre-existing opcodes keep their values (recorded bench trace hashes
+  // depend on wire timing, not values, but stability costs nothing).
+  kBeginDrain,      // Operator -> coordinator: start evacuating a master.
+  kActivateServer,  // Operator -> coordinator: admit standby / cancel drain.
+  kDrainStatus,     // Operator -> coordinator: poll drain progress.
 };
 
 // Fixed per-RPC wire overhead (headers, opcode, ids).
@@ -154,6 +160,9 @@ struct WriteRequest : RpcRequest {
 
 struct WriteResponse : RpcResponse {
   Version version = 0;
+  // For Status::kRetryLater (tablet still replaying recovered data):
+  // absolute simulated time after which to re-issue.
+  Tick retry_after = 0;
 
   ROCKSTEADY_CLONEABLE_RESPONSE(WriteResponse)
 };
@@ -169,6 +178,9 @@ struct RemoveRequest : RpcRequest {
 
 struct RemoveResponse : RpcResponse {
   Version version = 0;
+  // For Status::kRetryLater (tablet still replaying recovered data):
+  // absolute simulated time after which to re-issue.
+  Tick retry_after = 0;
 
   ROCKSTEADY_CLONEABLE_RESPONSE(RemoveResponse)
 };
@@ -386,6 +398,45 @@ struct AbortMigrationRequest : RpcRequest {
 
   Opcode op() const override { return Opcode::kAbortMigration; }
   size_t WireSize() const override { return kRpcHeaderBytes + 16; }
+};
+
+// --- Cluster operations (drain/decommission protocol). ---
+
+struct BeginDrainRequest : RpcRequest {
+  // Operator/orchestrator -> coordinator: mark `server` kDraining. The
+  // coordinator latches the flag in its quorum-replicated metadata; the
+  // rebalance planner then mass-evacuates the server's tablets.
+  ServerId server = 0;
+
+  Opcode op() const override { return Opcode::kBeginDrain; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 4; }
+};
+
+struct ActivateServerRequest : RpcRequest {
+  // Operator/orchestrator -> coordinator: move `server` to kActive (admit a
+  // standby into placement, cancel a drain, or re-commission).
+  ServerId server = 0;
+
+  Opcode op() const override { return Opcode::kActivateServer; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 4; }
+};
+
+struct DrainStatusRequest : RpcRequest {
+  ServerId server = 0;
+
+  Opcode op() const override { return Opcode::kDrainStatus; }
+  size_t WireSize() const override { return kRpcHeaderBytes + 4; }
+};
+
+struct DrainStatusResponse : RpcResponse {
+  // Numeric ServerLifecycle value (the enum lives with the coordinator; the
+  // wire carries the raw byte).
+  uint8_t lifecycle = 0;
+  uint32_t tablets_remaining = 0;       // Map ranges still owned.
+  uint32_t dependencies_remaining = 0;  // Lineage edges still naming it.
+
+  size_t WireSize() const override { return kRpcHeaderBytes + 9; }
+  ROCKSTEADY_CLONEABLE_RESPONSE(DrainStatusResponse)
 };
 
 // ------------------------------------------------- Rocksteady migration.

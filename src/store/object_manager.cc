@@ -132,7 +132,7 @@ Result<Version> ObjectManager::Remove(TableId table, std::string_view key, KeyHa
   return version;
 }
 
-bool ObjectManager::Replay(const LogEntryView& entry, SideLog* side_log) {
+bool ObjectManager::Replay(const LogEntryView& entry, SideLog* side_log, LogRef* out_ref) {
   const KeyHash hash = entry.key_hash();
   const LogRef old_ref = hash_table_.Lookup(hash);
   if (old_ref.valid()) {
@@ -158,6 +158,9 @@ bool ObjectManager::Replay(const LogEntryView& entry, SideLog* side_log) {
       log_.MarkDead(old_ref);
     }
     version_horizon_ = std::max(version_horizon_, entry.version());
+    if (out_ref != nullptr) {
+      *out_ref = *ref;
+    }
     return true;
   }
   assert(entry.type() == LogEntryType::kObject);
@@ -174,6 +177,9 @@ bool ObjectManager::Replay(const LogEntryView& entry, SideLog* side_log) {
     log_.MarkDead(old_ref);
   }
   version_horizon_ = std::max(version_horizon_, entry.version());
+  if (out_ref != nullptr) {
+    *out_ref = *ref;
+  }
   return true;
 }
 

@@ -111,12 +111,9 @@ TEST(ClusterTest, LoadTableDistributesByHash) {
   // Table split across two masters at the hash midpoint.
   cluster.CreateTable(1, 0);
   cluster.coordinator().SplitTablet(1, 1ull << 63);
-  cluster.coordinator().UpdateOwnership(1, 1ull << 63, ~0ull, cluster.master(1).id());
-  cluster.master(1).objects().tablets().Add(
-      Tablet{1, 1ull << 63, ~0ull, TabletState::kNormal});
-  cluster.master(0).objects().tablets().Find(1, 0);  // Lower half stays.
-  // Remove upper tablet from master 0 (ownership moved pre-load).
-  cluster.master(0).objects().tablets().Remove(1, 1ull << 63, ~0ull);
+  // Audit-safe reassignment: installs the upper half on master 1, repoints
+  // the map, and drops master 0's mirror. Lower half stays on master 0.
+  cluster.coordinator().ReassignTablet(1, 1ull << 63, ~0ull, cluster.master(1).id());
   cluster.LoadTable(1, 1'000, 30, 100);
   const uint64_t on0 = cluster.master(0).objects().object_count();
   const uint64_t on1 = cluster.master(1).objects().object_count();
@@ -138,10 +135,7 @@ TEST(ClusterTest, MultiGetSpansServers) {
   Cluster cluster(SmallCluster());
   cluster.CreateTable(1, 0);
   cluster.coordinator().SplitTablet(1, 1ull << 63);
-  cluster.coordinator().UpdateOwnership(1, 1ull << 63, ~0ull, cluster.master(1).id());
-  cluster.master(0).objects().tablets().Remove(1, 1ull << 63, ~0ull);
-  cluster.master(1).objects().tablets().Add(
-      Tablet{1, 1ull << 63, ~0ull, TabletState::kNormal});
+  cluster.coordinator().ReassignTablet(1, 1ull << 63, ~0ull, cluster.master(1).id());
   cluster.LoadTable(1, 200, 30, 100);
 
   std::vector<std::string> keys;

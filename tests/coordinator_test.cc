@@ -54,8 +54,12 @@ TEST(CoordinatorTest, UpdateOwnershipRequiresExactRange) {
   cluster.coordinator().SplitTablet(1, 1000);
   EXPECT_EQ(cluster.coordinator().UpdateOwnership(1, 0, 500, cluster.master(1).id()),
             Status::kTableNotFound);  // Not a tablet boundary.
+  // Protocol callers install the tablet on the new owner *before* repointing
+  // the map — the cross-layer audit checks exactly this order.
+  cluster.master(1).objects().tablets().Add(Tablet{1, 0, 999, TabletState::kNormal});
   EXPECT_EQ(cluster.coordinator().UpdateOwnership(1, 0, 999, cluster.master(1).id()),
             Status::kOk);
+  cluster.master(0).objects().tablets().Remove(1, 0, 999);
   EXPECT_EQ(cluster.coordinator().OwnerOf(1, 42), cluster.master(1).id());
   EXPECT_EQ(cluster.coordinator().OwnerOf(1, 2000), cluster.master(0).id());
 }
@@ -161,6 +165,9 @@ TEST(CoordinatorTest, GetTableConfigRpcFromClient) {
 TEST(CoordinatorTest, UpdateOwnershipRpc) {
   Cluster cluster(SmallCluster());
   cluster.CreateTable(1, 0);
+  // Install the range on the new owner first so the ownership flip keeps
+  // the cross-layer audit true (same order as a real migration commit).
+  cluster.master(3).objects().tablets().Add(Tablet{1, 0, ~0ull, TabletState::kNormal});
   auto request = std::make_unique<UpdateOwnershipRequest>();
   request->table = 1;
   request->start_hash = 0;
@@ -174,6 +181,7 @@ TEST(CoordinatorTest, UpdateOwnershipRpc) {
   cluster.sim().Run();
   EXPECT_EQ(status, Status::kOk);
   EXPECT_EQ(cluster.coordinator().OwnerOf(1, 5), cluster.master(3).id());
+  cluster.master(0).objects().tablets().Remove(1, 0, ~0ull);
 }
 
 }  // namespace

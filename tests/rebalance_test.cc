@@ -512,10 +512,9 @@ RebalanceChaosDigest RunRebalanceChaosEpisode(uint64_t seed) {
       const auto& t = tablets[i];
       const ServerId owner = cluster.master(i % 4).id();
       if (t.owner != owner) {
-        cluster.coordinator().UpdateOwnership(t.table, t.start_hash, t.end_hash, owner);
-        cluster.master(0).objects().tablets().Remove(t.table, t.start_hash, t.end_hash);
-        cluster.coordinator().master(owner)->objects().tablets().Add(
-            Tablet{t.table, t.start_hash, t.end_hash, TabletState::kNormal});
+        // Audit-safe reassignment: tablet lands on the new owner before the
+        // map repoints.
+        cluster.coordinator().ReassignTablet(t.table, t.start_hash, t.end_hash, owner);
       }
     }
   }
