@@ -44,6 +44,12 @@ struct ScenarioResult {
   uint64_t trace_hash = 0;
   uint64_t allocs = 0;
   uint64_t fn_fallbacks = 0;  // InlineFunction closures that heap-boxed.
+  // Lane scenarios only: the critical-path model from an unthreaded 4-lane
+  // run (this container has one CPU, so threaded wall-clock measures
+  // scheduler contention, not parallel speedup — see EXPERIMENTS.md).
+  int lanes = 0;
+  double model_parallel_wall_s = 0;  // Sum over windows of (max lane busy + merge).
+  double model_speedup = 0;          // Single-lane wall / model_parallel_wall_s.
 };
 
 void Report(const char* scenario, uint64_t seed, const ScenarioResult& r) {
@@ -53,12 +59,53 @@ void Report(const char* scenario, uint64_t seed, const ScenarioResult& r) {
   std::printf(
       "{\"scenario\":\"%s\",\"seed\":%" PRIu64 ",\"events\":%zu,\"wall_s\":%.6f,"
       "\"events_per_s\":%.0f,\"sim_s\":%.6f,\"trace_hash\":\"0x%016" PRIx64 "\","
-      "\"allocs\":%" PRIu64 ",\"allocs_per_event\":%.3f,\"fn_fallbacks\":%" PRIu64 "}\n",
+      "\"allocs\":%" PRIu64 ",\"allocs_per_event\":%.3f,\"fn_fallbacks\":%" PRIu64,
       scenario, seed, r.events, r.wall_s, events_per_s,
       static_cast<double>(r.sim_ns) / 1e9, r.trace_hash, r.allocs, allocs_per_event,
       r.fn_fallbacks);
+  if (r.lanes > 0) {
+    std::printf(",\"lanes\":%d,\"model_parallel_wall_s\":%.6f,\"model_events_per_s\":%.0f,"
+                "\"model_speedup\":%.2f",
+                r.lanes, r.model_parallel_wall_s,
+                r.model_parallel_wall_s > 0
+                    ? static_cast<double>(r.events) / r.model_parallel_wall_s
+                    : 0,
+                r.model_speedup);
+  }
+  std::printf("}\n");
   std::fflush(stdout);
 }
+
+// Critical-path accumulator for unthreaded lane runs: with LaneSet's
+// PhaseHooks it times each lane's window slice and the sequential merge,
+// and models a perfectly parallel execution as sum over windows of
+// (max lane busy + merge) — the schedule's actual critical path, free of
+// this container's single-CPU thread contention.
+class CriticalPathModel {
+ public:
+  void Install(LaneSet* lanes) {
+    LaneSet::PhaseHooks hooks;
+    hooks.lane_begin = [this](int) { mark_ = std::chrono::steady_clock::now(); };
+    hooks.lane_end = [this](int) { window_max_s_ = std::max(window_max_s_, Lap()); };
+    hooks.merge_begin = [this]() { mark_ = std::chrono::steady_clock::now(); };
+    hooks.merge_end = [this]() {
+      critical_s_ += window_max_s_ + Lap();
+      window_max_s_ = 0;
+    };
+    lanes->set_phase_hooks(std::move(hooks));
+  }
+
+  double critical_s() const { return critical_s_; }
+
+ private:
+  double Lap() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - mark_).count();
+  }
+
+  std::chrono::steady_clock::time_point mark_;
+  double window_max_s_ = 0;
+  double critical_s_ = 0;
+};
 
 // Times `run` (the event loop only — setup is excluded) and snapshots the
 // global allocation counter around it.
@@ -116,6 +163,36 @@ ScenarioResult RunDispatch(uint64_t seed, bool smoke) {
   return result;
 }
 
+// --- dispatch_lanes: the dispatch load sharded across event lanes. ---
+
+ScenarioResult RunDispatchLanes(uint64_t seed, bool smoke, int lanes, bool threads,
+                                CriticalPathModel* model = nullptr) {
+  constexpr int kChains = 32;
+  constexpr Tick kPeriod = 100;
+  const Tick stop = smoke ? kMillisecond : 10 * kMillisecond;
+
+  LaneSet::Config lane_config;
+  lane_config.lanes = lanes;
+  lane_config.threads = threads;
+  lane_config.lookahead = 1'150;  // The cluster's cross-lane horizon.
+  lane_config.seed = seed;
+  LaneSet set(lane_config);
+  if (model != nullptr) {
+    model->Install(&set);
+  }
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (int i = 0; i < kChains; i++) {
+    chains.push_back(std::make_unique<Chain>(&set.lane_sim(i % lanes), kPeriod, stop));
+    chains.back()->Start(static_cast<Tick>(i));  // Staggered starts.
+  }
+  ScenarioResult result;
+  Measure([&] { set.Run(); }, &result);
+  result.events = set.events_processed();
+  result.sim_ns = set.now();
+  result.trace_hash = set.trace_hash();
+  return result;
+}
+
 // --- ycsb_b / ycsb_migration: the full stack. ---
 
 struct ClusterScenario {
@@ -124,16 +201,26 @@ struct ClusterScenario {
   Tick stop_time = 0;
   std::optional<Tick> migrate_at;  // Upper half of the table, master 0 -> 1.
   bool spread = false;             // Spread the table across all masters.
+  int masters = 4;
+  int clients = 2;
+  int lanes = 0;                   // > 0: sharded execution on that many lanes.
+  bool lane_threads = false;
 };
 
-ScenarioResult RunCluster(uint64_t seed, const ClusterScenario& scenario) {
+ScenarioResult RunCluster(uint64_t seed, const ClusterScenario& scenario,
+                          CriticalPathModel* model = nullptr) {
   ClusterConfig config;
-  config.num_masters = 4;
-  config.num_clients = 2;
+  config.num_masters = scenario.masters;
+  config.num_clients = scenario.clients;
   config.seed = seed;
   config.master.hash_table_log2_buckets = 15;
   config.master.segment_size = 256 * 1024;
+  config.lanes = scenario.lanes;
+  config.lane_threads = scenario.lane_threads;
   Cluster cluster(config);
+  if (model != nullptr) {
+    model->Install(cluster.lanes());
+  }
   EnableMigration(&cluster);
   cluster.CreateTable(kTable, 0);
   if (scenario.spread) {
@@ -145,40 +232,78 @@ ScenarioResult RunCluster(uint64_t seed, const ClusterScenario& scenario) {
 
   YcsbConfig ycsb = YcsbConfig::WorkloadB();
   ycsb.num_records = scenario.records;
-  YcsbWorkload workload_a(ycsb);
-  YcsbWorkload workload_b(ycsb);
   ClientActorConfig actor_config;
   actor_config.ops_per_second = scenario.ops_per_second;
   actor_config.stop_time = scenario.stop_time;
-  ClientActor actor_a(kTable, &cluster.client(0), &workload_a, actor_config);
-  ClientActor actor_b(kTable, &cluster.client(1), &workload_b, actor_config);
-  actor_a.Start();
-  actor_b.Start();
+  std::vector<std::unique_ptr<YcsbWorkload>> workloads;
+  std::vector<std::unique_ptr<ClientActor>> actors;
+  for (int c = 0; c < scenario.clients; c++) {
+    workloads.push_back(std::make_unique<YcsbWorkload>(ycsb));
+    actors.push_back(std::make_unique<ClientActor>(kTable, &cluster.client(static_cast<size_t>(c)),
+                                                   workloads.back().get(), actor_config));
+    actors.back()->Start();
+  }
 
   std::optional<MigrationStats> stats;
   if (scenario.migrate_at.has_value()) {
-    cluster.sim().At(*scenario.migrate_at, [&] {
-      StartRocksteadyMigration(&cluster, kTable, kMid, ~0ull, 0, 1, RocksteadyOptions{},
-                               [&](const MigrationStats& s) { stats = s; });
-    });
+    if (scenario.lanes > 0) {
+      // Lane mode: cross-cutting control actions go through safe points.
+      cluster.AtSafePoint(*scenario.migrate_at, [&] {
+        StartRocksteadyMigration(&cluster, kTable, kMid, ~0ull, 0, 1, RocksteadyOptions{},
+                                 [&](const MigrationStats& s) { stats = s; });
+      });
+    } else {
+      cluster.sim().At(*scenario.migrate_at, [&] {
+        StartRocksteadyMigration(&cluster, kTable, kMid, ~0ull, 0, 1, RocksteadyOptions{},
+                                 [&](const MigrationStats& s) { stats = s; });
+      });
+    }
   }
 
   ScenarioResult result;
-  const size_t events_before = cluster.sim().events_processed();
-  Measure([&] { cluster.sim().Run(); }, &result);
-  result.events = cluster.sim().events_processed() - events_before;
-  result.sim_ns = cluster.sim().now();
-  result.trace_hash = cluster.sim().trace_hash();
+  const size_t events_before = cluster.events_processed();
+  Measure([&] { cluster.Run(); }, &result);
+  result.events = cluster.events_processed() - events_before;
+  result.sim_ns = cluster.now();
+  result.trace_hash = cluster.trace_hash();
   if (scenario.migrate_at.has_value() && !stats.has_value()) {
     std::fprintf(stderr, "engine_throughput: migration did not complete (seed %" PRIu64 ")\n",
                  seed);
     std::exit(1);
   }
-  if (actor_a.completed() + actor_b.completed() == 0) {
+  uint64_t completed = 0;
+  for (const auto& actor : actors) {
+    completed += actor->completed();
+  }
+  if (completed == 0) {
     std::fprintf(stderr, "engine_throughput: no client ops completed (seed %" PRIu64 ")\n", seed);
     std::exit(1);
   }
   return result;
+}
+
+// Runs a lane scenario's three configurations — single-lane reference,
+// 4-lane unthreaded (for the critical-path model), 4-lane threaded (the
+// reported run) — and dies if any trace hash diverges: identical schedules
+// across lane counts and threading is the sharded engine's contract.
+template <typename RunFn>
+ScenarioResult RunLaneChecked(const char* scenario, RunFn&& run) {
+  const ScenarioResult lane1 = run(1, false, nullptr);
+  CriticalPathModel model;
+  const ScenarioResult lane4 = run(4, false, &model);
+  ScenarioResult threaded = run(4, true, nullptr);
+  if (lane1.trace_hash != lane4.trace_hash || lane1.trace_hash != threaded.trace_hash) {
+    std::fprintf(stderr,
+                 "engine_throughput: %s trace hashes diverged across lane configs "
+                 "(lanes1 0x%016" PRIx64 ", lanes4 0x%016" PRIx64 ", threaded 0x%016" PRIx64 ")\n",
+                 scenario, lane1.trace_hash, lane4.trace_hash, threaded.trace_hash);
+    std::exit(1);
+  }
+  threaded.lanes = 4;
+  threaded.model_parallel_wall_s = model.critical_s();
+  threaded.model_speedup =
+      model.critical_s() > 0 ? lane1.wall_s / model.critical_s() : 0;
+  return threaded;
 }
 
 int Main(int argc, char** argv) {
@@ -194,6 +319,11 @@ int Main(int argc, char** argv) {
 
   Report("dispatch", 42, RunDispatch(42, smoke));
 
+  Report("dispatch_lanes", 42,
+         RunLaneChecked("dispatch_lanes", [&](int lanes, bool threads, CriticalPathModel* model) {
+           return RunDispatchLanes(42, smoke, lanes, threads, model);
+         }));
+
   ClusterScenario steady;
   steady.spread = true;
   steady.records = smoke ? 4'000 : 20'000;
@@ -208,6 +338,36 @@ int Main(int argc, char** argv) {
   Report("ycsb_migration", 42, RunCluster(42, migration));
   if (!smoke) {
     Report("ycsb_migration", 7, RunCluster(7, migration));
+  }
+
+  Report("ycsb_migration_lanes", 42,
+         RunLaneChecked("ycsb_migration_lanes",
+                        [&](int lanes, bool threads, CriticalPathModel* model) {
+                          ClusterScenario s = migration;
+                          s.lanes = lanes;
+                          s.lane_threads = threads;
+                          return RunCluster(42, s, model);
+                        }));
+
+  if (!smoke) {
+    // The paper-shape scaling point: 24 masters (Figure 15's cluster size)
+    // under spread YCSB-B load, sharded across 4 lanes. The model_speedup
+    // field is the acceptance number for parallel lane execution.
+    ClusterScenario fig15;
+    fig15.spread = true;
+    fig15.masters = 24;
+    fig15.clients = 8;
+    fig15.records = 48'000;
+    fig15.ops_per_second = 800'000;  // 6.4M ops/s aggregate keeps lanes busy.
+    fig15.stop_time = 60 * kMillisecond;
+    Report("fig15_24srv_lanes", 42,
+           RunLaneChecked("fig15_24srv_lanes",
+                          [&](int lanes, bool threads, CriticalPathModel* model) {
+                            ClusterScenario s = fig15;
+                            s.lanes = lanes;
+                            s.lane_threads = threads;
+                            return RunCluster(42, s, model);
+                          }));
   }
   return 0;
 }

@@ -3,9 +3,9 @@
 #  1. RelWithDebInfo with -Werror and ASan+UBSan (full suite + chaos runs),
 #  2. Debug with -Werror and ROCKSTEADY_AUDIT=ON (DCHECKs + invariant audits
 #     enabled, death tests active),
-#  3. RelWithDebInfo with TSan (fast subset: the kernel is single-threaded
-#     by design, so this leg proves no real threading creeps in and keeps a
-#     working TSan configuration exercised for the sharded-execution work).
+#  3. RelWithDebInfo with TSan (fast subset: the determinism core plus the
+#     threaded-lane suite, which drives real worker threads through the
+#     lane barriers — the sharded-execution race gate).
 # Run from anywhere; builds land in build-asan/, build-audit/ and
 # build-tsan/ under the repo root. Any failure aborts with a nonzero exit.
 set -euo pipefail
@@ -76,6 +76,13 @@ step "overload protection: admission control, load shedding, memory budget"
 step "rpc dedup cache stays bounded"
 "${ROOT}/build-asan/tests/rpc_test" --gtest_filter='*Dedup*'
 
+step "threaded lanes: 4-lane worker-thread runs match the single-lane schedule"
+# The full 20-seed x {ycsb, migration, faults} suite runs under ctest; this
+# leg re-runs a slice with ASan explicitly so a lane/barrier memory bug
+# cannot hide behind a ctest filter change.
+"${ROOT}/build-asan/tests/lane_determinism_test" \
+  --gtest_filter='*_s10:*_s11:*_s12:*_s13:LaneTieBreakTest.*'
+
 step "engine bench smoke (~2s; trace-hash divergence is a hard failure)"
 # Compare against the recorded trajectory without mutating it: the smoke
 # entry lands in a scratch copy, so CI stays read-only on BENCH_engine.json.
@@ -108,8 +115,13 @@ cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
   -DROCKSTEADY_SANITIZE=thread
 cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
 
-step "test: TSan fast subset (determinism core + request path)"
+step "test: TSan fast subset (determinism core + threaded lane barriers)"
 "${ROOT}/build-tsan/tests/sim_determinism_test"
 "${ROOT}/build-tsan/tests/rpc_test"
+# The multi-lane suite under TSan is the race gate for sharded execution:
+# every parameterized case runs 4 threaded lanes through the window/merge
+# barriers. A subset of seeds keeps the leg fast; ctest runs all 20.
+"${ROOT}/build-tsan/tests/lane_determinism_test" \
+  --gtest_filter='*_s0:*_s1:*_s2:*_s3:*_s4:*_s5:*_s6:*_s7:LaneTieBreakTest.*'
 
 step "all checks passed"

@@ -7,9 +7,11 @@
 
 namespace rocksteady {
 
-RamCloudClient::RamCloudClient(Coordinator* coordinator, const CostModel* costs)
+RamCloudClient::RamCloudClient(Coordinator* coordinator, const CostModel* costs, int lane)
     : coordinator_(coordinator), costs_(costs) {
-  endpoint_ = coordinator_->rpc().CreateEndpoint(nullptr);
+  endpoint_ = coordinator_->rpc().CreateEndpoint(nullptr, lane);
+  sim_ = endpoint_->sim();
+  rng_ = &coordinator_->rpc().CallerRng(endpoint_->node());
 }
 
 bool RamCloudClient::CachedOwner(TableId table, KeyHash hash, NodeId* node) const {
@@ -86,7 +88,7 @@ void RamCloudClient::Finish(RetryState* s, Status status) {
 }
 
 void RamCloudClient::Report(RetryState* s, Status status, Tick hint) {
-  Simulator& sim = coordinator_->sim();
+  Simulator& sim = *sim_;
   if (status == Status::kOk) {
     ops_completed_++;
     Finish(s, status);
@@ -115,8 +117,8 @@ void RamCloudClient::Report(RetryState* s, Status status, Tick hint) {
     }
     case Status::kRetryLater: {
       retry_later_retries_++;
-      const Tick jitter = sim.rng().UniformRange(costs_->retry_backoff_min_ns,
-                                                 costs_->retry_backoff_max_ns);
+      const Tick jitter = rng_->UniformRange(costs_->retry_backoff_min_ns,
+                                             costs_->retry_backoff_max_ns);
       const Tick at = std::max(hint, sim.now()) + jitter;
       sim.At(at, [this, s] { Retry(s); });
       return;

@@ -26,13 +26,20 @@ class RamCloudClient {
   using DoneCallback = std::function<void(Status)>;
   using ReadCallback = std::function<void(Status, const std::string& value)>;
 
-  RamCloudClient(Coordinator* coordinator, const CostModel* costs);
+  // `lane` places this client machine's events on that event lane under
+  // sharded execution; ignored in legacy single-queue mode.
+  RamCloudClient(Coordinator* coordinator, const CostModel* costs, int lane = 0);
 
   RamCloudClient(const RamCloudClient&) = delete;
   RamCloudClient& operator=(const RamCloudClient&) = delete;
 
   NodeId node() const { return endpoint_->node(); }
   Coordinator& coordinator() const { return *coordinator_; }
+  // This client's lane simulator and RNG stream — everything the client (or
+  // a workload actor driving it) schedules or draws must go through these,
+  // never the coordinator's lane.
+  Simulator& sim() { return *sim_; }
+  Random& rng() { return *rng_; }
 
   // Key/value parameters are views: the client copies them into pooled
   // per-op buffers before returning, so callers may pass temporaries and the
@@ -106,6 +113,8 @@ class RamCloudClient {
   Coordinator* coordinator_;
   const CostModel* costs_;
   RpcEndpoint* endpoint_;
+  Simulator* sim_ = nullptr;  // This client's lane simulator.
+  Random* rng_ = nullptr;     // This client's RNG stream.
   std::vector<TabletConfigEntry> cache_;
   // RetryState pool: states_ owns storage for the life of the client (so a
   // raw RetryState* captured in an in-flight closure can never dangle);

@@ -7,13 +7,40 @@
 
 namespace rocksteady {
 
+namespace {
+
+std::unique_ptr<LaneSet> MakeLanes(const ClusterConfig& config) {
+  if (config.lanes <= 0) {
+    return nullptr;
+  }
+  LaneSet::Config lane_config;
+  lane_config.lanes = config.lanes;
+  lane_config.threads = config.lane_threads;
+  // Conservative safe horizon: the minimum cross-lane delivery latency.
+  // Every Network::Send charges at least net_per_message_ns of
+  // serialization plus propagation, so no in-window event can make another
+  // lane's event land inside the window.
+  lane_config.lookahead = config.costs.net_per_message_ns + config.costs.net_propagation_ns;
+  lane_config.seed = config.seed;
+  return std::make_unique<LaneSet>(lane_config);
+}
+
+}  // namespace
+
 Cluster::Cluster(const ClusterConfig& config)
-    : config_(config), sim_(config.seed), net_(&sim_, &config_.costs),
-      rpc_(&sim_, &net_, &config_.costs) {
-  coordinator_ = std::make_unique<Coordinator>(&sim_, &rpc_, &config_.costs);
+    : config_(config), lanes_(MakeLanes(config)), sim_(config.seed),
+      net_(RootSim(), &config_.costs), rpc_(RootSim(), &net_, &config_.costs) {
+  if (lanes_ != nullptr) {
+    net_.SetLanes(lanes_.get());
+    rpc_.SetLanes(lanes_.get());
+  }
+  const int lanes = lanes_ != nullptr ? lanes_->lanes() : 1;
+  // The coordinator lives on lane 0; servers and clients round-robin across
+  // lanes so the paper-shape cluster (24 servers) spreads evenly.
+  coordinator_ = std::make_unique<Coordinator>(RootSim(), &rpc_, &config_.costs);
   for (int i = 0; i < config_.num_masters; i++) {
-    masters_.push_back(
-        std::make_unique<MasterServer>(coordinator_.get(), &config_.costs, config_.master));
+    masters_.push_back(std::make_unique<MasterServer>(coordinator_.get(), &config_.costs,
+                                                      config_.master, i % lanes));
   }
   // Backup placement: master i replicates to the next R servers (mod N),
   // never itself. With fewer than R+1 servers, replication degrades to the
@@ -26,8 +53,23 @@ Cluster::Cluster(const ClusterConfig& config)
     masters_[i]->replicas().SetBackups(std::move(backups));
   }
   for (int i = 0; i < config_.num_clients; i++) {
-    clients_.push_back(std::make_unique<RamCloudClient>(coordinator_.get(), &config_.costs));
+    clients_.push_back(
+        std::make_unique<RamCloudClient>(coordinator_.get(), &config_.costs, i % lanes));
   }
+}
+
+size_t Cluster::Run() { return lanes_ != nullptr ? lanes_->Run() : sim_.Run(); }
+
+size_t Cluster::RunUntil(Tick t) {
+  return lanes_ != nullptr ? lanes_->RunUntil(t) : sim_.RunUntil(t);
+}
+
+void Cluster::AtSafePoint(Tick t, std::function<void()> fn) {
+  if (lanes_ != nullptr) {
+    lanes_->AtSafePoint(t, std::move(fn));
+    return;
+  }
+  sim_.At(t, [fn = std::move(fn)] { fn(); });
 }
 
 void Cluster::CreateTable(TableId table, size_t master_index) {

@@ -8,17 +8,19 @@
 namespace rocksteady {
 
 MasterServer::MasterServer(Coordinator* coordinator, const CostModel* costs,
-                           const MasterConfig& config)
+                           const MasterConfig& config, int lane)
     : coordinator_(coordinator),
       costs_(costs),
       config_(config),
       objects_(ObjectManagerOptions{config.hash_table_log2_buckets, config.segment_size}),
       client_latency_(costs->latency_window_ns, costs->latency_window_buckets) {
-  cores_ = std::make_unique<CoreSet>(&coordinator_->sim(), config.num_workers);
+  sim_ = coordinator_->rpc().SimOfLane(lane);
+  cores_ = std::make_unique<CoreSet>(sim_, config.num_workers);
   cores_->SetQueueBound(Priority::kClient, config.client_queue_hard_limit);
   cores_->SetQueueBound(Priority::kReplication, config.replication_queue_bound);
   cores_->SetQueueBound(Priority::kMigration, config.migration_queue_bound);
-  endpoint_ = coordinator_->rpc().CreateEndpoint(cores_.get());
+  endpoint_ = coordinator_->rpc().CreateEndpoint(cores_.get(), lane);
+  rng_ = &coordinator_->rpc().CallerRng(endpoint_->node());
   id_ = coordinator_->RegisterMaster(this);
   replicas_ = std::make_unique<ReplicaManager>(&coordinator_->rpc(), id_, endpoint_->node());
   RegisterHandlers();

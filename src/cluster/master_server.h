@@ -80,14 +80,21 @@ class MasterServer {
     }
   };
 
-  MasterServer(Coordinator* coordinator, const CostModel* costs, const MasterConfig& config);
+  // `lane` places the server's events (cores, NIC, timers) on that event
+  // lane under sharded execution; ignored in legacy single-queue mode.
+  MasterServer(Coordinator* coordinator, const CostModel* costs, const MasterConfig& config,
+               int lane = 0);
 
   MasterServer(const MasterServer&) = delete;
   MasterServer& operator=(const MasterServer&) = delete;
 
   ServerId id() const { return id_; }
   NodeId node() const { return endpoint_->node(); }
-  Simulator& sim() { return coordinator_->sim(); }
+  Simulator& sim() { return *sim_; }
+  // The RNG this server's event-path code must draw from: its private
+  // per-node stream in lane mode (draws in this node's event order are
+  // lane-invariant), the shared simulator stream otherwise.
+  Random& rng() { return *rng_; }
   RpcSystem& rpc() { return coordinator_->rpc(); }
   Coordinator& coordinator() { return *coordinator_; }
   const CostModel& costs() const { return *costs_; }
@@ -214,6 +221,8 @@ class MasterServer {
   Coordinator* coordinator_;
   const CostModel* costs_;
   MasterConfig config_;
+  Simulator* sim_ = nullptr;  // This server's lane simulator.
+  Random* rng_ = nullptr;     // This server's RNG stream (see rng()).
   ServerId id_ = kInvalidServerId;
   std::unique_ptr<CoreSet> cores_;
   RpcEndpoint* endpoint_ = nullptr;

@@ -16,7 +16,7 @@ void ReplicaManager::Send(uint32_t segment_id, uint32_t offset, std::vector<uint
   }
   bytes_replicated_ += data.size() * backups_.size();
   // Serialize through the per-master replication pipeline (§2.3: ~380 MB/s).
-  Simulator* sim = rpc_->sim();
+  Simulator* sim = rpc_->SimFor(owner_node_);
   const Tick pipeline_cost = static_cast<Tick>(
       rpc_->costs()->replication_pipeline_per_byte_ns * static_cast<double>(data.size()));
   Tick& pipeline = bulk ? bulk_pipeline_free_at_ : pipeline_free_at_;
@@ -61,7 +61,7 @@ void ReplicaManager::SendToBackup(NodeId backup, uint32_t segment_id, uint32_t o
   request->data = *data;  // Each backup (and each attempt) gets its own copy.
   request->seal = seal;
   request->bulk = bulk;
-  Simulator* sim = rpc_->sim();
+  Simulator* sim = rpc_->SimFor(owner_node_);
   rpc_->Call(
       owner_node_, backup, std::move(request),
       [this, backup, segment_id, offset, data, seal, bulk, attempt, sim,
@@ -83,7 +83,7 @@ void ReplicaManager::SendToBackup(NodeId backup, uint32_t segment_id, uint32_t o
         // re-issuing the same idempotent write is always safe.
         const Tick backoff = std::min<Tick>(rpc_->costs()->retry_backoff_min_ns << attempt,
                                             rpc_->costs()->wrong_server_backoff_max_ns) +
-                             sim->rng().Uniform(rpc_->costs()->retry_backoff_min_ns);
+                             rpc_->CallerRng(owner_node_).Uniform(rpc_->costs()->retry_backoff_min_ns);
         sim->After(backoff, [this, backup, segment_id, offset, data, seal, bulk, attempt,
                              done = std::move(done)]() mutable {
           SendToBackup(backup, segment_id, offset, std::move(data), seal, bulk, attempt + 1,

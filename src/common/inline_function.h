@@ -17,6 +17,7 @@
 #ifndef ROCKSTEADY_SRC_COMMON_INLINE_FUNCTION_H_
 #define ROCKSTEADY_SRC_COMMON_INLINE_FUNCTION_H_
 
+#include <atomic>  // lint:allow-nondeterminism — telemetry counter only; never read on the hot path.
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -29,12 +30,15 @@ namespace rocksteady {
 
 // Incremented whenever an InlineFunction boxes its callable on the heap.
 // Steady-state engine code must keep this flat (see alloc_regression_test);
-// registration-time and test code may trip it freely. Shard-local: under
-// per-shard lanes this becomes a per-shard counter whose sum is reported,
-// so plain unsynchronized increments stay correct.
-ROCKSTEADY_SHARD_LOCAL inline uint64_t g_inline_fn_heap_fallbacks = 0;
+// registration-time and test code may trip it freely. Atomic with relaxed
+// order: any event lane may trip it, it is pure telemetry (never feeds back
+// into scheduling), and tests only read it with all lanes parked.
+ROCKSTEADY_SHARED_GUARDED("relaxed telemetry counter; any lane increments, read only when lanes are parked")
+inline std::atomic<uint64_t> g_inline_fn_heap_fallbacks{0};  // lint:allow-nondeterminism — telemetry only.
 
-inline uint64_t InlineFunctionHeapFallbacks() { return g_inline_fn_heap_fallbacks; }
+inline uint64_t InlineFunctionHeapFallbacks() {
+  return g_inline_fn_heap_fallbacks.load(std::memory_order_relaxed);
+}
 
 template <typename Sig, size_t InlineBytes>
 class InlineFunction;  // Primary template; only the R(Args...) form exists.
@@ -143,7 +147,7 @@ class InlineFunction<R(Args...), InlineBytes> {
       ::new (static_cast<void*>(storage_)) F(std::forward<Raw>(f));
       ops_ = &InlineOps<F>::kOps;
     } else {
-      g_inline_fn_heap_fallbacks++;
+      g_inline_fn_heap_fallbacks.fetch_add(1, std::memory_order_relaxed);
       *reinterpret_cast<void**>(storage_) = new F(std::forward<Raw>(f));
       ops_ = &HeapOps<F>::kOps;
     }

@@ -1,21 +1,24 @@
-// Intrusive reference counting for single-threaded fan-out.
+// Intrusive reference counting for cross-lane fan-out.
 //
-// std::shared_ptr pays for a separately-allocated control block and atomic
-// refcounts; the simulation is single-threaded and the RPC layer creates a
-// shared handle per request (retransmissions deliver the same object), so
-// both costs are pure waste on the hot path. RefCounted embeds a plain
-// counter in the object; IntrusivePtr is one pointer wide.
+// std::shared_ptr pays for a separately-allocated control block; the RPC
+// layer creates a shared handle per request (retransmissions deliver the
+// same object), so that cost is pure waste on the hot path. RefCounted
+// embeds the counter in the object; IntrusivePtr is one pointer wide. The
+// count is atomic because a request's references live on both the caller's
+// and the server's event lanes under sharded execution (relaxed increments;
+// acquire/release on the final decrement so the deleter sees all writes) —
+// uncontended atomics cost nothing measurable on the single-lane path.
 #ifndef ROCKSTEADY_SRC_COMMON_INTRUSIVE_PTR_H_
 #define ROCKSTEADY_SRC_COMMON_INTRUSIVE_PTR_H_
 
+#include <atomic>  // lint:allow-nondeterminism — refcount only; lifetime, never event order.
 #include <cstdint>
 #include <memory>
 #include <utility>
 
 namespace rocksteady {
 
-// Base for intrusively refcounted types. Non-atomic by design: the
-// simulation kernel is single-threaded.
+// Base for intrusively refcounted types.
 class RefCounted {
  public:
   RefCounted() = default;
@@ -27,7 +30,7 @@ class RefCounted {
   template <typename T>
   friend class IntrusivePtr;
 
-  mutable uint32_t ref_count_ = 0;
+  mutable std::atomic<uint32_t> ref_count_{0};  // lint:allow-nondeterminism — see header comment.
 };
 
 template <typename T>
@@ -76,11 +79,13 @@ class IntrusivePtr {
  private:
   void Ref() {
     if (p_ != nullptr) {
-      static_cast<const RefCounted*>(p_)->ref_count_++;
+      static_cast<const RefCounted*>(p_)->ref_count_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   void Unref() {
-    if (p_ != nullptr && --static_cast<const RefCounted*>(p_)->ref_count_ == 0) {
+    if (p_ != nullptr &&
+        static_cast<const RefCounted*>(p_)->ref_count_.fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
       delete p_;
     }
   }

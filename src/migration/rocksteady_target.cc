@@ -74,7 +74,7 @@ void RocksteadyMigrationManager::ControlCall(
         // server side dedups, so a late duplicate cannot double-apply.
         const Tick backoff = std::min<Tick>(target_->costs().retry_backoff_min_ns << attempt,
                                             target_->costs().wrong_server_backoff_max_ns) +
-                             target_->sim().rng().Uniform(target_->costs().retry_backoff_min_ns);
+                             target_->rng().Uniform(target_->costs().retry_backoff_min_ns);
         target_->sim().After(backoff, [this, to, make_request = std::move(make_request),
                                        cb = std::move(cb), attempt]() mutable {
           if (aborted_ || target_->crashed()) {
@@ -420,7 +420,7 @@ void RocksteadyMigrationManager::OnPullResponse(size_t partition_index,
     stats_.pull_rejections++;
     OnLoadSignal(response->load, /*rejected=*/true);
     const Tick resume_at = std::max(response->retry_after, target_->sim().now());
-    const Tick jitter = target_->sim().rng().Uniform(target_->costs().retry_backoff_min_ns);
+    const Tick jitter = target_->rng().Uniform(target_->costs().retry_backoff_min_ns);
     target_->sim().At(resume_at + jitter, [this] {
       if (aborted_ || target_->crashed()) {
         return;

@@ -8,18 +8,26 @@
 
 namespace rocksteady {
 
-RpcEndpoint* RpcSystem::CreateEndpoint(CoreSet* cores) {
+RpcEndpoint* RpcSystem::CreateEndpoint(CoreSet* cores, int lane) {
   const NodeId node = net_->AddNode();
   assert(node == endpoints_.size());
-  endpoints_.push_back(std::make_unique<RpcEndpoint>(this, node, cores));
+  if (lanes_ != nullptr) {
+    lanes_->AssignNode(node, lane);
+    next_call_id_node_.push_back(0);
+  }
+  endpoints_.push_back(std::make_unique<RpcEndpoint>(this, node, cores, SimOfLane(lane)));
   return endpoints_.back().get();
 }
 
 void RpcSystem::Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request,
                      ResponseCallback cb, Tick timeout) {
-  const uint64_t call_id = next_call_id_++;
+  Simulator* csim = SimFor(from);
+  const uint64_t call_id =
+      lanes_ != nullptr
+          ? ((static_cast<uint64_t>(from) + 1) << kCallerShift) | next_call_id_node_[from]++
+          : next_call_id_++;
   const Opcode op = request->op();
-  const Tick deadline = timeout > 0 ? sim_->now() + timeout : 0;
+  const Tick deadline = timeout > 0 ? csim->now() + timeout : 0;
 
   PendingCall pending;
   pending.caller = from;
@@ -27,18 +35,22 @@ void RpcSystem::Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request
   pending.request = IntrusivePtr<RpcRequest>(std::move(request));
   pending.cb = std::move(cb);
   pending.deadline = deadline;
-  pending_[call_id] = std::move(pending);
+  if (lanes_ != nullptr) {
+    pending.wire = pending.request->WireSize();
+  }
+  PendingFor(call_id)[call_id] = std::move(pending);
 
   if (timeout > 0) {
-    sim_->At(deadline, [this, call_id, op, from, to] {
-      PendingCall* pending = pending_.Find(call_id);
+    csim->At(deadline, [this, csim, call_id, op, from, to] {
+      FlatMap64<PendingCall>& table = PendingFor(call_id);
+      PendingCall* pending = table.Find(call_id);
       if (pending == nullptr) {
         return;  // Already completed.
       }
       LOG_DEBUG("rpc timeout: op=%d %u->%u after %d attempts at t=%.6f s", static_cast<int>(op),
-                from, to, pending->attempts, static_cast<double>(sim_->now()) / 1e9);
+                from, to, pending->attempts, static_cast<double>(csim->now()) / 1e9);
       ResponseCallback cb = std::move(pending->cb);
-      pending_.Erase(call_id);
+      table.Erase(call_id);
       cb(Status::kServerDown, nullptr);
     });
   }
@@ -46,22 +58,31 @@ void RpcSystem::Call(NodeId from, NodeId to, std::unique_ptr<RpcRequest> request
 }
 
 void RpcSystem::SendAttempt(uint64_t call_id) {
-  PendingCall* pending = pending_.Find(call_id);
+  FlatMap64<PendingCall>& table = PendingFor(call_id);
+  PendingCall* pending = table.Find(call_id);
   if (pending == nullptr) {
     return;  // Completed or deadlined while the retransmit timer was armed.
   }
   pending->attempts++;
   if (pending->attempts > 1) {
-    retransmissions_++;
+    if (lanes_ != nullptr) {
+      lane_retransmissions_[static_cast<size_t>(lanes_->lane_of(pending->caller))].value++;
+    } else {
+      retransmissions_++;
+    }
   }
   const NodeId from = pending->caller;
   const NodeId to = pending->server;
   const bool retransmittable = pending->deadline != 0;
+  // Lane mode must not re-measure the shared request (the server's handler
+  // may be moving payload out of it on another lane); legacy re-measures per
+  // attempt, matching recorded traces.
+  const size_t wire = lanes_ != nullptr ? pending->wire : pending->request->WireSize();
   // The delivery closure holds its own reference and *copies* it into
   // Deliver: the fabric may invoke the closure twice (duplication), so it
   // must not consume its captures.
   IntrusivePtr<RpcRequest> request = pending->request;
-  net_->Send(from, to, request->WireSize(),
+  net_->Send(from, to, wire,
              [this, from, to, call_id, retransmittable, request] {
                RpcEndpoint* endpoint = Endpoint(to);
                if (endpoint == nullptr) {
@@ -81,13 +102,14 @@ void RpcSystem::SendAttempt(uint64_t call_id) {
                                 costs_->rpc_retransmit_cap_ns);
   const Tick jitter =
       costs_->rpc_retransmit_jitter_ns > 0
-          ? sim_->rng().Uniform(static_cast<uint64_t>(costs_->rpc_retransmit_jitter_ns) + 1)
+          ? CallerRng(from).Uniform(static_cast<uint64_t>(costs_->rpc_retransmit_jitter_ns) + 1)
           : 0;
-  const Tick at = sim_->now() + backoff + jitter;
+  Simulator* csim = SimFor(from);
+  const Tick at = csim->now() + backoff + jitter;
   if (at >= pending->deadline) {
     return;
   }
-  sim_->At(at, [this, call_id] { SendAttempt(call_id); });
+  csim->At(at, [this, call_id] { SendAttempt(call_id); });
 }
 
 void RpcEndpoint::Deliver(NodeId from, IntrusivePtr<RpcRequest> request, uint64_t call_id,
@@ -171,12 +193,12 @@ void RpcEndpoint::Execute(NodeId from, IntrusivePtr<RpcRequest> request, uint64_
     DedupEntry& entry = dedup_[call_id];
     entry.epoch = CurrentEpoch();
     entry.done = false;
-    dedup_created_.emplace_back(system_->sim()->now(), call_id);
+    dedup_created_.emplace_back(sim_->now(), call_id);
   }
 
   const Handler& handler = handlers_[op_index];
   RpcContext context;
-  context.sim = system_->sim();
+  context.sim = sim_;
   context.from = from;
   context.request = std::move(request);
   RpcEndpoint* self = this;
@@ -187,7 +209,7 @@ void RpcEndpoint::Execute(NodeId from, IntrusivePtr<RpcRequest> request, uint64_
     if (DedupEntry* entry = self->dedup_.Find(call_id); entry != nullptr) {
       entry->done = true;
       entry->response = response->Clone();
-      entry->completed_at = system->sim()->now();
+      entry->completed_at = self->sim_->now();
       self->dedup_fifo_.emplace_back(entry->completed_at, call_id);
     }
     const NodeId server_node = self->node_;
@@ -208,7 +230,7 @@ void RpcEndpoint::Execute(NodeId from, IntrusivePtr<RpcRequest> request, uint64_
 }
 
 void RpcEndpoint::PruneDedup() {
-  const Tick now = system_->sim()->now();
+  const Tick now = sim_->now();
   const Tick retention = system_->costs()->rpc_dedup_retention_ns;
   while (!dedup_fifo_.empty() && dedup_fifo_.front().first + retention < now) {
     const uint64_t call_id = dedup_fifo_.front().second;
@@ -244,11 +266,19 @@ uint64_t RpcEndpoint::CurrentEpoch() const { return cores_ != nullptr ? cores_->
 
 void RpcSystem::TransmitResponse(uint64_t call_id, NodeId server_node,
                                  std::unique_ptr<RpcResponse> response) {
-  PendingCall* pending = pending_.Find(call_id);
-  if (pending == nullptr) {
-    return;  // Caller gave up (deadline) or already got an earlier copy.
+  NodeId caller;
+  if (lanes_ != nullptr) {
+    // Server lane: the caller's pending table is not ours to read. The
+    // call_id carries the caller id; a response to a caller that already
+    // gave up is dropped on the caller's own lane below instead of here.
+    caller = CallerOf(call_id);
+  } else {
+    PendingCall* pending = pending_.Find(call_id);
+    if (pending == nullptr) {
+      return;  // Caller gave up (deadline) or already got an earlier copy.
+    }
+    caller = pending->caller;
   }
-  const NodeId caller = pending->caller;
   const size_t wire = response->WireSize();
 
   // The pending entry survives until the response actually reaches the
@@ -261,7 +291,8 @@ void RpcSystem::TransmitResponse(uint64_t call_id, NodeId server_node,
              [this, caller, call_id, resp = std::move(response)]() mutable {
                RpcEndpoint* endpoint = Endpoint(caller);
                auto deliver = [this, call_id, resp = std::move(resp)]() mutable {
-                 PendingCall* pending = pending_.Find(call_id);
+                 FlatMap64<PendingCall>& table = PendingFor(call_id);
+                 PendingCall* pending = table.Find(call_id);
                  if (pending == nullptr) {
                    return;  // A duplicate response; the first copy won.
                  }
@@ -269,7 +300,7 @@ void RpcSystem::TransmitResponse(uint64_t call_id, NodeId server_node,
                    return;  // This network-duplicated copy lost the move race.
                  }
                  ResponseCallback cb = std::move(pending->cb);
-                 pending_.Erase(call_id);
+                 table.Erase(call_id);
                  cb(Status::kOk, std::move(resp));
                };
                if (endpoint != nullptr && endpoint->cores() != nullptr) {

@@ -33,10 +33,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/flat_map.h"
 #include "src/common/intrusive_ptr.h"
 #include "src/rpc/messages.h"
 #include "src/sim/core_set.h"
+#include "src/sim/lane_set.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 
@@ -80,8 +82,8 @@ class RpcEndpoint {
   // the copyable std::function shape is fine here.
   using Handler = std::function<void(RpcContext)>;  // lint:allow-churn
 
-  RpcEndpoint(RpcSystem* system, NodeId node, CoreSet* cores)
-      : system_(system), node_(node), cores_(cores) {}
+  RpcEndpoint(RpcSystem* system, NodeId node, CoreSet* cores, Simulator* sim)
+      : system_(system), node_(node), cores_(cores), sim_(sim) {}
 
   void Register(Opcode op, Handler handler) {
     handlers_[static_cast<size_t>(op)] = std::move(handler);
@@ -90,6 +92,9 @@ class RpcEndpoint {
   NodeId node() const { return node_; }
   CoreSet* cores() const { return cores_; }
   RpcSystem* system() const { return system_; }
+  // The simulator this endpoint's events execute on (its lane's, in lane
+  // mode; the shared one otherwise).
+  Simulator* sim() const { return sim_; }
 
   uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
   uint64_t responses_replayed() const { return responses_replayed_; }
@@ -126,6 +131,7 @@ class RpcEndpoint {
   RpcSystem* system_;
   NodeId node_;
   CoreSet* cores_;  // Null for unmodeled-CPU nodes (clients).
+  Simulator* sim_;  // This endpoint's lane simulator.
   // Filled once at server construction; opcode-indexed array so per-RPC
   // handler lookup is one load, not a hash probe.
   static constexpr size_t kMaxOpcodes = 64;
@@ -158,8 +164,21 @@ class RpcSystem {
   RpcSystem(const RpcSystem&) = delete;
   RpcSystem& operator=(const RpcSystem&) = delete;
 
-  // Creates an endpoint on a fresh network node.
-  RpcEndpoint* CreateEndpoint(CoreSet* cores);
+  // Lane mode: callers' timers, jitter draws, and pending tables move to
+  // per-lane (and per-node) homes so no RPC state is touched from two lanes.
+  // Call once at setup, before any CreateEndpoint.
+  void SetLanes(LaneSet* lanes) {
+    lanes_ = lanes;
+    while (pending_lanes_.size() < static_cast<size_t>(lanes->lanes())) {
+      pending_lanes_.emplace_back();
+    }
+    lane_retransmissions_.assign(static_cast<size_t>(lanes->lanes()), PaddedCount{});
+  }
+  LaneSet* lanes() const { return lanes_; }
+
+  // Creates an endpoint on a fresh network node, placed on `lane` (ignored
+  // in legacy mode).
+  RpcEndpoint* CreateEndpoint(CoreSet* cores, int lane = 0);
 
   // Issues an RPC. `timeout` of zero means one attempt and no deadline.
   // With a timeout, the request is retransmitted (same call_id) on a capped
@@ -176,8 +195,34 @@ class RpcSystem {
   Network* net() const { return net_; }
   const CostModel* costs() const { return costs_; }
 
-  uint64_t calls_issued() const { return next_call_id_; }
-  uint64_t retransmissions() const { return retransmissions_; }
+  // The simulator owning a given lane / a given node's events. In legacy
+  // mode both collapse to the single shared simulator.
+  Simulator* SimOfLane(int lane) { return lanes_ != nullptr ? &lanes_->lane_sim(lane) : sim_; }
+  Simulator* SimFor(NodeId node) { return lanes_ != nullptr ? lanes_->SimFor(node) : sim_; }
+  // The RNG a caller draws jitter/backoff from: the node's private stream in
+  // lane mode (draws in node event order are lane-invariant), the shared
+  // simulator stream otherwise.
+  Random& CallerRng(NodeId node) {
+    return lanes_ != nullptr ? lanes_->NodeRng(node) : sim_->rng();
+  }
+
+  uint64_t calls_issued() const {
+    if (lanes_ == nullptr) {
+      return next_call_id_;
+    }
+    uint64_t total = 0;
+    for (const uint64_t count : next_call_id_node_) {
+      total += count;
+    }
+    return total;
+  }
+  uint64_t retransmissions() const {
+    uint64_t total = retransmissions_;
+    for (const PaddedCount& shard : lane_retransmissions_) {
+      total += shard.value;
+    }
+    return total;
+  }
 
  private:
   friend class RpcEndpoint;
@@ -189,7 +234,31 @@ class RpcSystem {
     ResponseCallback cb;
     Tick deadline = 0;  // 0 = wait forever, no retransmission.
     int attempts = 0;
+    // Lane mode caches the wire size at Call time: the server's handler may
+    // be moving payload out of the request on its own lane while the caller
+    // retransmits, so attempts must not re-measure the shared object.
+    // (Legacy mode re-measures per attempt, preserving recorded traces.)
+    size_t wire = 0;
   };
+
+  struct alignas(64) PaddedCount {
+    uint64_t value = 0;
+  };
+
+  // Lane-mode call_ids carry their caller: ((node + 1) << kCallerShift) | n.
+  // The +1 keeps the id space disjoint from legacy's bare counter, and lets
+  // the server side recover the caller without touching its pending table.
+  static constexpr int kCallerShift = 40;
+  static NodeId CallerOf(uint64_t call_id) {
+    return static_cast<NodeId>((call_id >> kCallerShift) - 1);
+  }
+  // The pending table owning `call_id` — the caller's lane's table in lane
+  // mode (only ever touched from that lane), the shared one otherwise.
+  FlatMap64<PendingCall>& PendingFor(uint64_t call_id) {
+    return lanes_ != nullptr
+               ? pending_lanes_[static_cast<size_t>(lanes_->lane_of(CallerOf(call_id)))]
+               : pending_;
+  }
 
   // Transmits one attempt of a pending call and, when a deadline is set,
   // arms the next retransmission.
@@ -203,12 +272,29 @@ class RpcSystem {
   Simulator* sim_;
   Network* net_;
   const CostModel* costs_;
+  LaneSet* lanes_ = nullptr;  // Null in legacy single-queue mode.
+
+  // Appended at setup only; lanes read concurrently through Endpoint().
+  ROCKSTEADY_SHARED_GUARDED("grown at setup only; read-only while lanes run")
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
+
   // Bounded by the callers' outstanding RPCs: an entry is erased when its
   // response is delivered, its timeout fires, or its endpoint halts.
-  FlatMap64<PendingCall> pending_;
-  uint64_t next_call_id_ = 0;
-  uint64_t retransmissions_ = 0;
+  FlatMap64<PendingCall> pending_;  // Legacy mode.
+  // Lane mode: one pending table per lane, touched only from its own lane
+  // (responses hop to the caller's lane before the lookup). Bounded like
+  // pending_ above; the deque itself is fixed at SetLanes (lane count).
+  ROCKSTEADY_SHARED_GUARDED("per-lane tables; each touched only by its owning lane")
+  std::deque<FlatMap64<PendingCall>> pending_lanes_;  // lint:bounded — fixed lane count; entries erased on completion.
+
+  uint64_t next_call_id_ = 0;  // Legacy mode.
+  // Lane mode: per-node call counters (slot i touched only by node i's lane).
+  ROCKSTEADY_SHARED_GUARDED("per-node slots; slot i written only by node i's lane")
+  std::vector<uint64_t> next_call_id_node_;
+
+  uint64_t retransmissions_ = 0;  // Legacy mode.
+  ROCKSTEADY_SHARED_GUARDED("per-lane shards; each written only by its owning lane")
+  std::vector<PaddedCount> lane_retransmissions_;
 };
 
 }  // namespace rocksteady

@@ -12,6 +12,8 @@ FaultInjector::Decision FaultInjector::OnMessage(uint32_t from, uint32_t to) {
     dup_p = override->duplicate_probability;
   }
 
+  Random& rng = sender_rng_.empty() ? rng_ : sender_rng_[from];
+
   Decision decision;
   if (int* remaining = drop_next_.Find(link); remaining != nullptr && *remaining > 0) {
     if (--*remaining == 0) {
@@ -30,17 +32,17 @@ FaultInjector::Decision FaultInjector::OnMessage(uint32_t from, uint32_t to) {
 
   // One probability draw per configured hazard, in fixed order, so the draw
   // sequence (and thus the whole run) is a pure function of the seed.
-  if (drop_p > 0.0 && rng_.NextDouble() < drop_p) {
+  if (drop_p > 0.0 && rng.NextDouble() < drop_p) {
     decision.copies = 0;
     return decision;
   }
-  if (forced_dup || (dup_p > 0.0 && rng_.NextDouble() < dup_p)) {
+  if (forced_dup || (dup_p > 0.0 && rng.NextDouble() < dup_p)) {
     decision.copies = 2;
   }
   if (config_.max_extra_delay_ns > 0) {
     for (int i = 0; i < decision.copies; i++) {
       decision.extra_delay_ns[static_cast<size_t>(i)] =
-          rng_.Uniform(config_.max_extra_delay_ns + 1);
+          rng.Uniform(config_.max_extra_delay_ns + 1);
     }
   }
   return decision;

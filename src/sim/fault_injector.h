@@ -18,8 +18,11 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 
+#include "src/common/annotations.h"
 #include "src/common/flat_map.h"
+#include "src/common/hash.h"
 #include "src/common/random.h"
 #include "src/common/types.h"
 
@@ -53,6 +56,18 @@ class FaultInjector {
   // in event order, which keeps the draw sequence deterministic.
   Decision OnMessage(uint32_t from, uint32_t to);
 
+  // Lane mode: gives every sender its own seeded stream, so each draw
+  // sequence depends only on that node's send order — which is lane-count-
+  // and thread-invariant — instead of the global interleaving of sends.
+  // Call once at setup. The one-shot DropNext/DuplicateNext helpers and
+  // SetLinkOverride remain setup-time-only under lanes (their tables are
+  // read-only while lanes run).
+  void EnablePerSenderStreams(size_t num_nodes) {
+    for (size_t node = sender_rng_.size(); node < num_nodes; node++) {
+      sender_rng_.emplace_back(Mix64(config_.seed + 0x9E3779B97F4A7C15ull * (node + 1)));
+    }
+  }
+
   // Overrides the link-level probabilities for one directed link (regression
   // tests use this to lose exactly the response path of an RPC).
   void SetLinkOverride(uint32_t from, uint32_t to, double drop_probability,
@@ -79,6 +94,11 @@ class FaultInjector {
 
   Config config_;
   Random rng_;  // Dedicated stream: fault draws never perturb workload RNG use.
+  // Lane mode: per-sender streams (stable addresses; draws happen on the
+  // sender's lane only). Empty in legacy mode — the shared rng_ is used.
+  ROCKSTEADY_SHARED_GUARDED("per-sender slots; stream i drawn only from node i's lane")
+  std::deque<Random> sender_rng_;
+  ROCKSTEADY_SHARED_GUARDED("all lanes read on the send path; mutated only at setup (lanes parked)")
   FlatMap64<LinkOverride> link_overrides_;
   FlatMap64<int> drop_next_;
   FlatMap64<int> duplicate_next_;

@@ -1,0 +1,352 @@
+#include "src/sim/lane_set.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/dcheck.h"
+#include "src/common/hash.h"
+
+namespace rocksteady {
+
+LaneSet::LaneSet(const Config& config) : config_(config) {
+  ROCKSTEADY_DCHECK_GE(config.lanes, 1);
+  ROCKSTEADY_DCHECK_GE(config.lookahead, Tick{1});
+  const int n = config.lanes;
+  for (int l = 0; l < n; l++) {
+    sims_.push_back(std::make_unique<Simulator>(Mix64(config.seed ^ static_cast<uint64_t>(l))));
+    sims_.back()->BeginLaneMode(this, l, &next_seq_);
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  mail_.resize(static_cast<size_t>(n) * static_cast<size_t>(n));
+  merge_cursor_.resize(static_cast<size_t>(n));
+  merge_front_time_.resize(static_cast<size_t>(n));
+  merge_front_seq_.resize(static_cast<size_t>(n));
+}
+
+LaneSet::~LaneSet() { StopWorkers(); }
+
+void LaneSet::AssignNode(NodeId node, int lane) {
+  ROCKSTEADY_DCHECK_GE(lane, 0);
+  ROCKSTEADY_DCHECK(lane < lanes());
+  ROCKSTEADY_DCHECK_EQ(static_cast<size_t>(node), lane_of_.size());
+  lane_of_.push_back(lane);
+  // One private stream per node, derived from the run seed: the stream a
+  // draw comes from depends on *which node* draws, not on lane placement,
+  // so the draw sequence is invariant across lane counts and threading.
+  node_rng_.emplace_back(Mix64(config_.seed + 0x9E3779B97F4A7C15ull * (node + 1)));
+}
+
+void LaneSet::PostCrossLane(Simulator* src, int dst_lane, Tick deliver, EventFn fn) {
+  Simulator* dst = sims_[static_cast<size_t>(dst_lane)].get();
+  if (!src->in_window_) {
+    // Root context (setup / safe-point task): every lane is parked, so the
+    // delivery can enter the destination queue directly with its canonical
+    // seq — identical to what a single lane would have scheduled.
+    ROCKSTEADY_DCHECK_GE(deliver, dst->now_);
+    Simulator::Event* e = dst->AllocEvent();
+    e->time = deliver;
+    e->seq = next_seq_++;
+    e->fn = std::move(fn);
+    dst->InsertQueued(e);
+    return;
+  }
+  // In-window: the conservative horizon guarantees the delivery cannot land
+  // inside the current window on any lane.
+  ROCKSTEADY_DCHECK_GE(deliver, src->window_end_);
+  std::vector<CrossEntry>& cell =
+      mail_[static_cast<size_t>(src->lane_) * static_cast<size_t>(lanes()) +
+            static_cast<size_t>(dst_lane)];
+  cell.push_back(CrossEntry{deliver, 0, std::move(fn)});
+  src->LaneLogCrossOp(static_cast<uint32_t>(dst_lane),
+                      static_cast<uint32_t>(cell.size() - 1));
+}
+
+void LaneSet::AtSafePoint(Tick t, std::function<void()> fn) {  // lint:allow-churn — cold, a handful per run.
+  SafePoint sp{t, safe_point_order_++, std::move(fn)};
+  auto pos = std::upper_bound(
+      safe_points_.begin(), safe_points_.end(), sp,
+      [](const SafePoint& a, const SafePoint& b) {
+        return a.t != b.t ? a.t < b.t : a.order < b.order;
+      });
+  safe_points_.insert(pos, std::move(sp));
+}
+
+Tick LaneSet::GlobalMinEventTime() {
+  Tick gm = kNoEvent;
+  for (auto& sim : sims_) {
+    Tick t;
+    if (sim->PeekMinTime(&t) && t < gm) {
+      gm = t;
+    }
+  }
+  return gm;
+}
+
+size_t LaneSet::events_processed() const {
+  size_t total = 0;
+  for (const auto& sim : sims_) {
+    total += sim->events_processed();
+  }
+  return total;
+}
+
+void LaneSet::LoadMergeFront(int lane) {
+  Simulator* sim = sims_[static_cast<size_t>(lane)].get();
+  const size_t i = merge_cursor_[static_cast<size_t>(lane)];
+  if (i >= sim->win_log_.size()) {
+    merge_front_time_[static_cast<size_t>(lane)] = kNoEvent;
+    merge_front_seq_[static_cast<size_t>(lane)] = ~0ull;
+    return;
+  }
+  const Simulator::DispatchRecord& rec = sim->win_log_[i];
+  merge_front_time_[static_cast<size_t>(lane)] = rec.time;
+  merge_front_seq_[static_cast<size_t>(lane)] =
+      (rec.seq & Simulator::kProvSeqBit) != 0
+          ? sim->prov_seq_[rec.seq & ~Simulator::kProvSeqBit]
+          : rec.seq;
+}
+
+void LaneSet::MergeWindow() {
+  // K-way merge of the lanes' window dispatch logs in canonical
+  // (time, seq) order, resolving provisional seqs through each lane's
+  // prov_seq_ table. A provisional front record's parent always appears
+  // earlier in the same lane's log (only local callbacks create provisional
+  // events), so by the time a record reaches its lane's cursor its seq is
+  // resolvable — LoadMergeFront resolves each front exactly once per cursor
+  // advance. Lane counts are tiny (<= 8 in practice): a linear scan of the
+  // cached fronts beats a heap.
+  const int n = lanes();
+  for (int l = 0; l < n; l++) {
+    merge_cursor_[static_cast<size_t>(l)] = 0;
+    LoadMergeFront(l);
+  }
+  for (;;) {
+    int best = 0;
+    Tick best_time = merge_front_time_[0];
+    uint64_t best_seq = merge_front_seq_[0];
+    for (int l = 1; l < n; l++) {
+      const Tick t = merge_front_time_[static_cast<size_t>(l)];
+      const uint64_t seq = merge_front_seq_[static_cast<size_t>(l)];
+      if (t < best_time || (t == best_time && seq < best_seq)) {
+        best = l;
+        best_time = t;
+        best_seq = seq;
+      }
+    }
+    if (best_time == kNoEvent && best_seq == ~0ull) {
+      break;  // Every lane exhausted.
+    }
+    Simulator* sim = sims_[static_cast<size_t>(best)].get();
+    const Simulator::DispatchRecord& rec =
+        sim->win_log_[merge_cursor_[static_cast<size_t>(best)]++];
+    // The canonical dispatch: mix the trace exactly as the single-lane
+    // engine would have at this event's dispatch.
+    trace_hash_ = (trace_hash_ ^ best_time) * 0x100000001b3ull;
+    trace_hash_ = (trace_hash_ ^ best_seq) * 0x100000001b3ull;
+    // Assign canonical seqs to this dispatch's scheduling ops, in op order —
+    // the order the single-lane engine would have drawn them from next_seq_.
+    for (uint32_t k = 0; k < rec.op_count; k++) {
+      Simulator::OpRecord& op = sim->op_log_[rec.op_begin + k];
+      switch (op.kind) {
+        case Simulator::OpKind::kLocal:
+          sim->prov_seq_[op.index] = next_seq_++;
+          break;
+        case Simulator::OpKind::kDeferred:
+          op.deferred->seq = next_seq_++;
+          break;
+        case Simulator::OpKind::kCross:
+          mail_[static_cast<size_t>(best) * static_cast<size_t>(n) + op.dst_lane][op.index]
+              .seq = next_seq_++;
+          break;
+      }
+    }
+    // After the ops: the lane's next front may be provisional with THIS
+    // dispatch as its parent, so its seq only became resolvable just now.
+    LoadMergeFront(best);
+  }
+}
+
+void LaneSet::PostPhase(int lane) {
+  Simulator* sim = sims_[static_cast<size_t>(lane)].get();
+  sim->InsertDeferred();
+  // Adopt inbound cross-lane deliveries (canonical seqs already stamped).
+  const int n = lanes();
+  for (int src = 0; src < n; src++) {
+    std::vector<CrossEntry>& cell =
+        mail_[static_cast<size_t>(src) * static_cast<size_t>(n) + static_cast<size_t>(lane)];
+    for (CrossEntry& entry : cell) {
+      Simulator::Event* e = sim->AllocEvent();
+      e->time = entry.time;
+      e->seq = entry.seq;
+      e->fn = std::move(entry.fn);
+      sim->InsertQueued(e);
+    }
+    cell.clear();  // Capacity is retained: steady state allocates nothing.
+  }
+}
+
+void LaneSet::StartWorkers() {
+  if (workers_started_) {
+    return;
+  }
+  workers_started_ = true;
+  for (int l = 1; l < lanes(); l++) {
+    workers_.emplace_back([this, l] { WorkerLoop(l); });
+  }
+}
+
+void LaneSet::StopWorkers() {
+  if (!workers_started_) {
+    return;
+  }
+  barrier_epoch_++;
+  for (int l = 1; l < lanes(); l++) {
+    slots_[static_cast<size_t>(l)]->cmd = 3;
+    slots_[static_cast<size_t>(l)]->go.store(barrier_epoch_, std::memory_order_release);
+  }
+  for (std::thread& worker : workers_) {  // lint:allow-nondeterminism — joining persistent lane workers.
+    worker.join();
+  }
+  workers_.clear();
+  workers_started_ = false;
+}
+
+void LaneSet::WorkerLoop(int lane) {
+  WorkerSlot& slot = *slots_[static_cast<size_t>(lane)];
+  uint64_t seen = 0;
+  for (;;) {
+    while (slot.go.load(std::memory_order_acquire) == seen) {
+      std::this_thread::yield();
+    }
+    seen = slot.go.load(std::memory_order_acquire);
+    if (slot.cmd == 3) {
+      slot.done.store(seen, std::memory_order_release);
+      return;
+    }
+    if (slot.cmd == 1) {
+      sims_[static_cast<size_t>(lane)]->RunWindow(slot.window_end);
+    } else {
+      PostPhase(lane);
+    }
+    slot.done.store(seen, std::memory_order_release);
+  }
+}
+
+void LaneSet::RunLanePhase(int cmd, Tick window_end) {
+  // Fan a phase out to the workers (lanes 1..N-1), run lane 0 on the driving
+  // thread, then wait for every worker's epoch acknowledgement.
+  barrier_epoch_++;
+  for (int l = 1; l < lanes(); l++) {
+    WorkerSlot& slot = *slots_[static_cast<size_t>(l)];
+    slot.cmd = cmd;
+    slot.window_end = window_end;
+    slot.go.store(barrier_epoch_, std::memory_order_release);
+  }
+  if (cmd == 1) {
+    sims_[0]->RunWindow(window_end);
+  } else {
+    PostPhase(0);
+  }
+  for (int l = 1; l < lanes(); l++) {
+    WorkerSlot& slot = *slots_[static_cast<size_t>(l)];
+    while (slot.done.load(std::memory_order_acquire) != barrier_epoch_) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+size_t LaneSet::Run() {
+  const size_t before = events_processed();
+  RunLoop(false, 0);
+  Tick end = now_;
+  for (auto& sim : sims_) {
+    end = std::max(end, sim->now());
+  }
+  now_ = end;
+  return events_processed() - before;
+}
+
+size_t LaneSet::RunUntil(Tick t) {
+  ROCKSTEADY_DCHECK_GE(t, now_);
+  const size_t before = events_processed();
+  RunLoop(true, t);
+  for (auto& sim : sims_) {
+    if (sim->now_ < t) {
+      sim->now_ = t;
+    }
+  }
+  now_ = t;
+  return events_processed() - before;
+}
+
+void LaneSet::RunLoop(bool bounded, Tick until) {
+  const bool threaded = config_.threads && lanes() > 1;
+  if (threaded) {
+    StartWorkers();
+  }
+  for (;;) {
+    Tick gm = GlobalMinEventTime();
+    // Run due safe-point tasks: everything before sp.t has executed, nothing
+    // at/after sp.t has.
+    while (!safe_points_.empty() && safe_points_.front().t <= gm &&
+           (!bounded || safe_points_.front().t <= until)) {
+      SafePoint sp = std::move(safe_points_.front());
+      safe_points_.erase(safe_points_.begin());
+      now_ = std::max(now_, sp.t);
+      // Advance every lane's clock to the safe point before the task runs:
+      // task code schedules relative to now() (directly or through
+      // Network::Send), and a lane's last-dispatch time depends on the
+      // partition — sp.t is the only lane-count-invariant base. Legal
+      // because every pending event is at >= gm >= sp.t.
+      for (auto& sim : sims_) {
+        sim->now_ = std::max(sim->now_, sp.t);
+      }
+      sp.fn();
+      gm = GlobalMinEventTime();  // The task may have scheduled new events.
+    }
+    if (gm == kNoEvent || (bounded && gm > until)) {
+      break;
+    }
+    // Conservative window: every event in [gm, E) can only produce
+    // cross-lane deliveries at/after E, so lanes run it independently.
+    Tick end = gm + config_.lookahead;
+    if (end < gm) {
+      end = kNoEvent;  // Saturate.
+    }
+    if (!safe_points_.empty()) {
+      end = std::min(end, safe_points_.front().t);
+    }
+    if (bounded) {
+      end = std::min(end, until + 1);  // RunUntil is inclusive of `until`.
+    }
+    window_end_ = end;
+    if (threaded) {
+      RunLanePhase(1, end);
+      MergeWindow();
+      RunLanePhase(2, end);
+    } else {
+      for (int l = 0; l < lanes(); l++) {
+        if (hooks_.lane_begin) {
+          hooks_.lane_begin(l);
+        }
+        sims_[static_cast<size_t>(l)]->RunWindow(end);
+        if (hooks_.lane_end) {
+          hooks_.lane_end(l);
+        }
+      }
+      if (hooks_.merge_begin) {
+        hooks_.merge_begin();
+      }
+      MergeWindow();
+      if (hooks_.merge_end) {
+        hooks_.merge_end();
+      }
+      for (int l = 0; l < lanes(); l++) {
+        PostPhase(l);
+      }
+    }
+    windows_run_++;
+  }
+}
+
+}  // namespace rocksteady

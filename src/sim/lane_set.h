@@ -1,0 +1,194 @@
+// Sharded event lanes with a deterministic merge (ROADMAP item 1).
+//
+// Partitions the simulation into N lanes, each owning one calendar-queue
+// Simulator and a disjoint set of simulated nodes (servers, cores, NICs).
+// Lanes execute conservatively in lookahead windows: with L = the minimum
+// cross-lane link latency (per-message cost + propagation), every event in
+// [start, start + L) can only schedule cross-lane work at or past the
+// horizon, so lanes run a whole window without seeing each other. Cross-lane
+// Network sends land in per-(src-lane, dst-lane) mailboxes and are adopted
+// by the destination lane at the next barrier.
+//
+// Determinism is exact, not statistical: after each window a sequential
+// merge walks the lanes' dispatch logs in canonical (time, seq) order and
+// re-derives the *single-lane* sequence number of every scheduling op (see
+// Simulator::LaneAt). The canonical seq of an op depends only on its
+// parent's dispatch order and its index within the parent's callback —
+// never on window boundaries, lane count, or threading — so --lanes=1 and
+// --lanes=N, threaded or not, produce bit-identical trace hashes
+// (DESIGN.md "Sharded execution" has the proof sketch).
+//
+// Threading: with threads enabled, lane 0 runs on the driving thread and
+// lanes 1..N-1 on persistent workers; each window is phase A (parallel
+// RunWindow), phase B (sequential merge on the driver), phase C (parallel
+// deferred-insert + mailbox drain). Handoff is one acquire/release epoch
+// pair per lane per phase. Without threads the same loop runs the lanes
+// sequentially — the schedule is identical either way.
+#ifndef ROCKSTEADY_SRC_SIM_LANE_SET_H_
+#define ROCKSTEADY_SRC_SIM_LANE_SET_H_
+
+#include <atomic>   // lint:allow-nondeterminism — barrier epochs; the event schedule they guard is deterministic.
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>   // lint:allow-nondeterminism — lane workers; conservative windows keep the schedule exact.
+#include <vector>
+
+#include "src/common/annotations.h"
+#include "src/common/random.h"
+#include "src/sim/simulator.h"
+
+namespace rocksteady {
+
+using NodeId = uint32_t;
+
+class LaneSet {
+ public:
+  struct Config {
+    int lanes = 1;
+    bool threads = false;
+    // Conservative safe horizon: the minimum cross-lane delivery latency.
+    // Clusters pass CostModel::net_per_message_ns + net_propagation_ns.
+    Tick lookahead = 1;
+    uint64_t seed = 1;
+  };
+
+  explicit LaneSet(const Config& config);
+  ~LaneSet();
+
+  LaneSet(const LaneSet&) = delete;
+  LaneSet& operator=(const LaneSet&) = delete;
+
+  int lanes() const { return static_cast<int>(sims_.size()); }
+  bool threads() const { return config_.threads; }
+  Simulator& lane_sim(int lane) { return *sims_[static_cast<size_t>(lane)]; }
+
+  // --- Node placement (setup time, before any Run). ---
+  // Assigns a simulated node to a lane and seeds its private RNG stream.
+  // Nodes must be assigned in id order (0, 1, 2, ...).
+  void AssignNode(NodeId node, int lane);
+  int lane_of(NodeId node) const { return lane_of_[node]; }
+  Simulator* SimFor(NodeId node) { return sims_[static_cast<size_t>(lane_of_[node])].get(); }
+  // The node's private RNG stream. Draws happen in the node's event order,
+  // which is lane-count- and thread-invariant, unlike sharing a lane rng.
+  Random& NodeRng(NodeId node) { return node_rng_[node]; }
+
+  // --- Cross-lane mail (called by Network::Send). ---
+  // Posts a delivery onto dst_lane at `deliver` (>= the current window's
+  // horizon when called in-window; lanes never see intra-window traffic).
+  void PostCrossLane(Simulator* src, int dst_lane, Tick deliver, EventFn fn);
+
+  // --- Safe-point tasks. ---
+  // Runs `fn` on the driving thread once every event before time `t` has
+  // executed and before any event at or after `t` does, with all lanes
+  // parked — the lane-mode home for cross-cutting control actions
+  // (migration kickoff, operator actions) that legacy code runs as plain
+  // events. Placement depends only on the global event timeline, so it is
+  // lane-count- and thread-invariant.
+  void AtSafePoint(Tick t, std::function<void()> fn);  // lint:allow-churn — cold, a handful per run.
+
+  // --- Execution (same contract as Simulator::Run / RunUntil). ---
+  size_t Run();
+  size_t RunUntil(Tick t);
+
+  Tick now() const { return now_; }
+  uint64_t trace_hash() const { return trace_hash_; }
+  size_t events_processed() const;
+  uint64_t windows_run() const { return windows_run_; }
+
+  // Per-window instrumentation for the engine bench's critical-path model
+  // (only invoked when threads are off; wall-clock timing stays in bench/).
+  struct PhaseHooks {
+    std::function<void(int lane)> lane_begin;  // lint:allow-churn — bench-only, per window.
+    std::function<void(int lane)> lane_end;    // lint:allow-churn — bench-only, per window.
+    std::function<void()> merge_begin;         // lint:allow-churn — bench-only, per window.
+    std::function<void()> merge_end;           // lint:allow-churn — bench-only, per window.
+  };
+  void set_phase_hooks(PhaseHooks hooks) { hooks_ = std::move(hooks); }
+
+ private:
+  // One cross-lane delivery waiting for adoption: filled by the source lane
+  // during phase A, canonical seq stamped by the merge, drained by the
+  // destination lane during phase C.
+  struct CrossEntry {
+    Tick time = 0;
+    uint64_t seq = 0;
+    EventFn fn;
+  };
+
+  // Per-worker barrier slot. The driver publishes a command by writing the
+  // plain fields, then storing `go` (release); the worker acknowledges by
+  // storing `done` (release) which the driver acquires — each window phase
+  // is exactly one such epoch round-trip per lane.
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> go{0};    // lint:allow-nondeterminism — barrier handoff only.
+    std::atomic<uint64_t> done{0};  // lint:allow-nondeterminism — barrier handoff only.
+    int cmd = 0;  // 1 = RunWindow(window_end), 2 = post-phase, 3 = exit.
+    Tick window_end = 0;
+  };
+
+  struct SafePoint {
+    Tick t;
+    uint64_t order;  // Insertion order: same-tick tasks run FIFO.
+    std::function<void()> fn;  // lint:allow-churn — cold, driver-thread only.
+  };
+
+  void RunLoop(bool bounded, Tick until);
+  void MergeWindow();
+  void LoadMergeFront(int lane);
+  void PostPhase(int lane);
+  void RunLanePhase(int cmd, Tick window_end);
+  void StartWorkers();
+  void StopWorkers();
+  void WorkerLoop(int lane);
+  Tick GlobalMinEventTime();  // kNoEvent when every lane is idle.
+
+  static constexpr Tick kNoEvent = ~Tick{0};
+
+  Config config_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<int> lane_of_;      // NodeId -> lane.
+  std::deque<Random> node_rng_;   // NodeId -> private stream (stable addrs).
+
+  // Canonical single-lane sequence counter, advanced only by the merge and
+  // by root-context scheduling — never concurrently.
+  ROCKSTEADY_SHARED_GUARDED("canonical seq counter; merge/root contexts only, all lanes parked")
+  uint64_t next_seq_ = 0;
+
+  // Mailboxes, flattened [src * lanes + dst]. Cell (s, d) is written only by
+  // lane s (phase A) and drained only by lane d (phase C); the phase-B
+  // barrier orders the two, and the merge stamps seqs in between.
+  ROCKSTEADY_SHARED_GUARDED("per-(src,dst) cell: src writes in phase A, dst drains in phase C, barrier between")
+  std::vector<std::vector<CrossEntry>> mail_;
+
+  // The current window's safe horizon, readable by every lane inside
+  // phase A (published before the phase's go/done epoch).
+  ROCKSTEADY_SHARED_GUARDED("written at the barrier before each window; read-only while lanes run")
+  Tick window_end_ = 0;
+
+  ROCKSTEADY_SHARED_GUARDED("driver publishes cmd pre-release-store; worker reads post-acquire-load")
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+
+  std::vector<std::thread> workers_;  // lint:allow-nondeterminism — persistent lane workers.
+  bool workers_started_ = false;
+  uint64_t barrier_epoch_ = 0;
+
+  std::vector<SafePoint> safe_points_;  // Sorted by (t, order); bounded: drained every Run.
+  uint64_t safe_point_order_ = 0;
+  std::vector<size_t> merge_cursor_;  // Per-lane merge position (reused).
+  // Each lane's current front, resolved once per cursor advance (a front's
+  // (time, seq) never changes after the cursor reaches it). Exhausted lanes
+  // hold the maximal (kNoEvent, ~0) pair so the min-scan skips them.
+  std::vector<Tick> merge_front_time_;
+  std::vector<uint64_t> merge_front_seq_;
+
+  Tick now_ = 0;
+  uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV offset basis.
+  uint64_t windows_run_ = 0;
+
+  PhaseHooks hooks_;
+};
+
+}  // namespace rocksteady
+
+#endif  // ROCKSTEADY_SRC_SIM_LANE_SET_H_

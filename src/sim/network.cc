@@ -6,36 +6,54 @@
 
 namespace rocksteady {
 
-Network::SharedDelivery* Network::AllocShared() {
-  if (shared_free_ == nullptr) {
-    shared_storage_.push_back(std::make_unique<SharedDelivery>());
-    shared_free_ = shared_storage_.back().get();
+Network::SharedDelivery* Network::AllocShared(size_t pool) {
+  LanePool& p = pools_[pool];
+  if (p.free_list == nullptr) {
+    p.storage.push_back(std::make_unique<SharedDelivery>());
+    p.free_list = p.storage.back().get();
   }
-  SharedDelivery* shared = shared_free_;
-  shared_free_ = shared->next_free;
+  SharedDelivery* shared = p.free_list;
+  p.free_list = shared->next_free;
   shared->next_free = nullptr;
   return shared;
 }
 
-void Network::ReleaseShared(SharedDelivery* shared) {
+void Network::ReleaseShared(size_t pool, SharedDelivery* shared) {
   shared->fn = nullptr;  // Drop captured state while the node idles.
-  shared->next_free = shared_free_;
-  shared_free_ = shared;
+  LanePool& p = pools_[pool];
+  shared->next_free = p.free_list;
+  p.free_list = shared;
+}
+
+void Network::ScheduleDelivery(Simulator* src, NodeId to, Tick arrive, EventFn ev) {
+  if (lanes_ != nullptr) {
+    const int dst_lane = lanes_->lane_of(to);
+    if (&lanes_->lane_sim(dst_lane) != src) {
+      // The conservative horizon guarantees arrive >= the current window's
+      // end (serialization >= net_per_message_ns, plus propagation), so the
+      // mailbox post is always legal.
+      lanes_->PostCrossLane(src, dst_lane, arrive, std::move(ev));
+      return;
+    }
+  }
+  src->At(arrive, std::move(ev));
 }
 
 void Network::Send(NodeId from, NodeId to, size_t wire_bytes, NetFn on_delivery) {
   assert(from < egress_free_at_.size() && to < egress_free_at_.size());
+  Simulator* src = lanes_ != nullptr ? lanes_->SimFor(from) : sim_;
+  Counters& stats = counters_[LaneOf(from)];
   if (node_down_[from]) {
-    dropped_from_down_node_++;
+    stats.dropped_from_down_node++;
     return;
   }
   const Tick serialization = costs_->Serialization(wire_bytes) + costs_->net_per_message_ns;
   std::vector<Tick>& track =
       wire_bytes >= kBulkThresholdBytes ? egress_bulk_free_at_ : egress_free_at_;
-  const Tick depart = std::max(sim_->now(), track[from]) + serialization;
+  const Tick depart = std::max(src->now(), track[from]) + serialization;
   track[from] = depart;
-  total_bytes_sent_ += wire_bytes;
-  total_messages_++;
+  stats.total_bytes_sent += wire_bytes;
+  stats.total_messages++;
 
   // In-flight faults: the sender has paid for serialization either way; the
   // injector decides how many copies (0 = lost) arrive and with what extra
@@ -44,19 +62,19 @@ void Network::Send(NodeId from, NodeId to, size_t wire_bytes, NetFn on_delivery)
   if (fault_injector_ != nullptr) {
     decision = fault_injector_->OnMessage(from, to);
     if (decision.copies == 0) {
-      injected_drops_++;
+      stats.injected_drops++;
       return;
     }
     if (decision.copies > 1) {
-      injected_duplicates_ += static_cast<uint64_t>(decision.copies - 1);
+      stats.injected_duplicates += static_cast<uint64_t>(decision.copies - 1);
     }
   }
 
   const Tick arrive = depart + costs_->net_propagation_ns;
   if (decision.copies == 1 && decision.extra_delay_ns[0] == 0) {
-    sim_->At(arrive, [this, to, fn = std::move(on_delivery)]() mutable {
+    ScheduleDelivery(src, to, arrive, [this, to, fn = std::move(on_delivery)]() mutable {
       if (node_down_[to]) {
-        dropped_to_down_node_++;
+        counters_[LaneOf(to)].dropped_to_down_node++;
         return;  // Dropped on the floor; RPC timeouts handle the rest.
       }
       fn();
@@ -64,24 +82,24 @@ void Network::Send(NodeId from, NodeId to, size_t wire_bytes, NetFn on_delivery)
     return;
   }
   // Duplicated and/or delayed copies share one pooled delivery node; each
-  // copy invokes the same callable, and the last one returns the node to
-  // the pool.
-  SharedDelivery* shared = AllocShared();
+  // copy invokes the same callable, and the last one — which runs on the
+  // receiver's lane — returns the node to the receiver's pool.
+  SharedDelivery* shared = AllocShared(LaneOf(from));
   shared->fn = std::move(on_delivery);
   shared->refs = decision.copies;
   for (int copy = 0; copy < decision.copies; copy++) {
     const Tick extra = decision.extra_delay_ns[static_cast<size_t>(copy)];
     if (extra > 0) {
-      injected_delays_++;
+      stats.injected_delays++;
     }
-    sim_->At(arrive + extra, [this, to, shared] {
+    ScheduleDelivery(src, to, arrive + extra, [this, to, shared] {
       if (!node_down_[to]) {
         shared->fn();
       } else {
-        dropped_to_down_node_++;
+        counters_[LaneOf(to)].dropped_to_down_node++;
       }
       if (--shared->refs == 0) {
-        ReleaseShared(shared);
+        ReleaseShared(LaneOf(to), shared);
       }
     });
   }

@@ -28,9 +28,11 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/inline_function.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/fault_injector.h"
+#include "src/sim/lane_set.h"
 #include "src/sim/simulator.h"
 
 namespace rocksteady {
@@ -44,12 +46,26 @@ using NetFn = InlineFunction<void(), kNetInlineCallbackBytes>;
 
 class Network {
  public:
-  Network(Simulator* sim, const CostModel* costs) : sim_(sim), costs_(costs) {}
+  Network(Simulator* sim, const CostModel* costs) : sim_(sim), costs_(costs) {
+    counters_.resize(1);
+    pools_.resize(1);
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   static constexpr size_t kBulkThresholdBytes = 4096;
+
+  // Lane mode: sends execute on the sender's lane, deliveries on the
+  // receiver's. Cross-lane deliveries route through the LaneSet mailboxes;
+  // counters and the fault-path delivery pool become per-lane so the hot
+  // path never touches another lane's cache line. Call once at setup,
+  // before any Send.
+  void SetLanes(LaneSet* lanes) {
+    lanes_ = lanes;
+    counters_.assign(static_cast<size_t>(lanes->lanes()), Counters{});
+    pools_.resize(static_cast<size_t>(lanes->lanes()));
+  }
 
   NodeId AddNode() {
     egress_free_at_.push_back(0);
@@ -68,7 +84,8 @@ class Network {
   void Send(NodeId from, NodeId to, size_t wire_bytes, NetFn on_delivery);
 
   // Crash simulation: messages in flight to a down node are dropped at
-  // delivery time; messages from it are not sent.
+  // delivery time; messages from it are not sent. In lane mode this must be
+  // called from a safe point (all lanes parked) — every lane reads the flag.
   void SetNodeDown(NodeId node, bool down) { node_down_[node] = down; }
   bool IsNodeDown(NodeId node) const { return node_down_[node]; }
 
@@ -86,22 +103,25 @@ class Network {
   // duplicate-defense work must check this, not fault_injector().
   bool faults_ever_installed() const { return faults_ever_installed_; }
 
-  uint64_t total_bytes_sent() const { return total_bytes_sent_; }
-  uint64_t total_messages() const { return total_messages_; }
+  // Counter accessors sum the per-lane shards (one shard in legacy mode).
+  uint64_t total_bytes_sent() const { return SumCounter(&Counters::total_bytes_sent); }
+  uint64_t total_messages() const { return SumCounter(&Counters::total_messages); }
 
   // Loss accounting: nothing vanishes silently. Down-node drops are the
   // crash model doing its job; injected_* only move when an injector is
   // installed. Experiment summaries print these so a lossy run is visibly
   // lossy.
-  uint64_t dropped_from_down_node() const { return dropped_from_down_node_; }
-  uint64_t dropped_to_down_node() const { return dropped_to_down_node_; }
-  uint64_t injected_drops() const { return injected_drops_; }
-  uint64_t injected_duplicates() const { return injected_duplicates_; }
-  uint64_t injected_delays() const { return injected_delays_; }
+  uint64_t dropped_from_down_node() const {
+    return SumCounter(&Counters::dropped_from_down_node);
+  }
+  uint64_t dropped_to_down_node() const { return SumCounter(&Counters::dropped_to_down_node); }
+  uint64_t injected_drops() const { return SumCounter(&Counters::injected_drops); }
+  uint64_t injected_duplicates() const { return SumCounter(&Counters::injected_duplicates); }
+  uint64_t injected_delays() const { return SumCounter(&Counters::injected_delays); }
 
  private:
   // One fault-path fan-out: up to two delivery copies share the callback.
-  // Nodes are pooled and reused; all storage is owned by shared_storage_ so
+  // Nodes are pooled and reused; all storage is owned by the pool so
   // teardown is clean even with copies still scheduled.
   struct SharedDelivery {
     NetFn fn;
@@ -109,25 +129,67 @@ class Network {
     SharedDelivery* next_free = nullptr;
   };
 
-  SharedDelivery* AllocShared();
-  void ReleaseShared(SharedDelivery* shared);
+  // Send-side statistics, sharded per lane (cache-line spaced so lanes never
+  // false-share); legacy mode uses shard 0 only.
+  struct alignas(64) Counters {
+    uint64_t total_bytes_sent = 0;
+    uint64_t total_messages = 0;
+    uint64_t dropped_from_down_node = 0;
+    uint64_t dropped_to_down_node = 0;
+    uint64_t injected_drops = 0;
+    uint64_t injected_duplicates = 0;
+    uint64_t injected_delays = 0;
+  };
+
+  struct LanePool {
+    std::vector<std::unique_ptr<SharedDelivery>> storage;
+    SharedDelivery* free_list = nullptr;
+  };
+
+  // The lane a node's events execute on: counter/pool shard index.
+  size_t LaneOf(NodeId node) const {
+    return lanes_ != nullptr ? static_cast<size_t>(lanes_->lane_of(node)) : 0;
+  }
+  uint64_t SumCounter(uint64_t Counters::* field) const {
+    uint64_t total = 0;
+    for (const Counters& shard : counters_) {
+      total += shard.*field;
+    }
+    return total;
+  }
+
+  SharedDelivery* AllocShared(size_t pool);
+  void ReleaseShared(size_t pool, SharedDelivery* shared);
+  // Schedules a delivery event: same-lane (and legacy) through the source
+  // simulator, cross-lane through the LaneSet mailbox.
+  void ScheduleDelivery(Simulator* src, NodeId to, Tick arrive, EventFn ev);
 
   Simulator* sim_;
   const CostModel* costs_;
+  LaneSet* lanes_ = nullptr;  // Null in legacy single-queue mode.
+
+  // Per-node slots: only the owning node's lane ever touches index i.
+  ROCKSTEADY_SHARED_GUARDED("per-node egress slots; only node i's lane reads/writes index i")
   std::vector<Tick> egress_free_at_;       // Small-message track.
+  ROCKSTEADY_SHARED_GUARDED("per-node egress slots; only node i's lane reads/writes index i")
   std::vector<Tick> egress_bulk_free_at_;  // Bulk track (>= threshold).
+
+  // Read by every lane on each delivery; written only at setup or from a
+  // LaneSet safe point, when all lanes are parked.
+  ROCKSTEADY_SHARED_GUARDED("all lanes read; writes only at setup or safe points (lanes parked)")
   std::vector<bool> node_down_;
+
   FaultInjector* fault_injector_ = nullptr;
   bool faults_ever_installed_ = false;
-  std::vector<std::unique_ptr<SharedDelivery>> shared_storage_;
-  SharedDelivery* shared_free_ = nullptr;
-  uint64_t total_bytes_sent_ = 0;
-  uint64_t total_messages_ = 0;
-  uint64_t dropped_from_down_node_ = 0;
-  uint64_t dropped_to_down_node_ = 0;
-  uint64_t injected_drops_ = 0;
-  uint64_t injected_duplicates_ = 0;
-  uint64_t injected_delays_ = 0;
+
+  // Fault-path delivery nodes, pooled per lane: a node is allocated on the
+  // sender's lane and released into the *receiver's* lane's pool (the last
+  // delivery copy runs there). Cells are only ever touched by their own lane.
+  ROCKSTEADY_SHARED_GUARDED("per-lane free lists; each touched only by its owning lane")
+  std::vector<LanePool> pools_;
+
+  ROCKSTEADY_SHARED_GUARDED("per-lane shards; each written only by its owning lane, summed when idle")
+  std::vector<Counters> counters_;
 };
 
 }  // namespace rocksteady

@@ -152,19 +152,8 @@ bool Simulator::PeekMinTime(Tick* t) {
   return false;
 }
 
-void Simulator::At(Tick t, EventFn fn) {
-  // Scheduling in the past would silently reorder the event ahead of
-  // already-queued same-tick work; treat it as a bug, and clamp in release
-  // so the clock still never rewinds.
-  ROCKSTEADY_DCHECK_GE(t, now_);
-  if (t < now_) {
-    t = now_;
-  }
-  Event* e = AllocEvent();
-  e->time = t;
-  e->seq = next_seq_++;
-  e->fn = std::move(fn);
-  const uint64_t ab = BucketOf(t);
+void Simulator::InsertQueued(Event* e) {
+  const uint64_t ab = BucketOf(e->time);
   if (ab < win_base_ + kNumBuckets) {
     InsertRing(e, ab);
     // PeekMinTime parks the scan cursor at the current minimum's bucket; a
@@ -176,6 +165,100 @@ void Simulator::At(Tick t, EventFn fn) {
   } else {
     overflow_.push_back(e);
     std::push_heap(overflow_.begin(), overflow_.end(), &EventLater);
+  }
+}
+
+void Simulator::At(Tick t, EventFn fn) {
+  // Scheduling in the past would silently reorder the event ahead of
+  // already-queued same-tick work; treat it as a bug, and clamp in release
+  // so the clock still never rewinds.
+  ROCKSTEADY_DCHECK_GE(t, now_);
+  if (t < now_) {
+    t = now_;
+  }
+  if (lane_mode_) {
+    LaneAt(t, std::move(fn));
+    return;
+  }
+  Event* e = AllocEvent();
+  e->time = t;
+  e->seq = next_seq_++;
+  e->fn = std::move(fn);
+  InsertQueued(e);
+}
+
+// --- Lane mode (driven by LaneSet; see lane_set.cc for the merge). ---
+
+void Simulator::BeginLaneMode(LaneSet* lane_set, int lane, uint64_t* lane_seq) {
+  lane_mode_ = true;
+  lane_set_ = lane_set;
+  lane_ = lane;
+  lane_seq_ = lane_seq;
+}
+
+void Simulator::LaneAt(Tick t, EventFn fn) {
+  if (!in_window_) {
+    // Root context: every lane is parked (setup, a safe-point task, between
+    // runs), so the canonical counter is directly assignable — this is
+    // exactly what the single-lane engine would have done.
+    Event* e = AllocEvent();
+    e->time = t;
+    e->seq = (*lane_seq_)++;
+    e->fn = std::move(fn);
+    InsertQueued(e);
+    return;
+  }
+  if (t < window_end_) {
+    // Executes within this window: provisional seq now, canonical at merge.
+    Event* e = AllocEvent();
+    e->time = t;
+    e->seq = kProvSeqBit | static_cast<uint64_t>(prov_seq_.size());
+    e->fn = std::move(fn);
+    op_log_.push_back(
+        OpRecord{OpKind::kLocal, 0, static_cast<uint32_t>(prov_seq_.size()), nullptr});
+    prov_seq_.push_back(0);
+    InsertQueued(e);
+    return;
+  }
+  // At/past the horizon: held until the merge stamps its canonical seq.
+  Event* e = AllocEvent();
+  e->time = t;
+  e->seq = 0;
+  e->fn = std::move(fn);
+  op_log_.push_back(OpRecord{OpKind::kDeferred, 0, 0, e});
+}
+
+size_t Simulator::RunWindow(Tick end) {
+  win_log_.clear();
+  op_log_.clear();
+  prov_seq_.clear();
+  in_window_ = true;
+  window_end_ = end;
+  size_t processed = 0;
+  Tick min_time;
+  while (PeekMinTime(&min_time) && min_time < end) {
+    Event* e = PopMin();
+    ROCKSTEADY_DCHECK_GE(e->time, now_);
+    now_ = e->time;
+    win_log_.push_back(
+        DispatchRecord{e->time, e->seq, static_cast<uint32_t>(op_log_.size()), 0});
+    const size_t rec = win_log_.size() - 1;
+    e->fn();
+    win_log_[rec].op_count = static_cast<uint32_t>(op_log_.size()) - win_log_[rec].op_begin;
+    e->fn = nullptr;
+    FreeEvent(e);
+    processed++;
+  }
+  in_window_ = false;
+  events_processed_ += processed;
+  return processed;
+}
+
+void Simulator::InsertDeferred() {
+  for (const OpRecord& op : op_log_) {
+    if (op.kind == OpKind::kDeferred) {
+      InsertQueued(op.deferred);
+    }
   }
 }
 

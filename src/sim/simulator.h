@@ -38,6 +38,8 @@ namespace rocksteady {
 inline constexpr size_t kEventInlineBytes = 88;
 using EventFn = InlineFunction<void(), kEventInlineBytes>;
 
+class LaneSet;
+
 class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1);
@@ -90,6 +92,8 @@ class Simulator {
   }
 
  private:
+  friend class LaneSet;
+
   // One pooled event: two cache lines (32 bytes of links + 96-byte EventFn).
   // prev/next double as the intrusive bucket-list links and, for free
   // events, the free-list thread (next only).
@@ -126,8 +130,58 @@ class Simulator {
     trace_hash_ = (trace_hash_ ^ seq) * 0x100000001b3ull;
   }
 
+  // --- Lane mode (see src/sim/lane_set.h). ---
+  // When this simulator is one lane of a LaneSet, events execute in
+  // conservative windows [start, window_end_) and every At() made inside a
+  // window is *logged* so the LaneSet's merge can reconstruct the canonical
+  // single-lane sequence numbers. Three op shapes exist:
+  //  * kLocal:    the event executes within this window. It enters the queue
+  //               under a provisional seq (kProvSeqBit | index); the merge
+  //               writes the canonical value into prov_seq_[index].
+  //  * kDeferred: the event's time is at/past the horizon. It is held out of
+  //               the queue until the merge stamps its canonical seq, then
+  //               inserted before the next window.
+  //  * kCross:    a cross-lane Network send. It sits in the LaneSet mailbox
+  //               cell (dst_lane, index); the merge stamps its seq there.
+  // A provisional seq compares greater than every canonical seq, which is
+  // exactly the canonical same-tick order: an event scheduled during the
+  // window always has a later canonical seq than anything queued before it.
+  static constexpr uint64_t kProvSeqBit = 1ull << 63;
+  enum class OpKind : uint8_t { kLocal, kDeferred, kCross };
+  struct OpRecord {
+    OpKind kind;
+    uint32_t dst_lane = 0;  // kCross: destination lane.
+    uint32_t index = 0;     // kLocal: prov_seq_ slot; kCross: mailbox slot.
+    Event* deferred = nullptr;  // kDeferred: the held event.
+  };
+  struct DispatchRecord {
+    Tick time;
+    uint64_t seq;  // Raw (possibly provisional) seq at dispatch.
+    uint32_t op_begin;
+    uint32_t op_count;
+  };
+
+  // Puts this simulator in lane mode: At() routes through LaneAt(), and
+  // canonical seqs come from the LaneSet's shared counter.
+  void BeginLaneMode(LaneSet* lane_set, int lane, uint64_t* lane_seq);
+  // Runs every queued event with time < `end` without mixing the trace
+  // (the merge does, in canonical order). Returns events dispatched.
+  size_t RunWindow(Tick end);
+  // Lane-mode scheduling (root / in-window / deferred; see above).
+  void LaneAt(Tick t, EventFn fn);
+  // Records a cross-lane send op made by the current in-window callback.
+  void LaneLogCrossOp(uint32_t dst_lane, uint32_t index) {
+    ROCKSTEADY_DCHECK(in_window_);
+    op_log_.push_back(OpRecord{OpKind::kCross, dst_lane, index, nullptr});
+  }
+  // Inserts deferred events (canonical seqs stamped by the merge) into the
+  // queue; called between windows.
+  void InsertDeferred();
+
   Event* AllocEvent();
   void FreeEvent(Event* e);
+  // Ring-or-overflow insertion of a fully formed event (time, seq, fn set).
+  void InsertQueued(Event* e);
   void InsertRing(Event* e, uint64_t ab);
   // Slides the window so `new_base` is its first bucket and adopts every
   // overflow event that now falls inside it.
@@ -159,6 +213,19 @@ class Simulator {
   Event* free_list_ = nullptr;
   uint64_t slab_allocations_ = 0;
   uint64_t free_count_ = 0;
+
+  // Lane-mode state (inert in the default single-lane configuration). All of
+  // it is owned by this lane's worker except where the LaneSet merge writes
+  // canonical seqs between window phases (barrier-ordered, see lane_set.cc).
+  bool lane_mode_ = false;
+  bool in_window_ = false;
+  int lane_ = 0;
+  Tick window_end_ = 0;
+  LaneSet* lane_set_ = nullptr;
+  uint64_t* lane_seq_ = nullptr;  // LaneSet's canonical sequence counter.
+  std::vector<DispatchRecord> win_log_;  // This window's dispatches, in order.
+  std::vector<OpRecord> op_log_;         // This window's scheduling ops.
+  std::vector<uint64_t> prov_seq_;       // Provisional slot -> canonical seq.
 
   Random rng_;
 };

@@ -5,7 +5,7 @@
 namespace rocksteady {
 
 void ClientActor::Start() {
-  Simulator& sim = client_->coordinator().sim();
+  Simulator& sim = client_->sim();
   if (sim.now() < config_.start_time) {
     sim.At(config_.start_time, [this] { ScheduleNextArrival(); });
   } else {
@@ -14,9 +14,9 @@ void ClientActor::Start() {
 }
 
 void ClientActor::ScheduleNextArrival() {
-  Simulator& sim = client_->coordinator().sim();
+  Simulator& sim = client_->sim();
   // Poisson arrivals: exponential interarrival at the configured rate.
-  const double u = std::max(1e-12, sim.rng().NextDouble());
+  const double u = std::max(1e-12, client_->rng().NextDouble());
   const double gap_seconds = -std::log(u) / config_.ops_per_second;
   const Tick gap = std::max<Tick>(1, static_cast<Tick>(gap_seconds * static_cast<double>(kSecond)));
   const Tick at = sim.now() + gap;
@@ -24,14 +24,14 @@ void ClientActor::ScheduleNextArrival() {
     return;
   }
   sim.At(at, [this] {
-    Simulator& sim2 = client_->coordinator().sim();
+    Simulator& sim2 = client_->sim();
     if (outstanding_ < config_.max_outstanding) {
-      workload_->NextOpInto(sim2.rng(), &scratch_.op);
+      workload_->NextOpInto(client_->rng(), &scratch_.op);
       scratch_.arrival = sim2.now();
       Issue(scratch_);
     } else {
       PendingOp pending;
-      pending.op = workload_->NextOp(sim2.rng());
+      pending.op = workload_->NextOp(client_->rng());
       pending.arrival = sim2.now();
       backlog_.push_back(std::move(pending));
     }
@@ -67,7 +67,7 @@ void ClientActor::Issue(const PendingOp& op) {
 }
 
 void ClientActor::Completed(Tick arrival, bool is_read, Status status) {
-  Simulator& sim = client_->coordinator().sim();
+  Simulator& sim = client_->sim();
   outstanding_--;
   if (status == Status::kOk || (is_read && status == Status::kObjectNotFound)) {
     completed_++;

@@ -1,23 +1,26 @@
 // Counting replacements for the global allocator (see alloc_hook.h).
 //
-// The simulation is single-threaded by design, so plain counters suffice.
-// Every operator new form funnels through Count() + malloc; deletes go
-// straight to free. Works under ASan/UBSan: the sanitizer intercepts the
-// underlying malloc/free, so poisoning and leak detection still function.
+// Counters are relaxed atomics: the threaded-lane regression tests allocate
+// from worker threads (message objects), and the tests only compare totals
+// at barriers where the workers are parked. Every operator new form funnels
+// through Count() + malloc; deletes go straight to free. Works under
+// ASan/UBSan: the sanitizer intercepts the underlying malloc/free, so
+// poisoning and leak detection still function.
 #include "tests/alloc_hook.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
 namespace rocksteady {
 namespace {
 
-uint64_t g_alloc_count = 0;
-uint64_t g_alloc_bytes = 0;
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
 
 void* Count(std::size_t size) {
-  g_alloc_count++;
-  g_alloc_bytes += size;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   void* p = std::malloc(size);
   if (p == nullptr) {
     throw std::bad_alloc();
@@ -26,8 +29,8 @@ void* Count(std::size_t size) {
 }
 
 void* CountAligned(std::size_t size, std::size_t align) {
-  g_alloc_count++;
-  g_alloc_bytes += size;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   // aligned_alloc requires size to be a multiple of alignment.
   const std::size_t padded = (size + align - 1) / align * align;
   void* p = std::aligned_alloc(align, padded);
@@ -39,21 +42,21 @@ void* CountAligned(std::size_t size, std::size_t align) {
 
 }  // namespace
 
-uint64_t GlobalAllocCount() { return g_alloc_count; }
-uint64_t GlobalAllocBytes() { return g_alloc_bytes; }
+uint64_t GlobalAllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
+uint64_t GlobalAllocBytes() { return g_alloc_bytes.load(std::memory_order_relaxed); }
 
 }  // namespace rocksteady
 
 void* operator new(std::size_t size) { return rocksteady::Count(size); }
 void* operator new[](std::size_t size) { return rocksteady::Count(size); }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  rocksteady::g_alloc_count++;
-  rocksteady::g_alloc_bytes += size;
+  rocksteady::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  rocksteady::g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  rocksteady::g_alloc_count++;
-  rocksteady::g_alloc_bytes += size;
+  rocksteady::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  rocksteady::g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size);
 }
 void* operator new(std::size_t size, std::align_val_t align) {

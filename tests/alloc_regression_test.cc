@@ -113,5 +113,70 @@ TEST(AllocRegressionTest, YcsbSteadyWindowHasZeroPoolMissedAllocations) {
   EXPECT_EQ(InlineFunctionHeapFallbacks() - fallbacks_before, 0u);
 }
 
+TEST(AllocRegressionTest, ThreadedLaneSteadyWindowHasZeroSlabGrowthPerLane) {
+  // The sharded-lane contract extends the steady-state zeros per lane: each
+  // lane's event pool recycles its own events (a cross-lane delivery's Event
+  // object is allocated from and freed to the *destination* lane's pool, so
+  // no event ever crosses an allocator boundary), and every lane-mode hot
+  // path closure — mailbox entries included — stays inline. RunUntil parks
+  // the workers at a barrier before returning, so reading the per-lane pool
+  // stats here races nothing.
+  ClusterConfig config;
+  config.num_masters = 4;
+  config.num_clients = 2;
+  config.seed = 42;
+  config.master.hash_table_log2_buckets = 15;
+  config.lanes = 4;
+  config.lane_threads = true;
+  Cluster cluster(config);
+  cluster.CreateTable(kTable, 0);
+  cluster.LoadTable(kTable, /*num_records=*/4'000, /*key_length=*/12, /*value_length=*/100);
+
+  YcsbConfig ycsb = YcsbConfig::WorkloadB();
+  ycsb.num_records = 4'000;
+  YcsbWorkload workload_a(ycsb);
+  YcsbWorkload workload_b(ycsb);
+  ClientActorConfig actor_config;
+  actor_config.ops_per_second = 75'000;
+  ClientActor actor_a(kTable, &cluster.client(0), &workload_a, actor_config);
+  ClientActor actor_b(kTable, &cluster.client(1), &workload_b, actor_config);
+  actor_a.Start();
+  actor_b.Start();
+
+  LaneSet* lanes = cluster.lanes();
+  ASSERT_NE(lanes, nullptr);
+
+  // Warm-up: per-lane pools reach their steady-state footprint.
+  cluster.RunUntil(20 * kMillisecond);
+
+  std::vector<uint64_t> slabs_before;
+  std::vector<uint64_t> outstanding_before;  // live + free: lane pool population.
+  for (int l = 0; l < lanes->lanes(); l++) {
+    const Simulator::PoolStats stats = lanes->lane_sim(l).pool_stats();
+    slabs_before.push_back(stats.slab_allocations);
+    outstanding_before.push_back(stats.live_events + stats.free_events);
+  }
+  const uint64_t fallbacks_before = InlineFunctionHeapFallbacks();
+  const size_t events_before = cluster.events_processed();
+  cluster.RunUntil(40 * kMillisecond);
+  const size_t events = cluster.events_processed() - events_before;
+
+  ASSERT_GT(events, 10'000u);
+  ASSERT_GT(actor_a.completed() + actor_b.completed(), 0u);
+  for (int l = 0; l < lanes->lanes(); l++) {
+    const Simulator::PoolStats stats = lanes->lane_sim(l).pool_stats();
+    // Zero slab growth on every lane individually — a lane leaking events to
+    // another lane's free list would eventually grow its own slabs.
+    EXPECT_EQ(stats.slab_allocations - slabs_before[static_cast<size_t>(l)], 0u)
+        << "lane " << l << " grew its event slab pool";
+    // Pool-population conservation: events allocated on this lane were freed
+    // back to this lane (zero cross-lane allocator traffic).
+    EXPECT_EQ(stats.live_events + stats.free_events,
+              outstanding_before[static_cast<size_t>(l)])
+        << "lane " << l << " pool population drifted";
+  }
+  EXPECT_EQ(InlineFunctionHeapFallbacks() - fallbacks_before, 0u);
+}
+
 }  // namespace
 }  // namespace rocksteady

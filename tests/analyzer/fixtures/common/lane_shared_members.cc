@@ -1,0 +1,32 @@
+// Fixture: lane-shared instance members enter the shard-state inventory.
+//
+// An instance data member annotated ROCKSTEADY_SHARED_GUARDED is part of
+// the sharded-execution contract (mailboxes, safe horizons, per-lane
+// shards): it must appear in shard_state.json with kind "member" and must
+// NOT be flagged — the annotation is the contract. Plain members stay out
+// of the inventory entirely. run_fixture_tests.py's InventoryTests assert
+// the inventory side; the expect-finding machinery asserts the silence.
+#include "src/common/annotations.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rocksteady {
+
+class LaneMailbox {
+ public:
+  void Post(uint64_t value) { entries_.push_back(value); }
+
+  static int g_posts;  // expect-finding:shard-unannotated
+
+ private:
+  // Written by the source lane, drained by the destination lane, with a
+  // barrier between — the canonical lane-shared member shape.
+  ROCKSTEADY_SHARED_GUARDED("src writes in phase A, dst drains in phase C")
+  std::vector<uint64_t> entries_;
+
+  // Per-instance scratch: not shared state, not inventoried.
+  uint64_t cursor_ = 0;
+};
+
+}  // namespace rocksteady

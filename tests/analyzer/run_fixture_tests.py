@@ -121,6 +121,59 @@ class FixtureSuiteSanity(unittest.TestCase):
                               f"{path} expects unknown rule {rule!r}")
 
 
+class InventoryTests(unittest.TestCase):
+    """shard_state.json contents: lane-shared instance members are
+    inventoried (kind 'member', always annotated), and the real lane
+    structures in src/ actually appear there."""
+
+    @staticmethod
+    def _inventory_for(paths):
+        all_facts = []
+        for path in paths:
+            text = path.read_text(encoding="utf-8")
+            index = Index()
+            frontend_tokens.build_index_for_file(text, index)
+            all_facts.append(
+                frontend_tokens.analyze_file(text, str(path), index))
+        return rules.shard_state_inventory(all_facts)
+
+    def test_fixture_member_is_inventoried(self):
+        inventory = self._inventory_for(
+            [FIXTURES / "common" / "lane_shared_members.cc"])
+        by_name = {s["name"]: s for s in inventory["sites"]}
+        self.assertIn("entries_", by_name)
+        self.assertEqual(by_name["entries_"]["kind"], "member")
+        self.assertEqual(by_name["entries_"]["annotation"], "shared_guarded")
+        # Plain per-instance members stay out of the inventory.
+        self.assertNotIn("cursor_", by_name)
+        # Members only enter the inventory via the annotation, so they can
+        # never add unannotated sites.
+        self.assertEqual(
+            [s["name"] for s in inventory["sites"]
+             if s["annotation"] == "MISSING"], ["g_posts"])
+
+    def test_lane_structures_appear_in_src_inventory(self):
+        # The sharded-execution structures themselves: cross-lane mailboxes,
+        # the safe-horizon window bound, the canonical seq counter, worker
+        # slots, and the per-lane shards in Network/RpcSystem/FaultInjector.
+        inventory = self._inventory_for([
+            REPO / "src" / "sim" / "lane_set.h",
+            REPO / "src" / "sim" / "network.h",
+            REPO / "src" / "rpc" / "rpc_system.h",
+            REPO / "src" / "sim" / "fault_injector.h",
+        ])
+        members = {s["name"] for s in inventory["sites"]
+                   if s["kind"] == "member"}
+        for required in ("mail_", "window_end_", "next_seq_", "slots_",
+                         "pools_", "counters_", "pending_lanes_",
+                         "sender_rng_"):
+            self.assertIn(required, members,
+                          f"lane structure {required!r} missing from the "
+                          "shard-state inventory")
+        self.assertEqual(inventory["unannotated"], 0,
+                         "unannotated mutable state in the lane headers")
+
+
 class DriverTests(unittest.TestCase):
     """tools/analyze.py end to end: exit codes, JSON output, baseline."""
 

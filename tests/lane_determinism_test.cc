@@ -1,0 +1,227 @@
+// Cross-shard determinism suite for sharded event lanes (LaneSet).
+//
+// The lane engine's core promise: a run's trace is a pure function of its
+// seed — never of the lane count or of whether lanes execute on real worker
+// threads. This drives full cluster scenarios (plain YCSB-B, YCSB-B with a
+// mid-run Rocksteady migration, YCSB-B under injected fabric faults) at
+// lanes {1, 2, 4} x threads {off, on} across 20 seeds and asserts every
+// digest — trace hash, event count, end time, client/migration/fault
+// counters, final object placement — is bit-identical.
+//
+// Lane-mode traces are their own hash domain (per-node RNG streams replace
+// the shared simulator stream), so these hashes are not compared against
+// legacy single-queue runs; sim_determinism_test continues to pin those.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/audit.h"
+#include "src/migration/rocksteady_target.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/lane_set.h"
+#include "src/workload/client_actor.h"
+#include "src/workload/ycsb.h"
+
+namespace rocksteady {
+namespace {
+
+constexpr TableId kTable = 1;
+constexpr KeyHash kMid = 1ull << 63;
+constexpr uint64_t kRecords = 1'000;
+
+enum class Scenario { kYcsb, kMigration, kFaults };
+
+struct LaneDigest {
+  uint64_t trace_hash = 0;
+  size_t events = 0;
+  Tick end_time = 0;
+  uint64_t windows = 0;
+  uint64_t client_completed = 0;
+  uint64_t client_failed = 0;
+  uint64_t records_pulled = 0;
+  uint64_t source_objects = 0;
+  uint64_t target_objects = 0;
+  uint64_t injected_drops = 0;
+  uint64_t injected_duplicates = 0;
+  uint64_t retransmissions = 0;
+
+  friend bool operator==(const LaneDigest&, const LaneDigest&) = default;
+};
+
+LaneDigest RunLaneScenario(Scenario kind, uint64_t seed, int lanes, bool threads) {
+  // The injector must outlive the cluster's network.
+  FaultInjector injector({.seed = seed * 1'000 + 7,
+                          .drop_probability = 0.01,
+                          .duplicate_probability = 0.005,
+                          .max_extra_delay_ns = 2 * kMicrosecond});
+
+  ClusterConfig config;
+  config.num_masters = 4;
+  config.num_clients = 2;
+  config.master.hash_table_log2_buckets = 14;
+  config.master.segment_size = 64 * 1024;
+  config.seed = seed;
+  config.lanes = lanes;
+  config.lane_threads = threads;
+  Cluster cluster(config);
+  if (kind == Scenario::kFaults) {
+    // Per-sender fault streams: each node's drop/duplicate/delay draws
+    // depend only on that node's send order, which the canonical merge keeps
+    // lane-count- and thread-invariant.
+    injector.EnablePerSenderStreams(1 + cluster.num_masters() + cluster.num_clients());
+    cluster.net().SetFaultInjector(&injector);
+  }
+  if (kind != Scenario::kYcsb) {
+    EnableMigration(&cluster);
+  }
+  cluster.CreateTable(kTable, 0);
+  cluster.LoadTable(kTable, kRecords, 30, 100);
+
+  YcsbConfig ycsb = YcsbConfig::WorkloadB();
+  ycsb.num_records = kRecords;
+  YcsbWorkload workload(ycsb);
+  ClientActorConfig actor_config;
+  actor_config.ops_per_second = 40'000;
+  actor_config.stop_time = 30 * kMillisecond;
+  std::vector<std::unique_ptr<ClientActor>> actors;
+  for (size_t c = 0; c < cluster.num_clients(); c++) {
+    actors.push_back(
+        std::make_unique<ClientActor>(kTable, &cluster.client(c), &workload, actor_config));
+    actors.back()->Start();
+  }
+
+  std::optional<MigrationStats> stats;
+  if (kind != Scenario::kYcsb) {
+    // Safe-point kickoff: the lane-mode home for cross-cutting control
+    // actions. Placement depends only on the global event timeline.
+    cluster.AtSafePoint(10 * kMillisecond, [&] {
+      StartRocksteadyMigration(&cluster, kTable, kMid, ~0ull, 0, 1, RocksteadyOptions{},
+                               [&](const MigrationStats& s) { stats = s; });
+    });
+  }
+  cluster.Run();
+
+  AuditReport report;
+  cluster.master(0).objects().AuditInvariants(&report);
+  cluster.master(1).objects().AuditInvariants(&report);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+
+  LaneDigest digest;
+  digest.trace_hash = cluster.trace_hash();
+  digest.events = cluster.events_processed();
+  digest.end_time = cluster.now();
+  digest.windows = cluster.lanes() != nullptr ? cluster.lanes()->windows_run() : 0;
+  for (const auto& actor : actors) {
+    digest.client_completed += actor->completed();
+    digest.client_failed += actor->failed();
+  }
+  digest.records_pulled = stats ? stats->records_pulled : 0;
+  digest.source_objects = cluster.master(0).objects().object_count();
+  digest.target_objects = cluster.master(1).objects().object_count();
+  digest.injected_drops = cluster.net().injected_drops();
+  digest.injected_duplicates = cluster.net().injected_duplicates();
+  digest.retransmissions = cluster.rpc().retransmissions();
+  return digest;
+}
+
+const char* ScenarioName(Scenario kind) {
+  switch (kind) {
+    case Scenario::kYcsb:
+      return "ycsb";
+    case Scenario::kMigration:
+      return "migration";
+    case Scenario::kFaults:
+      return "faults";
+  }
+  return "?";
+}
+
+class LaneDeterminismTest : public testing::TestWithParam<std::tuple<Scenario, uint64_t>> {};
+
+TEST_P(LaneDeterminismTest, HashesIdenticalAcrossLaneCountsAndThreads) {
+  const auto [kind, seed] = GetParam();
+  const LaneDigest reference = RunLaneScenario(kind, seed, 1, false);
+  // The scenario actually exercised the machinery.
+  EXPECT_GT(reference.events, 1'000u);
+  EXPECT_GT(reference.client_completed, 0u);
+  if (kind != Scenario::kYcsb) {
+    EXPECT_GT(reference.records_pulled, 0u);
+    EXPECT_EQ(reference.source_objects + reference.target_objects, kRecords);
+  }
+  if (kind == Scenario::kFaults) {
+    EXPECT_GT(reference.injected_drops, 0u);
+    EXPECT_GT(reference.retransmissions, 0u);
+  }
+  for (const int lanes : {2, 4}) {
+    const LaneDigest unthreaded = RunLaneScenario(kind, seed, lanes, false);
+    EXPECT_EQ(unthreaded, reference) << "lanes=" << lanes << " unthreaded diverged";
+    const LaneDigest threaded = RunLaneScenario(kind, seed, lanes, true);
+    EXPECT_EQ(threaded, reference) << "lanes=" << lanes << " threaded diverged";
+  }
+}
+
+std::string LaneParamName(const testing::TestParamInfo<std::tuple<Scenario, uint64_t>>& info) {
+  return std::string(ScenarioName(std::get<0>(info.param))) + "_s" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaneDeterminismTest,
+                         testing::Combine(testing::Values(Scenario::kYcsb, Scenario::kMigration,
+                                                          Scenario::kFaults),
+                                          testing::Range(uint64_t{0}, uint64_t{20})),
+                         LaneParamName);
+
+// Two different seeds must diverge (guards against a degenerate lane hash).
+TEST(LaneDeterminismTest, DifferentSeedsDiverge) {
+  const LaneDigest a = RunLaneScenario(Scenario::kYcsb, 42, 4, false);
+  const LaneDigest b = RunLaneScenario(Scenario::kYcsb, 43, 4, false);
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+// Same-timestamp cross-lane deliveries tie-break on canonical sequence — the
+// order the single-lane engine would have scheduled them (sender dispatch
+// order), never on lane index or mailbox drain order.
+TEST(LaneTieBreakTest, SameTimestampCrossLaneOrderFollowsCanonicalSeq) {
+  std::vector<std::string> reference;
+  for (const int lanes : {1, 2, 3}) {
+    for (const bool threads : {false, true}) {
+      LaneSet::Config config;
+      config.lanes = lanes;
+      config.threads = threads;
+      config.lookahead = 100;
+      config.seed = 1;
+      LaneSet set(config);
+      auto lane = [&](int l) -> Simulator& { return set.lane_sim(l % lanes); };
+      std::vector<std::string> order;
+      // Root-context setup: two senders on (nominally) different lanes, one
+      // receiver on a third. The t=5 sender dispatches before the t=10
+      // sender, so its same-timestamp delivery must run first — even though
+      // it comes from the higher lane index and is posted second here.
+      lane(1).At(10, [&] {
+        set.PostCrossLane(&lane(1), 2 % lanes, 150, [&] { order.push_back("from-t10"); });
+      });
+      lane(2).At(5, [&] {
+        set.PostCrossLane(&lane(2), 2 % lanes, 150, [&] { order.push_back("from-t5"); });
+      });
+      // A root-scheduled event at the same timestamp was seq-stamped at
+      // setup, before either cross op — it must run first of the three.
+      lane(2).At(150, [&] { order.push_back("root-t150"); });
+      set.Run();
+      ASSERT_EQ(order.size(), 3u) << "lanes=" << lanes << " threads=" << threads;
+      EXPECT_EQ(order[0], "root-t150");
+      EXPECT_EQ(order[1], "from-t5");
+      EXPECT_EQ(order[2], "from-t10");
+      if (reference.empty()) {
+        reference = order;
+      } else {
+        EXPECT_EQ(order, reference) << "lanes=" << lanes << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rocksteady

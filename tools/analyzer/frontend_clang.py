@@ -158,6 +158,19 @@ def analyze_file(path, index, cindex, compile_commands=None):
                     line=cursor.location.line,
                     is_const=cursor.type.is_const_qualified(),
                     annotation=annotation, why=why))
+        elif cursor.kind == cindex.CursorKind.FIELD_DECL and here(cursor):
+            # Instance members are per-object, not static storage — but one
+            # explicitly annotated SHARED_GUARDED is part of the
+            # sharded-execution contract (lane mailboxes, safe horizons,
+            # per-lane shards) and belongs in the inventory.
+            annotation, why = _annotation_from(cindex, cursor)
+            if annotation == "shared_guarded":
+                facts.state_sites.append(StateSite(
+                    kind="member", name=cursor.spelling,
+                    type_text=cursor.type.spelling, file=path,
+                    line=cursor.location.line,
+                    is_const=cursor.type.is_const_qualified(),
+                    annotation=annotation, why=why))
         elif cursor.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT \
                 and here(cursor):
             children = list(cursor.get_children())

@@ -271,10 +271,17 @@ def _process_stmt(stmt, scopes, path, facts):
         # variables: local function declarations are not a style used here.
     elif scope == "class":
         if not (has_static or has_tls):
-            return  # Plain data members are per-instance, not static storage.
-        if callable_shape:
-            return  # Static member function.
-        kind = "static-member"
+            # Plain data members are per-instance, not static storage — but
+            # an instance member explicitly marked SHARED_GUARDED is part of
+            # the sharded-execution contract (lane mailboxes, safe horizons,
+            # per-lane shards) and belongs in the inventory.
+            if annotation != "shared_guarded" or callable_shape:
+                return
+            kind = "member"
+        else:
+            if callable_shape:
+                return  # Static member function.
+            kind = "static-member"
     elif scope in ("namespace",) or not scopes:
         if callable_shape:
             return  # Free function / method definition signature.

@@ -10,8 +10,9 @@ from dataclasses import dataclass, field
 
 @dataclass
 class StateSite:
-    """A variable with static storage duration (candidate shared state)."""
-    kind: str  # 'global' | 'static-member' | 'local-static'
+    """A variable with static storage duration (candidate shared state), or
+    an instance member explicitly annotated as lane-shared."""
+    kind: str  # 'global' | 'static-member' | 'local-static' | 'member'
     name: str
     type_text: str
     file: str
